@@ -1,0 +1,128 @@
+// Command dsgl regenerates the tables and figures of the DS-GL paper
+// (ISCA 2024) against the synthetic workloads of this reproduction.
+//
+// Usage:
+//
+//	dsgl list                 # show available experiments
+//	dsgl fig4                 # circuit-level validation (Fig. 4)
+//	dsgl fig10 -n 32 -eval 30 # accuracy vs density (Fig. 10)
+//	dsgl table2               # RMSE vs SOTA GNNs (Table II)
+//	dsgl all                  # run the full suite in paper order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"dsgl"
+	"dsgl/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	rest := os.Args[2:]
+	// "inspect" takes an optional dataset name before the flags.
+	inspectName := "traffic"
+	if cmd == "inspect" && len(rest) > 0 && len(rest[0]) > 0 && rest[0][0] != '-' {
+		inspectName = rest[0]
+		rest = rest[1:]
+	}
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	n := fs.Int("n", 32, "graph nodes per dataset")
+	t := fs.Int("t", 0, "series length (0 = dataset default)")
+	evalWindows := fs.Int("eval", 30, "test windows evaluated per configuration")
+	gnnEpochs := fs.Int("gnn-epochs", 12, "training epochs for the GNN baselines")
+	seed := fs.Uint64("seed", 7, "suite seed")
+	if err := fs.Parse(rest); err != nil {
+		os.Exit(2)
+	}
+	cfg := experiments.Config{
+		N:           *n,
+		T:           *t,
+		EvalWindows: *evalWindows,
+		GNNEpochs:   *gnnEpochs,
+		Seed:        *seed,
+	}
+
+	registry := experiments.Registry()
+	switch cmd {
+	case "inspect":
+		if err := inspect(inspectName, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "dsgl inspect: %v\n", err)
+			os.Exit(1)
+		}
+	case "list":
+		ids := experiments.IDs()
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+	case "all":
+		for _, id := range experiments.IDs() {
+			if err := run(registry, id, cfg); err != nil {
+				fmt.Fprintf(os.Stderr, "dsgl %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
+	default:
+		if _, ok := registry[cmd]; !ok {
+			fmt.Fprintf(os.Stderr, "dsgl: unknown experiment %q\n\n", cmd)
+			usage()
+			os.Exit(2)
+		}
+		if err := run(registry, cmd, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "dsgl %s: %v\n", cmd, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(registry map[string]experiments.Runner, id string, cfg experiments.Config) error {
+	start := time.Now()
+	if err := registry[id](cfg, os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\n[%s completed in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// inspect trains the standard pipeline on one dataset and dumps the
+// compiled hardware mapping (PE occupancy, slices, inter-PE traffic).
+func inspect(name string, cfg experiments.Config) error {
+	ds := dsgl.GenerateDataset(name, dsgl.DatasetConfig{N: cfg.N, T: cfg.T, Seed: cfg.Seed})
+	model, err := dsgl.Train(ds, dsgl.Options{Seed: cfg.Seed})
+	if err != nil {
+		return err
+	}
+	model.Machine.Describe(os.Stdout)
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `dsgl — regenerate the DS-GL (ISCA 2024) evaluation
+
+usage: dsgl <experiment> [flags]
+
+experiments:
+  fig4     circuit-level validation: DSPU real values vs BRIM polarization
+  fig10    RMSE vs coupling-matrix density per interconnect pattern
+  fig11    best RMSE vs inference-latency budget
+  fig12    RMSE vs inter-mapping synchronization interval
+  fig13    RMSE vs density under analog noise
+  table1   hardware cost comparison (BRIM / DSPU / DS-GL)
+  table2   RMSE comparison with the GNN baselines
+  table3   latency & energy vs accelerators and GPU
+  table4   multi-dimensional datasets (housing, climate)
+  all      everything above, in paper order
+  inspect  train one dataset and dump the compiled PE/CU mapping
+  list     print experiment ids
+
+flags: -n, -t, -eval, -gnn-epochs, -seed (see 'dsgl <exp> -h')`)
+}

@@ -1,0 +1,459 @@
+// Package dsgl is a software reproduction of DS-GL (ISCA 2024): a
+// nature-powered graph-learning framework that maps graph-learning
+// inference onto the natural annealing of a real-valued, scalable
+// dynamical system.
+//
+// The package exposes the full pipeline of the paper:
+//
+//  1. Train a dense real-valued dynamical system (coupling matrix J and
+//     self-reaction h) from spatio-temporal windows (Sec. III.B).
+//  2. Decompose it: prune weak couplings to a target density, extract
+//     communities (Louvain), redistribute them onto a PE grid, and
+//     fine-tune under the interconnect-pattern mask
+//     (Chain / Mesh / DMesh + Wormholes, Sec. IV.B).
+//  3. Compile onto the Scalable DSPU simulator and run inference as
+//     spatial or temporal+spatial co-annealing (Sec. IV.C-D).
+//
+// Quick start:
+//
+//	ds := dsgl.GenerateDataset("traffic", dsgl.DatasetConfig{})
+//	model, _ := dsgl.Train(ds, dsgl.Options{})
+//	rep, _ := model.Evaluate(nil) // test split
+//	fmt.Printf("RMSE %.4g at %.3g µs/inference\n", rep.RMSE, rep.MeanLatencyUs)
+package dsgl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dsgl/internal/community"
+	"dsgl/internal/datasets"
+	"dsgl/internal/dspu"
+	"dsgl/internal/metrics"
+	"dsgl/internal/pattern"
+	"dsgl/internal/scalable"
+	"dsgl/internal/train"
+)
+
+// Pattern selects the inter-PE interconnect pattern.
+type Pattern = pattern.Kind
+
+// The interconnect patterns of Sec. IV.B, re-exported for callers.
+const (
+	Chain = pattern.Chain
+	Mesh  = pattern.Mesh
+	DMesh = pattern.DMesh
+)
+
+// Dataset re-exports the workload type.
+type Dataset = datasets.Dataset
+
+// DatasetConfig re-exports the generator configuration.
+type DatasetConfig = datasets.Config
+
+// Window re-exports the windowed-sample type.
+type Window = datasets.Window
+
+// GenerateDataset builds one of the named evaluation workloads
+// ("traffic", "pm25", "pm10", "no2", "o3", "covid", "stock", "housing",
+// "climate").
+func GenerateDataset(name string, cfg DatasetConfig) *Dataset {
+	return datasets.Generate(name, cfg)
+}
+
+// DatasetNames lists the seven single-feature workloads.
+func DatasetNames() []string { return datasets.Names() }
+
+// Options configures the DS-GL pipeline.
+type Options struct {
+	// Pattern is the inter-PE interconnect (default DMesh, the richest).
+	Pattern Pattern
+	// Density is the post-decomposition coupling-matrix density target
+	// (proportion of non-zeros; the paper sweeps 0..0.25). Default 0.10.
+	Density float64
+	// Wormholes is the budget of remote-PE super-connections. Default 4.
+	Wormholes int
+	// PECapacity is K, nodes per PE. Default 48 — window systems then
+	// span multi-PE grids where the interconnect patterns genuinely
+	// differ.
+	PECapacity int
+	// Lanes is L, analog lanes per portal. Default 30 (the paper's pick).
+	Lanes int
+	// TemporalDisabled selects the DS-GL-Spatial variant.
+	TemporalDisabled bool
+	// RidgeLambda is the closed-form solver's ridge strength. Zero (the
+	// default) selects it automatically on a validation slice of the
+	// training windows.
+	RidgeLambda float64
+	// TrainEpochs > 0 adds gradient refinement after the closed-form dense
+	// solution (default -1 via fillDefaults: closed form only).
+	// FineTuneEpochs > 0 adds gradient refinement after the closed-form
+	// masked re-solve (default 0: closed form only).
+	TrainEpochs, FineTuneEpochs int
+	// SyncIntervalNs is the inter-tile synchronization interval (default
+	// 200 ns, the hardware-supported rate).
+	SyncIntervalNs float64
+	// MaxInferNs bounds one inference (default 10000 ns; Fig. 11 sweeps
+	// up to 20 µs).
+	MaxInferNs float64
+	// NodeNoise / CouplerNoise inject relative Gaussian disturbances
+	// (Fig. 13).
+	NodeNoise, CouplerNoise float64
+	// DenseInit, when non-nil, supplies a pre-trained dense parameter set
+	// and skips phase 1 — parameter sweeps over density/pattern reuse one
+	// dense model this way.
+	DenseInit *train.Params
+	// Seed makes the pipeline deterministic.
+	Seed uint64
+}
+
+func (o *Options) fillDefaults() {
+	if o.Density == 0 {
+		o.Density = 0.10
+	}
+	if o.Wormholes == 0 {
+		o.Wormholes = 4
+	}
+	if o.PECapacity == 0 {
+		o.PECapacity = 48
+	}
+	if o.Lanes == 0 {
+		o.Lanes = 30
+	}
+	if o.TrainEpochs == 0 {
+		o.TrainEpochs = -1
+	}
+	if o.SyncIntervalNs == 0 {
+		o.SyncIntervalNs = 200
+	}
+	if o.MaxInferNs == 0 {
+		o.MaxInferNs = 10000
+	}
+}
+
+// Model is a trained, decomposed, and hardware-compiled DS-GL system for
+// one dataset.
+type Model struct {
+	Dataset *Dataset
+	Opts    Options
+	// Dense is the pre-decomposition parameter set.
+	Dense *train.Params
+	// Tuned is the pattern-confined fine-tuned parameter set the hardware
+	// runs.
+	Tuned *train.Params
+	// Assignment maps window-vector nodes to PEs.
+	Assignment *community.Assignment
+	// Machine is the compiled Scalable DSPU.
+	Machine *scalable.Machine
+
+	unknown  []int
+	observed []bool
+}
+
+// Train runs the full DS-GL pipeline on the dataset's training windows.
+func Train(ds *Dataset, opts Options) (*Model, error) {
+	opts.fillDefaults()
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	trainWindows, _ := ds.Split()
+	samples := make([][]float64, len(trainWindows))
+	for i, w := range trainWindows {
+		samples[i] = w.Full
+	}
+	if opts.RidgeLambda == 0 {
+		lam, err := selectLambda(ds, samples)
+		if err != nil {
+			return nil, fmt.Errorf("dsgl: lambda selection: %w", err)
+		}
+		opts.RidgeLambda = lam
+	}
+	// Observed entries are clamped during inference, so their regression
+	// rows never act; weighting them out of the loss devotes the entire
+	// coupling budget to the predicted variables.
+	rowWeight := make([]float64, ds.WindowLen())
+	for _, idx := range ds.UnknownIndices() {
+		rowWeight[idx] = 1
+	}
+
+	// Phase 1: dense real-valued training (Sec. III.B) — closed-form
+	// ridge solution for the observed-to-unknown block, then gradient
+	// refinement that may also grow unknown-to-unknown couplings.
+	dense := opts.DenseInit
+	if dense == nil {
+		var err error
+		dense, err = trainDensePhase(ds, samples, rowWeight, opts)
+		if err != nil {
+			return nil, err
+		}
+	} else if dense.Dim() != ds.WindowLen() {
+		return nil, fmt.Errorf("dsgl: DenseInit dim %d, want %d", dense.Dim(), ds.WindowLen())
+	}
+
+	// Phase 2: decomposition (Sec. IV.B).
+	pruned := community.PruneToDensity(dense.J, opts.Density)
+	weights := community.CouplingWeights(pruned)
+	part := community.Louvain(weights, 10)
+	assign, err := community.Redistribute(part, weights, opts.PECapacity)
+	if err != nil {
+		return nil, fmt.Errorf("dsgl: redistribution: %w", err)
+	}
+	mask, _ := pattern.BuildMask(assign, pruned, pattern.Config{
+		Kind:      opts.Pattern,
+		Wormholes: opts.Wormholes,
+	})
+	// Intersect the pattern mask with the density budget: fine-tuning may
+	// only repopulate entries that are both pattern-legal and within the
+	// pruned support (keeping the density target).
+	support := community.SupportMask(pruned, 0)
+	for i := range mask.Data {
+		mask.Data[i] = mask.Data[i] && support.Data[i]
+	}
+	// Fine-tune with patterns: re-solve the training objective in closed
+	// form with J confined to the mask. An optional gradient pass
+	// (FineTuneEpochs > 0) can follow to grow unknown-to-unknown
+	// couplings, but the closed-form refit is the default: it restores
+	// the accuracy the sparsification lost without exposure-bias risk.
+	tuned, err := train.MaskedRidge(samples, ds.ObservedMask(), mask, opts.RidgeLambda)
+	if err != nil {
+		return nil, fmt.Errorf("dsgl: fine-tune: %w", err)
+	}
+	if opts.FineTuneEpochs > 0 {
+		tuned, err = train.Fit(samples, train.Config{
+			Epochs:    opts.FineTuneEpochs,
+			LR:        0.002,
+			Mask:      mask,
+			Init:      tuned,
+			RowWeight: rowWeight,
+			Seed:      opts.Seed + 1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("dsgl: fine-tune: %w", err)
+		}
+	}
+
+	// Phase 3: hardware compilation (Sec. IV.C).
+	machine, err := scalable.Build(tuned, assign, mask, scalable.Config{
+		Lanes:            opts.Lanes,
+		TemporalDisabled: opts.TemporalDisabled,
+		SyncIntervalNs:   opts.SyncIntervalNs,
+		MaxTimeNs:        opts.MaxInferNs,
+		NodeNoise:        opts.NodeNoise,
+		CouplerNoise:     opts.CouplerNoise,
+		Seed:             opts.Seed + 2,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dsgl: hardware compilation: %w", err)
+	}
+
+	return &Model{
+		Dataset:    ds,
+		Opts:       opts,
+		Dense:      dense,
+		Tuned:      tuned,
+		Assignment: assign,
+		Machine:    machine,
+		unknown:    ds.UnknownIndices(),
+		observed:   ds.ObservedMask(),
+	}, nil
+}
+
+// Prediction is the outcome of one window inference.
+type Prediction struct {
+	// Values are the predicted entries, aligned with UnknownIndices.
+	Values []float64
+	// Truth are the ground-truth entries for the same indices.
+	Truth []float64
+	// LatencyUs is the simulated annealing latency in microseconds.
+	LatencyUs float64
+	// Mode reports the co-annealing method the mapping used.
+	Mode string
+}
+
+// Predict clamps the window's observed entries and anneals the unknown
+// ones.
+func (m *Model) Predict(w datasets.Window) (*Prediction, error) {
+	if len(w.Full) != m.Tuned.Dim() {
+		return nil, fmt.Errorf("dsgl: window has %d entries, model expects %d", len(w.Full), m.Tuned.Dim())
+	}
+	obs := make([]scalable.Observation, 0, len(w.Full)-len(m.unknown))
+	for i, isObs := range m.observed {
+		if isObs {
+			obs = append(obs, scalable.Observation{Index: i, Value: w.Full[i]})
+		}
+	}
+	res, err := m.Machine.Infer(obs)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prediction{
+		Values:    make([]float64, len(m.unknown)),
+		Truth:     make([]float64, len(m.unknown)),
+		LatencyUs: res.LatencyNs / 1000,
+		Mode:      m.Machine.Stats().Mode.String(),
+	}
+	for k, idx := range m.unknown {
+		p.Values[k] = res.Voltage[idx]
+		p.Truth[k] = w.Full[idx]
+	}
+	return p, nil
+}
+
+// Report summarizes an evaluation run.
+type Report struct {
+	RMSE          float64
+	MAE           float64
+	MeanLatencyUs float64
+	Windows       int
+	Mode          string
+	Stats         scalable.Stats
+}
+
+// Evaluate predicts every given window (nil = the dataset's test split)
+// and reports aggregate accuracy and latency.
+func (m *Model) Evaluate(windows []datasets.Window) (*Report, error) {
+	if windows == nil {
+		_, windows = m.Dataset.Split()
+	}
+	if len(windows) == 0 {
+		return nil, errors.New("dsgl: no windows to evaluate")
+	}
+	var acc metrics.Accumulator
+	var mae metrics.Accumulator
+	var lat float64
+	for _, w := range windows {
+		p, err := m.Predict(w)
+		if err != nil {
+			return nil, err
+		}
+		acc.AddVec(p.Values, p.Truth)
+		mae.AddVec(p.Values, p.Truth)
+		lat += p.LatencyUs
+	}
+	return &Report{
+		RMSE:          acc.RMSE(),
+		MAE:           mae.MAE(),
+		MeanLatencyUs: lat / float64(len(windows)),
+		Windows:       len(windows),
+		Mode:          m.Machine.Stats().Mode.String(),
+		Stats:         m.Machine.Stats(),
+	}, nil
+}
+
+// lambdaCandidates is the grid searched when Options.RidgeLambda is zero.
+var lambdaCandidates = []float64{0.03, 0.1, 0.3, 1, 3}
+
+// selectLambda picks the ridge strength that minimizes validation RMSE
+// over the unknown entries, using the last 15% of the training windows as
+// the validation slice (time-ordered, so no leakage).
+func selectLambda(ds *Dataset, samples [][]float64) (float64, error) {
+	nVal := len(samples) / 7
+	if nVal < 4 {
+		return 0.1, nil // too little data to validate; a safe default
+	}
+	fit := samples[:len(samples)-nVal]
+	val := samples[len(samples)-nVal:]
+	unknown := ds.UnknownIndices()
+	best, bestRMSE := lambdaCandidates[0], math.Inf(1)
+	buf := make([]float64, ds.WindowLen())
+	for _, lam := range lambdaCandidates {
+		p, err := train.RidgeInit(fit, ds.ObservedMask(), lam)
+		if err != nil {
+			return 0, err
+		}
+		var acc metrics.Accumulator
+		for _, smp := range val {
+			// With no unknown-to-unknown couplings the clamped equilibrium
+			// equals the one-shot regression from the observed entries.
+			p.Regress(smp, buf)
+			for _, idx := range unknown {
+				acc.Add(buf[idx], smp[idx])
+			}
+		}
+		if r := acc.RMSE(); r < bestRMSE {
+			bestRMSE = r
+			best = lam
+		}
+	}
+	return best, nil
+}
+
+// trainDensePhase runs phase 1: ridge closed form plus optional gradient
+// refinement (skipped when opts.TrainEpochs < 0).
+func trainDensePhase(ds *Dataset, samples [][]float64, rowWeight []float64, opts Options) (*train.Params, error) {
+	init, err := train.RidgeInit(samples, ds.ObservedMask(), opts.RidgeLambda)
+	if err != nil {
+		return nil, fmt.Errorf("dsgl: ridge initialization: %w", err)
+	}
+	if opts.TrainEpochs < 0 {
+		return init, nil
+	}
+	dense, err := train.Fit(samples, train.Config{
+		Epochs:    opts.TrainEpochs,
+		LR:        0.01,
+		Init:      init,
+		RowWeight: rowWeight,
+		Seed:      opts.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dsgl: dense training: %w", err)
+	}
+	return dense, nil
+}
+
+// TrainDense trains only the dense Real-Valued DSPU (no decomposition) —
+// the Sec. III configuration. The result can be run on a single dense DSPU
+// via DenseInfer or passed to Train as Options.DenseInit.
+func TrainDense(ds *Dataset, opts Options) (*train.Params, error) {
+	opts.fillDefaults()
+	trainWindows, _ := ds.Split()
+	samples := make([][]float64, len(trainWindows))
+	for i, w := range trainWindows {
+		samples[i] = w.Full
+	}
+	if opts.RidgeLambda == 0 {
+		lam, err := selectLambda(ds, samples)
+		if err != nil {
+			return nil, fmt.Errorf("dsgl: lambda selection: %w", err)
+		}
+		opts.RidgeLambda = lam
+	}
+	rowWeight := make([]float64, ds.WindowLen())
+	for _, idx := range ds.UnknownIndices() {
+		rowWeight[idx] = 1
+	}
+	return trainDensePhase(ds, samples, rowWeight, opts)
+}
+
+// DenseInfer runs one window inference on a dense (single-PE) Real-Valued
+// DSPU built from params.
+func DenseInfer(ds *Dataset, params *train.Params, w datasets.Window, seed uint64) (*Prediction, error) {
+	d, err := dspu.New(params.J, params.H, dspu.Config{Seed: seed, MaxTimeNs: 2000})
+	if err != nil {
+		return nil, err
+	}
+	observed := ds.ObservedMask()
+	obs := make([]dspu.Observation, 0, len(w.Full))
+	for i, isObs := range observed {
+		if isObs {
+			obs = append(obs, dspu.Observation{Index: i, Value: w.Full[i]})
+		}
+	}
+	res, err := d.Infer(obs)
+	if err != nil {
+		return nil, err
+	}
+	unknown := ds.UnknownIndices()
+	p := &Prediction{
+		Values:    make([]float64, len(unknown)),
+		Truth:     make([]float64, len(unknown)),
+		LatencyUs: res.LatencyNs / 1000,
+		Mode:      "dense",
+	}
+	for k, idx := range unknown {
+		p.Values[k] = res.Voltage[idx]
+		p.Truth[k] = w.Full[idx]
+	}
+	return p, nil
+}

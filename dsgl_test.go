@@ -1,0 +1,317 @@
+package dsgl
+
+import (
+	"math"
+	"testing"
+
+	"dsgl/internal/metrics"
+)
+
+// tinyDataset keeps integration tests fast: a short series on a small
+// graph.
+func tinyDataset(t *testing.T, name string) *Dataset {
+	t.Helper()
+	return GenerateDataset(name, DatasetConfig{N: 16, T: 400, History: 4, Horizon: 1, Seed: 2})
+}
+
+func tinyOptions() Options {
+	return Options{
+		Density:    0.15,
+		PECapacity: 24,
+		MaxInferNs: 3000,
+		Seed:       5,
+	}
+}
+
+func TestTrainEndToEnd(t *testing.T) {
+	ds := tinyDataset(t, "traffic")
+	model, err := Train(ds, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.Tuned.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if model.Assignment.NumPEs() < 2 {
+		t.Fatalf("expected a multi-PE grid, got %d PEs", model.Assignment.NumPEs())
+	}
+	_, test := ds.Split()
+	rep, err := model.Evaluate(test[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RMSE <= 0 || rep.RMSE > 0.5 {
+		t.Fatalf("implausible RMSE %g", rep.RMSE)
+	}
+	if rep.MeanLatencyUs <= 0 {
+		t.Fatal("latency not recorded")
+	}
+}
+
+func TestModelBeatsMeanAndPersistence(t *testing.T) {
+	ds := tinyDataset(t, "pm25")
+	model, err := Train(ds, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, test := ds.Split()
+	if len(test) > 25 {
+		test = test[:25]
+	}
+	rep, err := model.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Persistence baseline: repeat the last observed value.
+	var persist metrics.Accumulator
+	for _, w := range test {
+		for _, idx := range ds.UnknownIndices() {
+			node := (idx / ds.F) % ds.N
+			last := w.Full[((ds.History-1)*ds.N+node)*ds.F]
+			persist.Add(last, w.Full[idx])
+		}
+	}
+	if rep.RMSE >= persist.RMSE() {
+		t.Fatalf("DS-GL RMSE %g not better than persistence %g", rep.RMSE, persist.RMSE())
+	}
+}
+
+func TestPredictAlignsWithEvaluate(t *testing.T) {
+	ds := tinyDataset(t, "no2")
+	model, err := Train(ds, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, test := ds.Split()
+	p, err := model.Predict(test[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Values) != len(ds.UnknownIndices()) || len(p.Truth) != len(p.Values) {
+		t.Fatalf("prediction sizes: %d values, %d truth", len(p.Values), len(p.Truth))
+	}
+	rep, err := model.Evaluate(test[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.RMSE-metrics.RMSE(p.Values, p.Truth)) > 1e-12 {
+		t.Fatal("Evaluate over one window must equal Predict's RMSE")
+	}
+}
+
+func TestPredictRejectsWrongWindow(t *testing.T) {
+	ds := tinyDataset(t, "no2")
+	model, err := Train(ds, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.Predict(Window{Full: make([]float64, 3)}); err == nil {
+		t.Fatal("expected error for mis-sized window")
+	}
+}
+
+func TestDeterministicPipeline(t *testing.T) {
+	ds := tinyDataset(t, "stock")
+	run := func() float64 {
+		model, err := Train(ds, tinyOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, test := ds.Split()
+		rep, err := model.Evaluate(test[:5])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.RMSE
+	}
+	if run() != run() {
+		t.Fatal("pipeline must be deterministic under a fixed seed")
+	}
+}
+
+func TestDenseInitReuse(t *testing.T) {
+	ds := tinyDataset(t, "covid")
+	dense, err := TrainDense(ds, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := tinyOptions()
+	opts.DenseInit = dense
+	model, err := Train(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Dense != dense {
+		t.Fatal("DenseInit must be used as-is")
+	}
+	bad := tinyOptions()
+	bad.DenseInit = dense
+	dsBig := GenerateDataset("covid", DatasetConfig{N: 20, T: 400, History: 4, Horizon: 1})
+	if _, err := Train(dsBig, bad); err == nil {
+		t.Fatal("expected error for DenseInit dim mismatch")
+	}
+}
+
+func TestMaskConfinement(t *testing.T) {
+	ds := tinyDataset(t, "o3")
+	model, err := Train(ds, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every non-zero coupling must respect the density budget.
+	density := model.Tuned.J.Density(0)
+	if density > model.Opts.Density+1e-9 {
+		t.Fatalf("tuned density %g exceeds budget %g", density, model.Opts.Density)
+	}
+}
+
+func TestSpatialVariantFasterButLossier(t *testing.T) {
+	ds := tinyDataset(t, "traffic")
+	dense, err := TrainDense(ds, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, test := ds.Split()
+	test = test[:10]
+
+	base := tinyOptions()
+	base.DenseInit = dense
+	base.Lanes = 4 // tight budget so the spatial variant must drop couplings
+	full, err := Train(ds, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spatialOpts := base
+	spatialOpts.TemporalDisabled = true
+	spatial, err := Train(ds, spatialOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Machine.Stats().Rounds <= 1 {
+		t.Skip("system fit in one round; spatial/temporal identical")
+	}
+	repFull, err := full.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repSpatial, err := spatial.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repSpatial.MeanLatencyUs >= repFull.MeanLatencyUs {
+		t.Fatalf("spatial latency %g should be below temporal %g",
+			repSpatial.MeanLatencyUs, repFull.MeanLatencyUs)
+	}
+	if repSpatial.RMSE <= repFull.RMSE {
+		t.Fatalf("spatial RMSE %g should be above temporal %g (accuracy traded for latency)",
+			repSpatial.RMSE, repFull.RMSE)
+	}
+}
+
+func TestPatternRichnessOrdering(t *testing.T) {
+	ds := GenerateDataset("traffic", DatasetConfig{N: 24, T: 500, History: 4, Horizon: 1, Seed: 3})
+	dense, err := TrainDense(ds, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, test := ds.Split()
+	test = test[:15]
+	rmse := map[Pattern]float64{}
+	for _, p := range []Pattern{Chain, DMesh} {
+		model, err := Train(ds, Options{
+			Pattern: p, Density: 0.03, PECapacity: 16, Wormholes: 1,
+			DenseInit: dense, MaxInferNs: 3000, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := model.Evaluate(test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rmse[p] = rep.RMSE
+	}
+	if rmse[DMesh] > rmse[Chain]*1.02 {
+		t.Fatalf("DMesh RMSE %g should not exceed Chain %g", rmse[DMesh], rmse[Chain])
+	}
+}
+
+func TestNoiseRobustness(t *testing.T) {
+	ds := tinyDataset(t, "no2")
+	dense, err := TrainDense(ds, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, test := ds.Split()
+	test = test[:10]
+	clean := tinyOptions()
+	clean.DenseInit = dense
+	cm, err := Train(ds, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := clean
+	noisy.NodeNoise, noisy.CouplerNoise = 0.05, 0.05
+	nm, err := Train(ds, noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := cm.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr, err := nm.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nr.RMSE > cr.RMSE*1.5 {
+		t.Fatalf("5%% analog noise blew up RMSE: %g -> %g", cr.RMSE, nr.RMSE)
+	}
+}
+
+func TestDenseInferMatchesPipelineRegime(t *testing.T) {
+	ds := tinyDataset(t, "pm10")
+	dense, err := TrainDense(ds, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, test := ds.Split()
+	p, err := DenseInfer(ds, dense, test[0], 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Values) != len(ds.UnknownIndices()) {
+		t.Fatalf("dense inference produced %d values", len(p.Values))
+	}
+	if metrics.RMSE(p.Values, p.Truth) > 0.5 {
+		t.Fatalf("dense inference implausibly bad: %g", metrics.RMSE(p.Values, p.Truth))
+	}
+}
+
+func TestEvaluateEmptyWindowsErrors(t *testing.T) {
+	ds := tinyDataset(t, "no2")
+	model, err := Train(ds, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.Evaluate([]Window{}); err == nil {
+		t.Fatal("expected error for empty window list")
+	}
+}
+
+func TestAutoLambdaSelected(t *testing.T) {
+	ds := tinyDataset(t, "traffic")
+	model, err := Train(ds, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, lam := range []float64{0.03, 0.1, 0.3, 1, 3} {
+		if model.Opts.RidgeLambda == lam {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("auto lambda %g not from the candidate grid", model.Opts.RidgeLambda)
+	}
+}

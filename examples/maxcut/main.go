@@ -1,0 +1,55 @@
+// Max-cut on the BRIM Ising-machine substrate — the classical workload that
+// motivated CMOS Ising machines (paper Sec. I-II). Demonstrates the binary
+// baseline DS-GL builds on: natural annealing finds near-optimal cuts in
+// tens of simulated nanoseconds.
+//
+//	go run ./examples/maxcut
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dsgl/internal/ising"
+	"dsgl/internal/mat"
+	"dsgl/internal/rng"
+)
+
+func main() {
+	// A random weighted graph, small enough to brute-force for reference.
+	r := rng.New(99)
+	const n = 16
+	w := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < 0.4 {
+				v := r.Uniform(0.1, 1)
+				w.Set(i, j, v)
+				w.Set(j, i, v)
+			}
+		}
+	}
+	model, err := ising.MaxCutModel(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, bestE := model.GroundState()
+	best := ising.CutValue(w, mustGround(model))
+
+	brim, err := ising.NewBRIM(model, ising.DefaultAnnealSchedule(), rng.New(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%12s %12s %12s %10s\n", "anneal(ns)", "cut", "optimal", "ratio")
+	for _, dur := range []float64{10, 25, 50, 100, 200} {
+		res := brim.Anneal(dur)
+		cut := ising.CutValue(w, res.Spins)
+		fmt.Printf("%12.0f %12.3f %12.3f %9.1f%%\n", dur, cut, best, 100*cut/best)
+	}
+	fmt.Printf("\nground-state Ising energy: %.3f\n", bestE)
+}
+
+func mustGround(m *ising.Model) []int8 {
+	s, _ := m.GroundState()
+	return s
+}

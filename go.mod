@@ -1,0 +1,3 @@
+module dsgl
+
+go 1.22

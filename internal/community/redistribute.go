@@ -1,0 +1,270 @@
+package community
+
+import (
+	"fmt"
+	"sort"
+
+	"dsgl/internal/mat"
+)
+
+// Assignment maps every node of the dynamical system to a Processing
+// Element of the Scalable DSPU grid. PEs are numbered row-major on a
+// GridW x GridH mesh; each PE holds at most Capacity nodes (one
+// super-community).
+type Assignment struct {
+	// PEOf[node] is the PE index the node is placed on.
+	PEOf []int
+	// NodesOf[pe] lists the nodes placed on each PE.
+	NodesOf [][]int
+	// GridW, GridH are the mesh dimensions.
+	GridW, GridH int
+	// Capacity is the per-PE node budget K.
+	Capacity int
+}
+
+// NumPEs returns the PE count.
+func (a *Assignment) NumPEs() int { return a.GridW * a.GridH }
+
+// PEXY returns the grid coordinates of PE pe.
+func (a *Assignment) PEXY(pe int) (x, y int) { return pe % a.GridW, pe / a.GridW }
+
+// Validate checks the structural invariants.
+func (a *Assignment) Validate() error {
+	if len(a.NodesOf) != a.NumPEs() {
+		return fmt.Errorf("community: NodesOf has %d PEs, grid says %d", len(a.NodesOf), a.NumPEs())
+	}
+	seen := make([]bool, len(a.PEOf))
+	for pe, nodes := range a.NodesOf {
+		if len(nodes) > a.Capacity {
+			return fmt.Errorf("community: PE %d holds %d nodes, capacity %d", pe, len(nodes), a.Capacity)
+		}
+		for _, node := range nodes {
+			if node < 0 || node >= len(a.PEOf) {
+				return fmt.Errorf("community: node %d out of range", node)
+			}
+			if seen[node] {
+				return fmt.Errorf("community: node %d assigned twice", node)
+			}
+			seen[node] = true
+			if a.PEOf[node] != pe {
+				return fmt.Errorf("community: node %d PEOf=%d but listed on %d", node, a.PEOf[node], pe)
+			}
+		}
+	}
+	for node, ok := range seen {
+		if !ok {
+			return fmt.Errorf("community: node %d unassigned", node)
+		}
+	}
+	return nil
+}
+
+// GridFor picks mesh dimensions for n nodes at the given per-PE capacity:
+// the smallest near-square grid with enough total slots.
+func GridFor(n, capacity int) (w, h int) {
+	if capacity <= 0 {
+		panic("community: non-positive capacity")
+	}
+	pes := (n + capacity - 1) / capacity
+	if pes < 1 {
+		pes = 1
+	}
+	w = 1
+	for w*w < pes {
+		w++
+	}
+	h = (pes + w - 1) / w
+	return w, h
+}
+
+// Redistribute implements the community-redistribution step of Sec. IV.B:
+//
+//  1. communities larger than the PE capacity are split into
+//     sub-communities (chunks of strongly attached nodes);
+//  2. pieces are placed largest-first, each on the PE (with room) that has
+//     the highest coupling affinity to the piece — preferring neighbors of
+//     already-placed related pieces so split communities land on adjacent
+//     PEs;
+//  3. leftover small communities and isolated nodes fill remaining blanks
+//     for a balanced workload.
+//
+// w is the symmetric coupling-strength graph (CouplingWeights of the pruned
+// J); part is the Louvain partition of that graph.
+func Redistribute(part *Partition, w *mat.Dense, capacity int) (*Assignment, error) {
+	n := len(part.Labels)
+	if w.Rows != n || w.Cols != n {
+		return nil, fmt.Errorf("community: weights are %dx%d for %d nodes", w.Rows, w.Cols, n)
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("community: capacity %d must be positive", capacity)
+	}
+	gw, gh := GridFor(n, capacity)
+	a := &Assignment{
+		PEOf:     make([]int, n),
+		NodesOf:  make([][]int, gw*gh),
+		GridW:    gw,
+		GridH:    gh,
+		Capacity: capacity,
+	}
+	for i := range a.PEOf {
+		a.PEOf[i] = -1
+	}
+
+	// Build pieces: communities split to fit capacity.
+	var pieces [][]int
+	for _, comm := range part.Communities() {
+		if len(comm) <= capacity {
+			pieces = append(pieces, comm)
+			continue
+		}
+		pieces = append(pieces, splitCommunity(comm, w, capacity)...)
+	}
+	// Largest pieces get placement priority (the paper grants larger
+	// communities higher redistribution priority).
+	sort.SliceStable(pieces, func(x, y int) bool { return len(pieces[x]) > len(pieces[y]) })
+
+	free := make([]int, gw*gh)
+	for i := range free {
+		free[i] = capacity
+	}
+	for _, piece := range pieces {
+		pe := bestPE(a, w, piece, free)
+		if pe < 0 {
+			// No single PE fits the piece; scatter its nodes one by one to
+			// the best-affinity PEs with room.
+			for _, node := range piece {
+				p := bestPE(a, w, []int{node}, free)
+				if p < 0 {
+					return nil, fmt.Errorf("community: out of capacity placing node %d", node)
+				}
+				place(a, free, p, []int{node})
+			}
+			continue
+		}
+		place(a, free, pe, piece)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// place assigns nodes to pe.
+func place(a *Assignment, free []int, pe int, nodes []int) {
+	for _, node := range nodes {
+		a.PEOf[node] = pe
+		a.NodesOf[pe] = append(a.NodesOf[pe], node)
+	}
+	free[pe] -= len(nodes)
+}
+
+// bestPE returns the PE with room for the piece that maximizes coupling
+// affinity to already-placed nodes, with a mild preference for PEs adjacent
+// (on the mesh) to PEs holding coupled nodes. Returns -1 if no PE has room.
+func bestPE(a *Assignment, w *mat.Dense, piece []int, free []int) int {
+	best, bestScore := -1, -1.0
+	for pe := range free {
+		if free[pe] < len(piece) {
+			continue
+		}
+		score := 0.0
+		for _, node := range piece {
+			for other, opE := range a.PEOf {
+				if opE < 0 {
+					continue
+				}
+				v := w.At(node, other)
+				if v == 0 {
+					continue
+				}
+				switch {
+				case opE == pe:
+					score += v // same PE: free local coupling
+				case meshAdjacent(a, opE, pe):
+					score += 0.5 * v // neighbor PE: cheap CU coupling
+				default:
+					score += 0.1 * v / (1 + meshDist(a, opE, pe))
+				}
+			}
+		}
+		// Prefer emptier PEs on ties to balance workload.
+		score += 1e-6 * float64(free[pe])
+		if score > bestScore {
+			bestScore = score
+			best = pe
+		}
+	}
+	return best
+}
+
+func meshAdjacent(a *Assignment, p, q int) bool {
+	px, py := a.PEXY(p)
+	qx, qy := a.PEXY(q)
+	dx, dy := px-qx, py-qy
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx+dy == 1 || (dx == 1 && dy == 1) // mesh or diagonal neighbor
+}
+
+func meshDist(a *Assignment, p, q int) float64 {
+	px, py := a.PEXY(p)
+	qx, qy := a.PEXY(q)
+	dx, dy := px-qx, py-qy
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return float64(dx + dy)
+}
+
+// splitCommunity breaks an oversized community into chunks of at most
+// capacity nodes, greedily growing each chunk around the highest-strength
+// remaining node so strongly coupled nodes stay together.
+func splitCommunity(comm []int, w *mat.Dense, capacity int) [][]int {
+	remaining := make(map[int]bool, len(comm))
+	for _, v := range comm {
+		remaining[v] = true
+	}
+	var chunks [][]int
+	for len(remaining) > 0 {
+		// Seed: the remaining node with the largest internal degree.
+		seed, bestDeg := -1, -1.0
+		for v := range remaining {
+			d := 0.0
+			for u := range remaining {
+				d += w.At(v, u)
+			}
+			if d > bestDeg {
+				bestDeg = d
+				seed = v
+			}
+		}
+		chunk := []int{seed}
+		delete(remaining, seed)
+		for len(chunk) < capacity && len(remaining) > 0 {
+			// Attach the remaining node most coupled to the chunk.
+			next, bestAff := -1, -1.0
+			for v := range remaining {
+				aff := 0.0
+				for _, u := range chunk {
+					aff += w.At(v, u)
+				}
+				if aff > bestAff {
+					bestAff = aff
+					next = v
+				}
+			}
+			chunk = append(chunk, next)
+			delete(remaining, next)
+		}
+		sort.Ints(chunk)
+		chunks = append(chunks, chunk)
+	}
+	return chunks
+}

@@ -1,0 +1,207 @@
+package community
+
+import (
+	"testing"
+
+	"dsgl/internal/mat"
+	"dsgl/internal/rng"
+)
+
+func TestGridFor(t *testing.T) {
+	cases := []struct{ n, cap, wantW, wantH int }{
+		{100, 25, 2, 2},
+		{101, 25, 3, 2},
+		{10, 100, 1, 1},
+		{17, 4, 3, 2},
+	}
+	for _, c := range cases {
+		w, h := GridFor(c.n, c.cap)
+		if w*h*c.cap < c.n {
+			t.Fatalf("GridFor(%d,%d) = %dx%d lacks capacity", c.n, c.cap, w, h)
+		}
+		if w != c.wantW || h != c.wantH {
+			t.Fatalf("GridFor(%d,%d) = %dx%d, want %dx%d", c.n, c.cap, w, h, c.wantW, c.wantH)
+		}
+	}
+}
+
+func TestGridForPanicsOnZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GridFor(10, 0)
+}
+
+func TestRedistributeBasicInvariants(t *testing.T) {
+	r := rng.New(11)
+	w, _ := plantedGraph(r, 4, 10)
+	p := Louvain(w, 10)
+	a, err := Redistribute(p, w, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Capacity != 12 {
+		t.Fatalf("capacity %d", a.Capacity)
+	}
+}
+
+func TestRedistributeKeepsCommunitiesTogether(t *testing.T) {
+	// Communities that fit a PE must not be split across PEs.
+	r := rng.New(13)
+	w, truth := plantedGraph(r, 4, 8) // communities of 8, capacity 10
+	p := Louvain(w, 10)
+	a, err := Redistribute(p, w, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 4; c++ {
+		pe := -1
+		for i, tc := range truth {
+			if tc != c {
+				continue
+			}
+			if pe == -1 {
+				pe = a.PEOf[i]
+			} else if a.PEOf[i] != pe {
+				t.Fatalf("community %d split across PEs %d and %d", c, pe, a.PEOf[i])
+			}
+		}
+	}
+}
+
+func TestRedistributeSplitsOversized(t *testing.T) {
+	// One community of 20 with capacity 8 must be split over >= 3 PEs.
+	r := rng.New(17)
+	w, _ := plantedGraph(r, 1, 20)
+	p := Louvain(w, 10)
+	a, err := Redistribute(p, w, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pes := make(map[int]bool)
+	for _, pe := range a.PEOf {
+		pes[pe] = true
+	}
+	if len(pes) < 3 {
+		t.Fatalf("oversized community on only %d PEs", len(pes))
+	}
+}
+
+func TestRedistributeAffinityPlacement(t *testing.T) {
+	// Two coupled communities should land closer together than uncoupled
+	// ones when the grid has room.
+	n := 16
+	w := mat.NewDense(n, n)
+	// Communities {0-3},{4-7},{8-11},{12-15}; strong link between comm 0
+	// and comm 1 only.
+	setBlock := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := lo; j < hi; j++ {
+				if i != j {
+					w.Set(i, j, 1)
+				}
+			}
+		}
+	}
+	for c := 0; c < 4; c++ {
+		setBlock(c*4, c*4+4)
+	}
+	w.Set(0, 4, 0.9)
+	w.Set(4, 0, 0.9)
+	p := &Partition{Labels: make([]int, n)}
+	for i := 0; i < n; i++ {
+		p.Labels[i] = i / 4
+	}
+	p.Num = 4
+	a, err := Redistribute(p, w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Coupled communities 0 and 1 must be on mesh-adjacent (incl diagonal)
+	// PEs.
+	pe0, pe1 := a.PEOf[0], a.PEOf[4]
+	if pe0 == pe1 {
+		return // even better: same PE
+	}
+	if !meshAdjacent(a, pe0, pe1) {
+		t.Fatalf("coupled communities placed on distant PEs %d and %d", pe0, pe1)
+	}
+}
+
+func TestRedistributeErrors(t *testing.T) {
+	p := &Partition{Labels: []int{0, 0}, Num: 1}
+	if _, err := Redistribute(p, mat.NewDense(3, 3), 4); err == nil {
+		t.Fatal("expected error for size mismatch")
+	}
+	if _, err := Redistribute(p, mat.NewDense(2, 2), 0); err == nil {
+		t.Fatal("expected error for zero capacity")
+	}
+}
+
+func TestAssignmentValidateCatchesCorruption(t *testing.T) {
+	a := &Assignment{
+		PEOf:     []int{0, 0},
+		NodesOf:  [][]int{{0, 1}},
+		GridW:    1,
+		GridH:    1,
+		Capacity: 2,
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("valid assignment rejected: %v", err)
+	}
+	a.PEOf[1] = 5
+	if err := a.Validate(); err == nil {
+		t.Fatal("expected error for inconsistent PEOf")
+	}
+	b := &Assignment{
+		PEOf:     []int{0, 0, 0},
+		NodesOf:  [][]int{{0, 1, 2}},
+		GridW:    1,
+		GridH:    1,
+		Capacity: 2,
+	}
+	if err := b.Validate(); err == nil {
+		t.Fatal("expected error for over-capacity PE")
+	}
+}
+
+func TestSplitCommunityChunksRespectCapacity(t *testing.T) {
+	r := rng.New(9)
+	w, _ := plantedGraph(r, 1, 17)
+	comm := make([]int, 17)
+	for i := range comm {
+		comm[i] = i
+	}
+	chunks := splitCommunity(comm, w, 5)
+	total := 0
+	for _, c := range chunks {
+		if len(c) > 5 {
+			t.Fatalf("chunk of size %d exceeds capacity", len(c))
+		}
+		total += len(c)
+	}
+	if total != 17 {
+		t.Fatalf("chunks cover %d nodes, want 17", total)
+	}
+}
+
+func TestPEXYRoundTrip(t *testing.T) {
+	a := &Assignment{GridW: 3, GridH: 2}
+	for pe := 0; pe < 6; pe++ {
+		x, y := a.PEXY(pe)
+		if y*a.GridW+x != pe {
+			t.Fatalf("PEXY(%d) = (%d,%d) does not round-trip", pe, x, y)
+		}
+	}
+}

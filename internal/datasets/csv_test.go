@@ -1,0 +1,137 @@
+package datasets
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := Generate("traffic", Config{N: 8, T: 80})
+	var series, adj bytes.Buffer
+	if err := orig.WriteSeriesCSV(&series); err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.WriteAdjacencyCSV(&adj); err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromCSV(&series, &adj, CSVSpec{
+		Name: "traffic", History: orig.History, Horizon: orig.Horizon, Raw: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != orig.N || back.T != orig.T || back.F != orig.F {
+		t.Fatalf("shape mismatch: %d/%d/%d", back.N, back.T, back.F)
+	}
+	for i := range orig.X {
+		if back.X[i] != orig.X[i] {
+			t.Fatalf("data mismatch at %d: %g vs %g", i, back.X[i], orig.X[i])
+		}
+	}
+	for i := range orig.Adj.Data {
+		if back.Adj.Data[i] != orig.Adj.Data[i] {
+			t.Fatal("adjacency mismatch")
+		}
+	}
+}
+
+func TestReadSeriesCSVHeaderSkipped(t *testing.T) {
+	in := "a,b\n1,2\n3,4\n"
+	rows, err := ReadSeriesCSV(strings.NewReader(in), CSVSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0][0] != 1 || rows[1][1] != 4 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestReadSeriesCSVErrors(t *testing.T) {
+	if _, err := ReadSeriesCSV(strings.NewReader(""), CSVSpec{}); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+	if _, err := ReadSeriesCSV(strings.NewReader("1,2\n3,x\n"), CSVSpec{}); err == nil {
+		t.Fatal("expected error for non-numeric mid-file value")
+	}
+	if _, err := ReadSeriesCSV(strings.NewReader("1,2\n3\n"), CSVSpec{}); err == nil {
+		t.Fatal("expected error for ragged rows")
+	}
+}
+
+func TestReadAdjacencyCSVSymmetrizes(t *testing.T) {
+	in := "0,2\n0,0\n"
+	adj, err := ReadAdjacencyCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adj.At(0, 1) != 1 || adj.At(1, 0) != 1 {
+		t.Fatalf("expected symmetrized weight 1, got %g/%g", adj.At(0, 1), adj.At(1, 0))
+	}
+}
+
+func TestReadAdjacencyCSVRejectsNegative(t *testing.T) {
+	if _, err := ReadAdjacencyCSV(strings.NewReader("0,-1\n-1,0\n")); err == nil {
+		t.Fatal("expected error for negative weight")
+	}
+}
+
+func TestFromCSVValidation(t *testing.T) {
+	series := "1,2,3\n" + strings.Repeat("4,5,6\n", 30)
+	adj2 := "0,1\n1,0\n"
+	if _, err := FromCSV(strings.NewReader(series), strings.NewReader(adj2), CSVSpec{F: 2}); err == nil {
+		t.Fatal("expected error: 3 columns not divisible by F=2")
+	}
+	if _, err := FromCSV(strings.NewReader(series), strings.NewReader(adj2), CSVSpec{}); err == nil {
+		t.Fatal("expected error: adjacency 2x2 for 3 nodes")
+	}
+}
+
+func TestFromCSVNormalizes(t *testing.T) {
+	var series strings.Builder
+	for i := 0; i < 40; i++ {
+		series.WriteString("0,100\n10,200\n")
+	}
+	adj := "0,1\n1,0\n"
+	d, err := FromCSV(strings.NewReader(series.String()), strings.NewReader(adj),
+		CSVSpec{History: 4, Horizon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := d.X[0], d.X[0]
+	for _, v := range d.X {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo != -0.8 || hi != 0.8 {
+		t.Fatalf("normalization range [%g, %g]", lo, hi)
+	}
+}
+
+func TestFromCSVTrainableEndToEnd(t *testing.T) {
+	// A CSV-ingested dataset must flow through windowing like a generated
+	// one.
+	orig := Generate("no2", Config{N: 6, T: 120})
+	var series, adj bytes.Buffer
+	if err := orig.WriteSeriesCSV(&series); err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.WriteAdjacencyCSV(&adj); err != nil {
+		t.Fatal(err)
+	}
+	d, err := FromCSV(&series, &adj, CSVSpec{History: 4, Horizon: 1, Raw: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainW, testW := d.Split()
+	if len(trainW) == 0 || len(testW) == 0 {
+		t.Fatal("split degenerate")
+	}
+	if len(d.UnknownIndices()) != d.N {
+		t.Fatalf("unknowns = %d", len(d.UnknownIndices()))
+	}
+}

@@ -1,0 +1,370 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+
+	"dsgl/internal/rng"
+)
+
+func TestAllGeneratorsValidate(t *testing.T) {
+	for _, name := range append(Names(), MultiNames()...) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			d := Generate(name, Config{})
+			if err := d.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if d.Name != name {
+				t.Fatalf("name %q != %q", d.Name, name)
+			}
+		})
+	}
+}
+
+func TestGenerateUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generate("nope", Config{})
+}
+
+func TestNormalizationBounds(t *testing.T) {
+	for _, name := range Names() {
+		d := Generate(name, Config{})
+		for _, v := range d.X {
+			if v < -0.8-1e-9 || v > 0.8+1e-9 {
+				t.Fatalf("%s: value %g outside rails", name, v)
+			}
+		}
+		lo, hi := d.X[0], d.X[0]
+		for _, v := range d.X {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi-lo < 1.0 {
+			t.Fatalf("%s: dynamic range only %g (normalization degenerate)", name, hi-lo)
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := Generate("traffic", Config{Seed: 1})
+	b := Generate("traffic", Config{Seed: 1})
+	for i := range a.X {
+		if a.X[i] != b.X[i] {
+			t.Fatal("same seed must generate identical data")
+		}
+	}
+	c := Generate("traffic", Config{Seed: 2})
+	diff := false
+	for i := range a.X {
+		if a.X[i] != c.X[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestWindowLayout(t *testing.T) {
+	d := Generate("traffic", Config{N: 8, T: 60})
+	w := d.Window(3)
+	if len(w.Full) != d.WindowLen() {
+		t.Fatalf("window length %d, want %d", len(w.Full), d.WindowLen())
+	}
+	// Entry (s=1, n=2, f=0) must equal At(start+1, 2, 0).
+	idx := 1*d.N*d.F + 2*d.F
+	if w.Full[idx] != d.At(4, 2, 0) {
+		t.Fatal("window layout mismatch")
+	}
+}
+
+func TestSplitNoOverlapAndOrder(t *testing.T) {
+	d := Generate("stock", Config{N: 8, T: 80})
+	train, test := d.Split()
+	if len(train) == 0 || len(test) == 0 {
+		t.Fatalf("split degenerate: %d/%d", len(train), len(test))
+	}
+	if len(train)+len(test) != d.NumWindows() {
+		t.Fatal("split dropped windows")
+	}
+	lastTrain := train[len(train)-1].Start
+	firstTest := test[0].Start
+	if firstTest <= lastTrain {
+		t.Fatal("test windows must come after train windows")
+	}
+}
+
+func TestObservedMaskSingleFeature(t *testing.T) {
+	d := Generate("traffic", Config{N: 4, T: 60})
+	mask := d.ObservedMask()
+	nObs := 0
+	for _, m := range mask {
+		if m {
+			nObs++
+		}
+	}
+	wantObs := d.History * d.N * d.F
+	if nObs != wantObs {
+		t.Fatalf("observed count %d, want %d (all history)", nObs, wantObs)
+	}
+	unk := d.UnknownIndices()
+	if len(unk) != d.Horizon*d.N*d.F {
+		t.Fatalf("unknown count %d", len(unk))
+	}
+	// All unknowns must be in the horizon portion.
+	histLen := d.History * d.N * d.F
+	for _, i := range unk {
+		if i < histLen {
+			t.Fatalf("unknown index %d inside history", i)
+		}
+	}
+}
+
+func TestObservedMaskMultiFeature(t *testing.T) {
+	d := Generate("housing", Config{})
+	if d.PredictFeature != 0 {
+		t.Fatalf("housing PredictFeature = %d", d.PredictFeature)
+	}
+	unk := d.UnknownIndices()
+	// Only feature 0 of horizon steps is unknown.
+	if len(unk) != d.Horizon*d.N {
+		t.Fatalf("unknown count %d, want %d", len(unk), d.Horizon*d.N)
+	}
+	for _, i := range unk {
+		if i%d.F != 0 {
+			t.Fatalf("unknown index %d is not feature 0", i)
+		}
+	}
+}
+
+func TestCommunityGraphStructure(t *testing.T) {
+	r := rng.New(11)
+	adj, labels := CommunityGraph(GraphSpec{N: 60, Communities: 5}, r)
+	if adj.Rows != 60 {
+		t.Fatalf("adjacency size %d", adj.Rows)
+	}
+	// Symmetric, non-negative, zero diagonal.
+	for i := 0; i < 60; i++ {
+		if adj.At(i, i) != 0 {
+			t.Fatal("self-loop present")
+		}
+		for j := 0; j < 60; j++ {
+			if adj.At(i, j) < 0 {
+				t.Fatal("negative weight")
+			}
+			if adj.At(i, j) != adj.At(j, i) {
+				t.Fatal("asymmetric adjacency")
+			}
+		}
+	}
+	// Intra-community edges must dominate inter-community edges.
+	var intra, inter float64
+	var intraN, interN int
+	for i := 0; i < 60; i++ {
+		for j := i + 1; j < 60; j++ {
+			if adj.At(i, j) == 0 {
+				continue
+			}
+			if labels[i] == labels[j] {
+				intra += adj.At(i, j)
+				intraN++
+			} else {
+				inter += adj.At(i, j)
+				interN++
+			}
+		}
+	}
+	if intraN <= interN {
+		t.Fatalf("community structure weak: %d intra vs %d inter edges", intraN, interN)
+	}
+	// No isolated nodes.
+	for i := 0; i < 60; i++ {
+		deg := 0.0
+		for j := 0; j < 60; j++ {
+			deg += adj.At(i, j)
+		}
+		if deg == 0 {
+			t.Fatalf("node %d isolated", i)
+		}
+	}
+}
+
+func TestRowNormalized(t *testing.T) {
+	r := rng.New(2)
+	adj, _ := CommunityGraph(GraphSpec{N: 20, Communities: 2}, r)
+	d := RowNormalized(adj)
+	for i := 0; i < 20; i++ {
+		var sum float64
+		for j := 0; j < 20; j++ {
+			sum += d.At(i, j)
+		}
+		if math.Abs(sum-1) > 1e-9 && sum != 0 {
+			t.Fatalf("row %d sums to %g", i, sum)
+		}
+	}
+}
+
+func TestTemporalPredictability(t *testing.T) {
+	// The generated series must be learnable: persistence (predicting the
+	// last observed value) must beat predicting zero — otherwise the
+	// prediction task is vacuous.
+	for _, name := range Names() {
+		d := Generate(name, Config{})
+		var persistErr, zeroErr float64
+		cnt := 0
+		for tt := d.History; tt < d.T-1; tt++ {
+			for n := 0; n < d.N; n++ {
+				next := d.At(tt+1, n, 0)
+				last := d.At(tt, n, 0)
+				persistErr += (next - last) * (next - last)
+				zeroErr += next * next
+				cnt++
+			}
+		}
+		if persistErr >= zeroErr {
+			t.Fatalf("%s: persistence RMSE not better than zero baseline", name)
+		}
+	}
+}
+
+func TestSpatialCorrelation(t *testing.T) {
+	// Neighboring nodes must be more correlated than random pairs —
+	// otherwise the graph carries no signal and graph learning is moot.
+	d := Generate("pm25", Config{})
+	corr := func(a, b int) float64 {
+		var sa, sb, saa, sbb, sab float64
+		for tt := 0; tt < d.T; tt++ {
+			va, vb := d.At(tt, a, 0), d.At(tt, b, 0)
+			sa += va
+			sb += vb
+			saa += va * va
+			sbb += vb * vb
+			sab += va * vb
+		}
+		n := float64(d.T)
+		cov := sab/n - sa/n*sb/n
+		return cov / math.Sqrt((saa/n-sa/n*sa/n)*(sbb/n-sb/n*sb/n)+1e-12)
+	}
+	var nbrCorr, farCorr float64
+	var nbrN, farN int
+	for i := 0; i < d.N; i++ {
+		for j := i + 1; j < d.N; j++ {
+			c := corr(i, j)
+			if d.Adj.At(i, j) > 0 {
+				nbrCorr += c
+				nbrN++
+			} else {
+				farCorr += c
+				farN++
+			}
+		}
+	}
+	if nbrN == 0 || farN == 0 {
+		t.Skip("degenerate graph")
+	}
+	if nbrCorr/float64(nbrN) <= farCorr/float64(farN) {
+		t.Fatal("neighbors not more correlated than non-neighbors")
+	}
+}
+
+func TestConfigOverrides(t *testing.T) {
+	d := Generate("covid", Config{N: 10, T: 100, History: 3, Horizon: 1})
+	if d.N != 10 || d.T != 100 || d.History != 3 || d.Horizon != 1 {
+		t.Fatalf("config not honored: %+v", d)
+	}
+}
+
+func TestMultiFeatureShapes(t *testing.T) {
+	h := Generate("housing", Config{})
+	if h.F != 6 {
+		t.Fatalf("housing F = %d", h.F)
+	}
+	c := Generate("climate", Config{})
+	if c.F != 6 {
+		t.Fatalf("climate F = %d", c.F)
+	}
+}
+
+func TestTrafficDailyPeriodicity(t *testing.T) {
+	// The traffic generator is driven by a 24-step daily cycle; the lag-24
+	// autocorrelation must clearly exceed the lag-12 (anti-phase) one.
+	d := Generate("traffic", Config{})
+	autocorr := func(lag int) float64 {
+		var num, den float64
+		for n := 0; n < d.N; n++ {
+			var mean float64
+			for tt := 0; tt < d.T; tt++ {
+				mean += d.At(tt, n, 0)
+			}
+			mean /= float64(d.T)
+			for tt := 0; tt+lag < d.T; tt++ {
+				num += (d.At(tt, n, 0) - mean) * (d.At(tt+lag, n, 0) - mean)
+			}
+			for tt := 0; tt < d.T; tt++ {
+				den += (d.At(tt, n, 0) - mean) * (d.At(tt, n, 0) - mean)
+			}
+		}
+		return num / den
+	}
+	if autocorr(24) <= autocorr(12) {
+		t.Fatalf("lag-24 autocorr %g not above lag-12 %g", autocorr(24), autocorr(12))
+	}
+}
+
+func TestCovidWavesNonNegativeBeforeNormalize(t *testing.T) {
+	// Covid case increments are non-negative by construction; after
+	// normalization the minimum maps to -0.8 but the raw dynamic range
+	// must still show wave structure (distinct peaks).
+	d := Generate("covid", Config{})
+	peaks := 0
+	for n := 0; n < 3; n++ {
+		prevRising := false
+		for tt := 1; tt < d.T; tt++ {
+			rising := d.At(tt, n, 0) > d.At(tt-1, n, 0)+1e-6
+			if prevRising && !rising && d.At(tt-1, n, 0) > 0 {
+				peaks++
+			}
+			prevRising = rising
+		}
+	}
+	if peaks < 3 {
+		t.Fatalf("covid series shows only %d peaks; expected epidemic waves", peaks)
+	}
+}
+
+func TestHiddenTransferDiffersFromRowNormalized(t *testing.T) {
+	r := rng.New(5)
+	adj, _ := CommunityGraph(GraphSpec{N: 20, Communities: 3}, r)
+	plain := RowNormalized(adj)
+	hidden := HiddenTransfer(adj, rng.New(6))
+	diff := false
+	for i := range plain.Data {
+		if plain.Data[i] != hidden.Data[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("hidden transfer must perturb edge gains")
+	}
+	// Rows still normalized.
+	for i := 0; i < 20; i++ {
+		var sum float64
+		for j := 0; j < 20; j++ {
+			sum += hidden.At(i, j)
+		}
+		if sum != 0 && math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("hidden transfer row %d sums to %g", i, sum)
+		}
+	}
+}

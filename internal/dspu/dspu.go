@@ -1,0 +1,228 @@
+// Package dspu implements the Real-Valued Dynamical-System Processing Unit
+// of paper Sec. III: a BRIM-derived machine whose circulative resistor rings
+// replace the linear self-reaction with a quadratic one, letting capacitor
+// voltages stabilize at real values instead of polarizing to the rails.
+//
+// A DSPU performs graph-learning inference by natural annealing: observed
+// node voltages are clamped, unknown nodes evolve under the coupling
+// currents, and the settled voltages are the predictions (Sec. III.C).
+package dspu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dsgl/internal/circuit"
+	"dsgl/internal/mat"
+	"dsgl/internal/ode"
+	"dsgl/internal/rng"
+)
+
+// Config collects DSPU runtime parameters.
+type Config struct {
+	// Dt is the integration timestep in ns. Default 0.05.
+	Dt float64
+	// MaxTimeNs bounds one annealing run. Default 1000 ns.
+	MaxTimeNs float64
+	// SettleTol: the run stops early once max |dσ/dt| < SettleTol.
+	// Default 1e-6 per ns.
+	SettleTol float64
+	// VRail bounds voltages. Default 1.
+	VRail float64
+	// Capacitance sets the node time constant. Default 1.
+	Capacitance float64
+	// Integrator defaults to forward Euler.
+	Integrator ode.Integrator
+	// Noise optionally injects node/coupler disturbances (Fig. 13).
+	Noise *circuit.NoiseModel
+	// Seed for unknown-node initialization.
+	Seed uint64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Dt == 0 {
+		c.Dt = 0.05
+	}
+	if c.MaxTimeNs == 0 {
+		c.MaxTimeNs = 1000
+	}
+	if c.SettleTol == 0 {
+		c.SettleTol = 1e-6
+	}
+	if c.VRail == 0 {
+		c.VRail = 1
+	}
+	if c.Capacitance == 0 {
+		c.Capacitance = 1
+	}
+	if c.Integrator == nil {
+		c.Integrator = ode.NewEuler()
+	}
+}
+
+// DSPU is a single real-valued dynamical-system processing unit holding a
+// trained parameter set (J, h).
+type DSPU struct {
+	N   int
+	Net *circuit.Network
+	cfg Config
+	rng *rng.RNG
+}
+
+// New builds a DSPU from trained parameters. j must be square with zero
+// diagonal; every h_i must be strictly negative (the convexity condition
+// enforced during training).
+func New(j *mat.Dense, h []float64, cfg Config) (*DSPU, error) {
+	cfg.fillDefaults()
+	net, err := circuit.NewNetwork(j, h, circuit.Config{
+		Self:        circuit.Quadratic,
+		Capacitance: cfg.Capacitance,
+		VRail:       cfg.VRail,
+		Noise:       cfg.Noise,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DSPU{N: j.Rows, Net: net, cfg: cfg, rng: rng.New(cfg.Seed)}, nil
+}
+
+// NewCSR builds a DSPU from a sparse coupling matrix.
+func NewCSR(j *mat.CSR, h []float64, cfg Config) (*DSPU, error) {
+	cfg.fillDefaults()
+	net, err := circuit.NewNetworkCSR(j, h, circuit.Config{
+		Self:        circuit.Quadratic,
+		Capacitance: cfg.Capacitance,
+		VRail:       cfg.VRail,
+		Noise:       cfg.Noise,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DSPU{N: j.Rows, Net: net, cfg: cfg, rng: rng.New(cfg.Seed)}, nil
+}
+
+// Result is the outcome of one inference (annealing) run.
+type Result struct {
+	// Voltage is the full settled state vector.
+	Voltage []float64
+	// LatencyNs is the simulated time until settling (or MaxTimeNs).
+	LatencyNs float64
+	// Steps is the number of integration steps taken.
+	Steps int
+	// Settled reports whether the settle tolerance was reached.
+	Settled bool
+	// FinalEnergy is H_RV at the settled state.
+	FinalEnergy float64
+}
+
+// Observation fixes node Index at Value during inference.
+type Observation struct {
+	Index int
+	Value float64
+}
+
+// Infer clamps the observations, randomly initializes the free nodes, and
+// anneals to equilibrium. It returns the settled state.
+func (d *DSPU) Infer(obs []Observation) (*Result, error) {
+	x := make([]float64, d.N)
+	d.rng.FillUniform(x, -0.1, 0.1)
+	return d.InferFrom(x, obs)
+}
+
+// InferFrom is Infer with an explicit initial state for the free nodes.
+func (d *DSPU) InferFrom(x0 []float64, obs []Observation) (*Result, error) {
+	if len(x0) != d.N {
+		return nil, fmt.Errorf("dspu: initial state has %d entries, want %d", len(x0), d.N)
+	}
+	x := mat.CopyVec(x0)
+	clamped := make([]int, 0, len(obs))
+	for _, o := range obs {
+		if o.Index < 0 || o.Index >= d.N {
+			return nil, fmt.Errorf("dspu: observation index %d out of range [0,%d)", o.Index, d.N)
+		}
+		if math.Abs(o.Value) > d.cfg.VRail {
+			return nil, fmt.Errorf("dspu: observation value %g exceeds rail %g", o.Value, d.cfg.VRail)
+		}
+		x[o.Index] = o.Value
+		clamped = append(clamped, o.Index)
+	}
+	d.Net.ClampSet(clamped)
+
+	deriv := make([]float64, d.N)
+	steps := int(d.cfg.MaxTimeNs / d.cfg.Dt)
+	if steps < 1 {
+		return nil, errors.New("dspu: MaxTimeNs shorter than one timestep")
+	}
+	t := 0.0
+	settled := false
+	taken := 0
+	for s := 0; s < steps; s++ {
+		t = d.cfg.Integrator.Step(d.Net, t, d.cfg.Dt, x)
+		d.Net.ClampRails(x)
+		taken = s + 1
+		// Convergence check every few steps to keep the hot loop tight.
+		if s%8 == 7 {
+			d.Net.Derivative(t, x, deriv)
+			if mat.NormInf(deriv) < d.cfg.SettleTol {
+				settled = true
+				break
+			}
+		}
+	}
+	return &Result{
+		Voltage:     x,
+		LatencyNs:   t,
+		Steps:       taken,
+		Settled:     settled,
+		FinalEnergy: d.Net.Energy(x),
+	}, nil
+}
+
+// Trace records a voltage trajectory: one sample of the full state per
+// SampleEveryNs of simulated time. Used by the Fig. 4 circuit validation.
+type Trace struct {
+	TimesNs []float64
+	States  [][]float64 // States[k][i] = voltage of node i at TimesNs[k]
+}
+
+// TraceRun integrates for durationNs from x0 with the given observations
+// clamped, sampling the state every sampleEveryNs.
+func (d *DSPU) TraceRun(x0 []float64, obs []Observation, durationNs, sampleEveryNs float64) (*Trace, error) {
+	if len(x0) != d.N {
+		return nil, fmt.Errorf("dspu: initial state has %d entries, want %d", len(x0), d.N)
+	}
+	x := mat.CopyVec(x0)
+	clamped := make([]int, 0, len(obs))
+	for _, o := range obs {
+		x[o.Index] = o.Value
+		clamped = append(clamped, o.Index)
+	}
+	d.Net.ClampSet(clamped)
+
+	tr := &Trace{}
+	nextSample := 0.0
+	t := 0.0
+	steps := int(durationNs / d.cfg.Dt)
+	record := func() {
+		tr.TimesNs = append(tr.TimesNs, t)
+		tr.States = append(tr.States, mat.CopyVec(x))
+	}
+	record()
+	nextSample += sampleEveryNs
+	for s := 0; s < steps; s++ {
+		t = d.cfg.Integrator.Step(d.Net, t, d.cfg.Dt, x)
+		d.Net.ClampRails(x)
+		if t+1e-12 >= nextSample {
+			record()
+			nextSample += sampleEveryNs
+		}
+	}
+	return tr, nil
+}
+
+// Energy evaluates the real-valued Hamiltonian H_RV at state x.
+func (d *DSPU) Energy(x []float64) float64 { return d.Net.Energy(x) }
+
+// Config returns the (defaults-filled) runtime configuration.
+func (d *DSPU) Config() Config { return d.cfg }

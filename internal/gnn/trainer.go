@@ -1,0 +1,113 @@
+package gnn
+
+import (
+	"errors"
+
+	"dsgl/internal/datasets"
+	"dsgl/internal/metrics"
+	"dsgl/internal/rng"
+	"dsgl/internal/tensor"
+)
+
+// WindowInput converts a window's history portion into the model input
+// matrix (N x P·F).
+func WindowInput(d *datasets.Dataset, w datasets.Window) *tensor.Tensor {
+	t := tensor.New(d.N, d.History*d.F)
+	for s := 0; s < d.History; s++ {
+		for n := 0; n < d.N; n++ {
+			for f := 0; f < d.F; f++ {
+				t.Set(n, s*d.F+f, w.Full[(s*d.N+n)*d.F+f])
+			}
+		}
+	}
+	return t
+}
+
+// WindowTarget converts a window's horizon portion into the target matrix
+// (N x Q·U): all features when the dataset predicts everything, otherwise
+// only the PredictFeature channel.
+func WindowTarget(d *datasets.Dataset, w datasets.Window) *tensor.Tensor {
+	geom := GeometryOf(d)
+	t := tensor.New(d.N, geom.OutCols())
+	for q := 0; q < d.Horizon; q++ {
+		s := d.History + q
+		for n := 0; n < d.N; n++ {
+			if d.PredictFeature >= 0 {
+				t.Set(n, q, w.Full[(s*d.N+n)*d.F+d.PredictFeature])
+			} else {
+				for f := 0; f < d.F; f++ {
+					t.Set(n, q*d.F+f, w.Full[(s*d.N+n)*d.F+f])
+				}
+			}
+		}
+	}
+	return t
+}
+
+// TrainConfig controls Train.
+type TrainConfig struct {
+	// Epochs over the training windows. Default 15.
+	Epochs int
+	// LR is the Adam learning rate. Default 0.005.
+	LR float64
+	// Seed shuffles the window order.
+	Seed uint64
+}
+
+// TrainResult reports the trained model's fit.
+type TrainResult struct {
+	FinalTrainLoss float64
+	Epochs         int
+}
+
+// Train fits model on the dataset's training windows with per-window Adam
+// updates.
+func Train(model Model, d *datasets.Dataset, windows []datasets.Window, cfg TrainConfig) (*TrainResult, error) {
+	if len(windows) == 0 {
+		return nil, errors.New("gnn: no training windows")
+	}
+	if cfg.Epochs == 0 {
+		cfg.Epochs = 15
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 0.005
+	}
+	// Pre-convert windows once.
+	inputs := make([]*tensor.Tensor, len(windows))
+	targets := make([]*tensor.Tensor, len(windows))
+	for i, w := range windows {
+		inputs[i] = WindowInput(d, w)
+		targets[i] = WindowTarget(d, w)
+	}
+	opt := tensor.NewAdam(model.Params(), cfg.LR)
+	r := rng.New(cfg.Seed ^ 0x6e6e)
+	order := make([]int, len(windows))
+	for i := range order {
+		order[i] = i
+	}
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var epochLoss float64
+		for _, idx := range order {
+			loss := tensor.MSE(model.Forward(inputs[idx]), targets[idx])
+			epochLoss += loss.Data[0]
+			loss.Backward()
+			opt.Step()
+		}
+		lastLoss = epochLoss / float64(len(order))
+	}
+	return &TrainResult{FinalTrainLoss: lastLoss, Epochs: cfg.Epochs}, nil
+}
+
+// Evaluate computes RMSE of the model over the given windows' target
+// entries.
+func Evaluate(model Model, d *datasets.Dataset, windows []datasets.Window) float64 {
+	var acc metrics.Accumulator
+	for _, w := range windows {
+		pred := model.Forward(WindowInput(d, w))
+		target := WindowTarget(d, w)
+		acc.AddVec(pred.Data, target.Data)
+	}
+	return acc.RMSE()
+}

@@ -1,0 +1,330 @@
+package ising
+
+import (
+	"math"
+	"testing"
+
+	"dsgl/internal/mat"
+	"dsgl/internal/rng"
+)
+
+func ferroModel(t *testing.T, n int, w float64) *Model {
+	t.Helper()
+	j := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for k := i + 1; k < n; k++ {
+			j.Set(i, k, w)
+			j.Set(k, i, w)
+		}
+	}
+	m, err := NewModel(j, make([]float64, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewModelValidation(t *testing.T) {
+	j := mat.NewDense(2, 3)
+	if _, err := NewModel(j, []float64{0, 0}); err == nil {
+		t.Fatal("expected error for non-square J")
+	}
+	j2 := mat.NewDense(2, 2)
+	j2.Set(1, 1, 1)
+	if _, err := NewModel(j2, []float64{0, 0}); err == nil {
+		t.Fatal("expected error for diagonal J")
+	}
+	if _, err := NewModel(mat.NewDense(2, 2), []float64{0}); err == nil {
+		t.Fatal("expected error for h length mismatch")
+	}
+}
+
+func TestFerromagnetGroundState(t *testing.T) {
+	m := ferroModel(t, 4, 1)
+	s, e := m.GroundState()
+	// All-aligned states minimize a ferromagnet.
+	for i := 1; i < 4; i++ {
+		if s[i] != s[0] {
+			t.Fatalf("ferromagnet ground state not aligned: %v", s)
+		}
+	}
+	// Energy: -(J_ij + J_ji) summed over 6 pairs = -12.
+	if math.Abs(e-(-12)) > 1e-12 {
+		t.Fatalf("ground energy %g, want -12", e)
+	}
+}
+
+func TestFieldBreaksTie(t *testing.T) {
+	j := mat.NewDense(2, 2)
+	h := []float64{0.5, 0.5}
+	m, err := NewModel(j, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := m.GroundState()
+	if s[0] != 1 || s[1] != 1 {
+		t.Fatalf("positive field should align spins up: %v", s)
+	}
+}
+
+func TestEnergyConsistency(t *testing.T) {
+	r := rng.New(3)
+	n := 6
+	j := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			if i != k {
+				j.Set(i, k, r.NormScaled(0, 1))
+			}
+		}
+	}
+	h := make([]float64, n)
+	r.FillNorm(h, 0, 1)
+	m, err := NewModel(j, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flipping one spin changes energy by the analytic local field.
+	s := make([]int8, n)
+	for i := range s {
+		if r.Float64() < 0.5 {
+			s[i] = -1
+		} else {
+			s[i] = 1
+		}
+	}
+	e0 := m.Energy(s)
+	flip := 2
+	var local float64
+	for k := 0; k < n; k++ {
+		if k != flip {
+			local += (j.At(flip, k) + j.At(k, flip)) * float64(s[k])
+		}
+	}
+	local += h[flip]
+	s[flip] = -s[flip]
+	e1 := m.Energy(s)
+	// ΔE = 2 σ_flip_old (Σ (J+Jᵀ) σ + h).
+	want := e0 + 2*float64(-s[flip])*local
+	if math.Abs(e1-want) > 1e-9 {
+		t.Fatalf("flip energy %g, want %g", e1, want)
+	}
+}
+
+func TestCutValue(t *testing.T) {
+	w := mat.NewDense(3, 3)
+	w.Set(0, 1, 2)
+	w.Set(1, 0, 2)
+	w.Set(1, 2, 3)
+	w.Set(2, 1, 3)
+	s := []int8{1, -1, 1}
+	if got := CutValue(w, s); got != 5 {
+		t.Fatalf("CutValue = %g, want 5", got)
+	}
+	if got := CutValue(w, []int8{1, 1, 1}); got != 0 {
+		t.Fatalf("uniform cut = %g, want 0", got)
+	}
+}
+
+func TestMaxCutModelGroundStateIsMaxCut(t *testing.T) {
+	// Small random graph: brute-force max cut must match the Ising ground
+	// state of the MaxCutModel.
+	r := rng.New(11)
+	n := 8
+	w := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for k := i + 1; k < n; k++ {
+			if r.Float64() < 0.5 {
+				v := r.Uniform(0.1, 1)
+				w.Set(i, k, v)
+				w.Set(k, i, v)
+			}
+		}
+	}
+	m, err := MaxCutModel(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := m.GroundState()
+	got := CutValue(w, s)
+
+	best := 0.0
+	tmp := make([]int8, n)
+	for bits := 0; bits < 1<<uint(n); bits++ {
+		for i := 0; i < n; i++ {
+			if bits&(1<<uint(i)) != 0 {
+				tmp[i] = 1
+			} else {
+				tmp[i] = -1
+			}
+		}
+		if c := CutValue(w, tmp); c > best {
+			best = c
+		}
+	}
+	if math.Abs(got-best) > 1e-9 {
+		t.Fatalf("ground-state cut %g != brute-force max cut %g", got, best)
+	}
+}
+
+func TestBRIMAnnealFindsGoodCut(t *testing.T) {
+	// BRIM should find a near-optimal max cut on a small graph.
+	r := rng.New(5)
+	n := 12
+	w := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for k := i + 1; k < n; k++ {
+			if r.Float64() < 0.4 {
+				v := r.Uniform(0.2, 1)
+				w.Set(i, k, v)
+				w.Set(k, i, v)
+			}
+		}
+	}
+	m, err := MaxCutModel(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brim, err := NewBRIM(m, DefaultAnnealSchedule(), rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := brim.Anneal(100)
+	got := CutValue(w, res.Spins)
+
+	s, _ := m.GroundState()
+	best := CutValue(w, s)
+	if got < 0.85*best {
+		t.Fatalf("BRIM cut %g below 85%% of optimum %g", got, best)
+	}
+}
+
+func TestBRIMPolarizes(t *testing.T) {
+	m := ferroModel(t, 6, 0.5)
+	brim, err := NewBRIM(m, AnnealSchedule{}, rng.New(2)) // no flips
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := brim.Anneal(200)
+	for i, v := range res.Voltage {
+		if math.Abs(math.Abs(v)-1) > 1e-6 {
+			t.Fatalf("BRIM node %d did not polarize: %g", i, v)
+		}
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	s := Quantize([]float64{-0.3, 0, 0.7})
+	if s[0] != -1 || s[1] != 1 || s[2] != 1 {
+		t.Fatalf("Quantize = %v", s)
+	}
+}
+
+func TestGroundStatePanicsOnLargeN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := ferroModel(t, 4, 1)
+	m.N = 30
+	m.GroundState()
+}
+
+func TestBRIMDeterministicWithSeed(t *testing.T) {
+	m := ferroModel(t, 6, 0.5)
+	run := func() float64 {
+		brim, err := NewBRIM(m, DefaultAnnealSchedule(), rng.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return brim.Anneal(50).Energy
+	}
+	if run() != run() {
+		t.Fatal("same seed must reproduce the same annealing result")
+	}
+}
+
+func TestMetropolisFindsGroundStateSmall(t *testing.T) {
+	r := rng.New(31)
+	n := 10
+	j := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for k := i + 1; k < n; k++ {
+			if r.Float64() < 0.5 {
+				v := r.NormScaled(0, 1)
+				j.Set(i, k, v)
+				j.Set(k, i, v)
+			}
+		}
+	}
+	m, err := NewModel(j, make([]float64, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wantE := m.GroundState()
+	res := NewMetropolis(m, rng.New(5)).Anneal(300)
+	if res.Energy > wantE+1e-9 && res.Energy > wantE*0.95 {
+		t.Fatalf("Metropolis energy %g, ground state %g", res.Energy, wantE)
+	}
+}
+
+func TestMetropolisEnergyBookkeeping(t *testing.T) {
+	// The incremental ΔE accounting must agree with a fresh Energy()
+	// evaluation at the end (Result recomputes, so compare to best).
+	r := rng.New(7)
+	n := 8
+	j := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			if i != k {
+				j.Set(i, k, r.NormScaled(0, 0.5))
+			}
+		}
+	}
+	h := make([]float64, n)
+	r.FillNorm(h, 0, 0.3)
+	m, err := NewModel(j, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := NewMetropolis(m, rng.New(9)).Anneal(100)
+	if got := m.Energy(res.Spins); math.Abs(got-res.Energy) > 1e-9 {
+		t.Fatalf("reported energy %g, recomputed %g", res.Energy, got)
+	}
+}
+
+func TestMetropolisMaxCutComparableToBRIM(t *testing.T) {
+	r := rng.New(12)
+	n := 14
+	w := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for k := i + 1; k < n; k++ {
+			if r.Float64() < 0.4 {
+				v := r.Uniform(0.2, 1)
+				w.Set(i, k, v)
+				w.Set(k, i, v)
+			}
+		}
+	}
+	m, err := MaxCutModel(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mres := NewMetropolis(m, rng.New(3)).Anneal(400)
+	brim, err := NewBRIM(m, DefaultAnnealSchedule(), rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bres := brim.Anneal(150)
+	mcut := CutValue(w, mres.Spins)
+	bcut := CutValue(w, bres.Spins)
+	s, _ := m.GroundState()
+	best := CutValue(w, s)
+	if mcut < 0.9*best {
+		t.Fatalf("Metropolis cut %g below 90%% of optimum %g", mcut, best)
+	}
+	if bcut < 0.85*best {
+		t.Fatalf("BRIM cut %g below 85%% of optimum %g", bcut, best)
+	}
+}

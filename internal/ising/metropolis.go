@@ -1,0 +1,98 @@
+package ising
+
+import (
+	"math"
+
+	"dsgl/internal/rng"
+)
+
+// Metropolis is a digital simulated annealer for the Ising model — the
+// class of "digital annealers/accelerators" the paper's related-work
+// section contrasts with analog dynamical systems. It serves as a software
+// comparator for BRIM: same model, algorithmic instead of physical
+// annealing.
+type Metropolis struct {
+	Model *Model
+	// T0 and T1 are the initial and final temperatures of the geometric
+	// cooling schedule.
+	T0, T1 float64
+	rng    *rng.RNG
+	// local[i] caches Σ_j (J_ij + J_ji) σ_j for O(1) flip evaluation.
+	local []float64
+}
+
+// NewMetropolis builds an annealer with a standard geometric schedule.
+func NewMetropolis(m *Model, r *rng.RNG) *Metropolis {
+	return &Metropolis{Model: m, T0: 2, T1: 0.01, rng: r}
+}
+
+// Anneal runs sweeps full passes of Metropolis updates under geometric
+// cooling and returns the best state seen.
+func (a *Metropolis) Anneal(sweeps int) Result {
+	n := a.Model.N
+	s := make([]int8, n)
+	for i := range s {
+		if a.rng.Float64() < 0.5 {
+			s[i] = -1
+		} else {
+			s[i] = 1
+		}
+	}
+	a.rebuildLocal(s)
+
+	best := make([]int8, n)
+	copy(best, s)
+	bestE := a.Model.Energy(s)
+	curE := bestE
+
+	if sweeps < 1 {
+		sweeps = 1
+	}
+	cool := math.Pow(a.T1/a.T0, 1/float64(sweeps))
+	temp := a.T0
+	for sweep := 0; sweep < sweeps; sweep++ {
+		for k := 0; k < n; k++ {
+			i := a.rng.Intn(n)
+			// Flipping spin i changes energy by ΔE = 2 σ_i (local_i + h_i).
+			dE := 2 * float64(s[i]) * (a.local[i] + a.Model.H[i])
+			if dE <= 0 || a.rng.Float64() < math.Exp(-dE/temp) {
+				a.applyFlip(s, i)
+				curE += dE
+				if curE < bestE {
+					bestE = curE
+					copy(best, s)
+				}
+			}
+		}
+		temp *= cool
+	}
+	return Result{Spins: best, Energy: a.Model.Energy(best)}
+}
+
+// rebuildLocal recomputes the local-field cache from scratch.
+func (a *Metropolis) rebuildLocal(s []int8) {
+	n := a.Model.N
+	if len(a.local) != n {
+		a.local = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			if j != i {
+				sum += (a.Model.J.At(i, j) + a.Model.J.At(j, i)) * float64(s[j])
+			}
+		}
+		a.local[i] = sum
+	}
+}
+
+// applyFlip flips spin i and incrementally updates every local field.
+func (a *Metropolis) applyFlip(s []int8, i int) {
+	s[i] = -s[i]
+	delta := 2 * float64(s[i])
+	for j := 0; j < a.Model.N; j++ {
+		if j != i {
+			a.local[j] += (a.Model.J.At(j, i) + a.Model.J.At(i, j)) * delta
+		}
+	}
+}

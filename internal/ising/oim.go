@@ -1,0 +1,119 @@
+package ising
+
+import (
+	"math"
+
+	"dsgl/internal/mat"
+	"dsgl/internal/ode"
+	"dsgl/internal/rng"
+)
+
+// OIM is an oscillator-based Ising machine (Wang & Roychowdhury 2019; the
+// Kuramoto/XY-model family of the paper's related-work section). Spins are
+// oscillator phases φ_i with Lyapunov function
+//
+//	H_XY = -Σ_{i<j} (J_ij + J_ji) cos(φ_i - φ_j) - K Σ cos(2 φ_i)
+//
+// where the second term is sub-harmonic injection locking (SHIL) that
+// binarizes phases toward {0, π}. The paper argues these machines do not
+// extend naturally to real-valued quadratic objectives — this comparator
+// exists to demonstrate exactly that contrast against the Real-Valued DSPU.
+type OIM struct {
+	Model *Model
+	// ShilK is the SHIL binarization strength (default 1).
+	ShilK float64
+	// Dt is the integration step (default 0.02).
+	Dt  float64
+	rng *rng.RNG
+}
+
+// NewOIM builds an oscillator machine for the Ising model m.
+func NewOIM(m *Model, r *rng.RNG) *OIM {
+	return &OIM{Model: m, ShilK: 1, Dt: 0.02, rng: r}
+}
+
+// phaseSystem implements the gradient flow dφ/dt = -∂H_XY/∂φ.
+type phaseSystem struct {
+	j     *mat.Dense
+	shilK float64
+}
+
+func (p *phaseSystem) Dim() int { return p.j.Rows }
+
+func (p *phaseSystem) Derivative(_ float64, phi, dst []float64) {
+	n := p.j.Rows
+	for i := 0; i < n; i++ {
+		var drive float64
+		for k := 0; k < n; k++ {
+			if k == i {
+				continue
+			}
+			w := p.j.At(i, k) + p.j.At(k, i)
+			if w != 0 {
+				drive -= w * math.Sin(phi[i]-phi[k])
+			}
+		}
+		drive -= 2 * p.shilK * math.Sin(2*phi[i])
+		dst[i] = drive
+	}
+}
+
+// Anneal evolves the oscillator phases for the given simulated duration
+// with the SHIL strength ramped linearly from 0 to ShilK, then reads out
+// spins by phase binarization (φ near 0 → +1, near π → −1).
+func (o *OIM) Anneal(durationNs float64) Result {
+	n := o.Model.N
+	phi := make([]float64, n)
+	for i := range phi {
+		phi[i] = o.rng.Uniform(0, 2*math.Pi)
+	}
+	sys := &phaseSystem{j: o.Model.J, shilK: 0}
+	ig := ode.NewRK4()
+	steps := int(durationNs / o.Dt)
+	t := 0.0
+	for s := 0; s < steps; s++ {
+		sys.shilK = o.ShilK * float64(s) / float64(steps)
+		t = ig.Step(sys, t, o.Dt, phi)
+	}
+	spins := PhaseQuantize(phi)
+	return Result{
+		Spins:   spins,
+		Voltage: phi,
+		Energy:  o.Model.Energy(spins),
+		TimeNs:  t,
+	}
+}
+
+// PhaseQuantize maps oscillator phases to Ising spins: +1 when the phase
+// is within π/2 of 0 (mod 2π), −1 otherwise.
+func PhaseQuantize(phi []float64) []int8 {
+	s := make([]int8, len(phi))
+	for i, p := range phi {
+		m := math.Mod(p, 2*math.Pi)
+		if m < 0 {
+			m += 2 * math.Pi
+		}
+		if m < math.Pi/2 || m > 3*math.Pi/2 {
+			s[i] = 1
+		} else {
+			s[i] = -1
+		}
+	}
+	return s
+}
+
+// XYEnergy evaluates the oscillator Lyapunov function at phases phi (with
+// the SHIL term at full strength k).
+func XYEnergy(m *Model, phi []float64, k float64) float64 {
+	var e float64
+	for i := 0; i < m.N; i++ {
+		for j := i + 1; j < m.N; j++ {
+			w := m.J.At(i, j) + m.J.At(j, i)
+			if w != 0 {
+				e -= w * math.Cos(phi[i]-phi[j])
+			}
+		}
+		e -= k * math.Cos(2*phi[i])
+	}
+	return e
+}

@@ -1,0 +1,125 @@
+package ising
+
+import (
+	"math"
+	"testing"
+
+	"dsgl/internal/mat"
+	"dsgl/internal/rng"
+)
+
+func TestOIMFerromagnetAligns(t *testing.T) {
+	m := ferroModel(t, 6, 0.5)
+	res := NewOIM(m, rng.New(3)).Anneal(60)
+	for i := 1; i < 6; i++ {
+		if res.Spins[i] != res.Spins[0] {
+			t.Fatalf("ferromagnet phases not aligned: %v", res.Spins)
+		}
+	}
+}
+
+func TestOIMMaxCutQuality(t *testing.T) {
+	r := rng.New(21)
+	n := 10
+	w := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for k := i + 1; k < n; k++ {
+			if r.Float64() < 0.5 {
+				v := r.Uniform(0.2, 1)
+				w.Set(i, k, v)
+				w.Set(k, i, v)
+			}
+		}
+	}
+	m, err := MaxCutModel(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := NewOIM(m, rng.New(8)).Anneal(120)
+	got := CutValue(w, res.Spins)
+	s, _ := m.GroundState()
+	best := CutValue(w, s)
+	if got < 0.8*best {
+		t.Fatalf("OIM cut %g below 80%% of optimum %g", got, best)
+	}
+}
+
+func TestOIMShilBinarizesPhases(t *testing.T) {
+	m := ferroModel(t, 8, 0.3)
+	res := NewOIM(m, rng.New(5)).Anneal(100)
+	// Final phases must sit near 0 or π (mod π tolerance).
+	for i, p := range res.Voltage {
+		mod := math.Mod(p, math.Pi)
+		if mod < 0 {
+			mod += math.Pi
+		}
+		d := math.Min(mod, math.Pi-mod)
+		if d > 0.2 {
+			t.Fatalf("phase %d = %g not binarized (dist %g)", i, p, d)
+		}
+	}
+}
+
+func TestPhaseQuantize(t *testing.T) {
+	s := PhaseQuantize([]float64{0, math.Pi, 2 * math.Pi, -math.Pi, math.Pi / 4, 3 * math.Pi / 4})
+	want := []int8{1, -1, 1, -1, 1, -1}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("PhaseQuantize[%d] = %d, want %d", i, s[i], want[i])
+		}
+	}
+}
+
+func TestXYEnergyGradientConsistency(t *testing.T) {
+	// The phase dynamics must be the negative gradient of XYEnergy.
+	r := rng.New(17)
+	n := 5
+	j := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for k := i + 1; k < n; k++ {
+			v := r.NormScaled(0, 0.5)
+			j.Set(i, k, v)
+			j.Set(k, i, v)
+		}
+	}
+	m, err := NewModel(j, make([]float64, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := make([]float64, n)
+	r.FillUniform(phi, 0, 2*math.Pi)
+	sys := &phaseSystem{j: m.J, shilK: 0.7}
+	dst := make([]float64, n)
+	sys.Derivative(0, phi, dst)
+	const eps = 1e-6
+	for i := 0; i < n; i++ {
+		up := append([]float64(nil), phi...)
+		dn := append([]float64(nil), phi...)
+		up[i] += eps
+		dn[i] -= eps
+		fd := (XYEnergy(m, up, 0.7) - XYEnergy(m, dn, 0.7)) / (2 * eps)
+		if math.Abs(dst[i]+fd) > 1e-5 {
+			t.Fatalf("phase %d: dynamics %g vs -grad %g", i, dst[i], -fd)
+		}
+	}
+}
+
+func TestOIMCannotHoldRealValues(t *testing.T) {
+	// The contrast the paper draws: clamping an input phase to a
+	// "real-valued" intermediate angle does not make free oscillators
+	// settle at proportional intermediate phases — SHIL binarizes them.
+	// (The Real-Valued DSPU test suite shows the opposite behaviour.)
+	m := ferroModel(t, 4, 0.5)
+	o := NewOIM(m, rng.New(2))
+	res := o.Anneal(120)
+	for _, p := range res.Voltage {
+		mod := math.Mod(p, math.Pi)
+		if mod < 0 {
+			mod += math.Pi
+		}
+		d := math.Min(mod, math.Pi-mod)
+		if d > 0.25 {
+			t.Fatalf("oscillator settled at non-binary phase %g", p)
+		}
+	}
+}

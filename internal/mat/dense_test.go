@@ -1,0 +1,223 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDenseShape(t *testing.T) {
+	m := NewDense(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("unexpected shape: %+v", m)
+	}
+}
+
+func TestNewDenseNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dims")
+		}
+	}()
+	NewDense(-1, 2)
+}
+
+func TestNewDenseFromLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong data length")
+		}
+	}()
+	NewDenseFrom(2, 2, []float64{1, 2, 3})
+}
+
+func TestAtSetAdd(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(1, 2, 5)
+	if got := m.At(1, 2); got != 5 {
+		t.Fatalf("At(1,2) = %g, want 5", got)
+	}
+	m.Add(1, 2, 2.5)
+	if got := m.At(1, 2); got != 7.5 {
+		t.Fatalf("after Add: %g, want 7.5", got)
+	}
+}
+
+func TestRowIsView(t *testing.T) {
+	m := NewDense(2, 2)
+	r := m.Row(1)
+	r[0] = 9
+	if m.At(1, 0) != 9 {
+		t.Fatal("Row must return a view, not a copy")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewDenseFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose shape %dx%d", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	m := NewDenseFrom(2, 2, []float64{0, 4, 2, 0})
+	m.Symmetrize()
+	if m.At(0, 1) != 3 || m.At(1, 0) != 3 {
+		t.Fatalf("symmetrize failed: %v", m.Data)
+	}
+}
+
+func TestZeroDiagonal(t *testing.T) {
+	m := NewDenseFrom(2, 2, []float64{1, 2, 3, 4})
+	m.ZeroDiagonal()
+	if m.At(0, 0) != 0 || m.At(1, 1) != 0 || m.At(0, 1) != 2 {
+		t.Fatalf("ZeroDiagonal wrong: %v", m.Data)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewDenseFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	y := m.MulVec([]float64{1, 1, 1}, nil)
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("MulVec = %v", y)
+	}
+}
+
+func TestMulVecReuse(t *testing.T) {
+	m := NewDenseFrom(2, 2, []float64{1, 0, 0, 1})
+	buf := make([]float64, 2)
+	y := m.MulVec([]float64{3, 4}, buf)
+	if &y[0] != &buf[0] {
+		t.Fatal("MulVec should reuse provided buffer")
+	}
+	if y[0] != 3 || y[1] != 4 {
+		t.Fatalf("identity MulVec = %v", y)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := NewDenseFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := NewDenseFrom(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := Mul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Fatalf("Mul[%d] = %g, want %g", i, c.Data[i], v)
+		}
+	}
+}
+
+func TestMulAssociativityProperty(t *testing.T) {
+	// (A*B)*v == A*(B*v) for random small matrices.
+	f := func(seed int64) bool {
+		r := newTestRand(seed)
+		a := randDense(r, 4, 5)
+		b := randDense(r, 5, 3)
+		v := randVec(r, 3)
+		left := Mul(a, b).MulVec(v, nil)
+		right := a.MulVec(b.MulVec(v, nil), nil)
+		for i := range left {
+			if math.Abs(left[i]-right[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNNZAndDensity(t *testing.T) {
+	m := NewDenseFrom(2, 2, []float64{0, 0.5, 1e-12, -2})
+	if got := m.NNZ(1e-9); got != 2 {
+		t.Fatalf("NNZ = %d, want 2", got)
+	}
+	if got := m.Density(1e-9); got != 0.5 {
+		t.Fatalf("Density = %g, want 0.5", got)
+	}
+}
+
+func TestApplyMask(t *testing.T) {
+	m := NewDenseFrom(2, 2, []float64{1, 2, 3, 4})
+	mask := NewBool(2, 2)
+	mask.Set(0, 0, true)
+	mask.Set(1, 1, true)
+	m.ApplyMask(mask)
+	if m.At(0, 1) != 0 || m.At(1, 0) != 0 || m.At(0, 0) != 1 || m.At(1, 1) != 4 {
+		t.Fatalf("ApplyMask wrong: %v", m.Data)
+	}
+}
+
+func TestEqualTolerance(t *testing.T) {
+	a := NewDenseFrom(1, 2, []float64{1, 2})
+	b := NewDenseFrom(1, 2, []float64{1.0001, 2})
+	if !a.Equal(b, 1e-3) {
+		t.Fatal("expected equal within tolerance")
+	}
+	if a.Equal(b, 1e-6) {
+		t.Fatal("expected unequal at tight tolerance")
+	}
+	c := NewDense(2, 1)
+	if a.Equal(c, 1) {
+		t.Fatal("different shapes must not compare equal")
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	m := NewDenseFrom(1, 3, []float64{-5, 2, 4})
+	if m.MaxAbs() != 5 {
+		t.Fatalf("MaxAbs = %g", m.MaxAbs())
+	}
+}
+
+func TestBoolCountOrClone(t *testing.T) {
+	a := NewBool(2, 2)
+	a.Set(0, 0, true)
+	b := NewBool(2, 2)
+	b.Set(1, 1, true)
+	a.Or(b)
+	if a.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", a.Count())
+	}
+	c := a.Clone()
+	c.Set(0, 1, true)
+	if a.At(0, 1) {
+		t.Fatal("Clone must be independent")
+	}
+}
+
+// Lightweight deterministic helper RNG for property tests (keeps this
+// package dependency-free).
+type testRand struct{ state uint64 }
+
+func newTestRand(seed int64) *testRand { return &testRand{state: uint64(seed)*2654435761 + 1} }
+
+func (r *testRand) next() float64 {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return float64(r.state>>11) / (1 << 53)
+}
+
+func randDense(r *testRand, rows, cols int) *Dense {
+	m := NewDense(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.next()*2 - 1
+	}
+	return m
+}
+
+func randVec(r *testRand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.next()*2 - 1
+	}
+	return v
+}

@@ -1,0 +1,144 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CSR is a compressed-sparse-row matrix. It is the storage format used for
+// the sparsified coupling matrices after decomposition: the Scalable DSPU
+// evaluates coupling currents by iterating CSR rows.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int     // len Rows+1
+	ColIdx     []int     // len NNZ
+	Val        []float64 // len NNZ
+}
+
+// NNZ returns the number of stored entries.
+func (s *CSR) NNZ() int { return len(s.Val) }
+
+// Density returns NNZ divided by Rows*Cols.
+func (s *CSR) Density() float64 {
+	if s.Rows == 0 || s.Cols == 0 {
+		return 0
+	}
+	return float64(s.NNZ()) / float64(s.Rows*s.Cols)
+}
+
+// FromDense converts a dense matrix to CSR, dropping entries with
+// |v| <= eps.
+func FromDense(m *Dense, eps float64) *CSR {
+	s := &CSR{Rows: m.Rows, Cols: m.Cols, RowPtr: make([]int, m.Rows+1)}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			if math.Abs(v) > eps {
+				s.ColIdx = append(s.ColIdx, j)
+				s.Val = append(s.Val, v)
+			}
+		}
+		s.RowPtr[i+1] = len(s.Val)
+	}
+	return s
+}
+
+// ToDense expands s to a dense matrix.
+func (s *CSR) ToDense() *Dense {
+	m := NewDense(s.Rows, s.Cols)
+	for i := 0; i < s.Rows; i++ {
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			m.Set(i, s.ColIdx[p], s.Val[p])
+		}
+	}
+	return m
+}
+
+// At returns element (i, j), using binary search within the row.
+func (s *CSR) At(i, j int) float64 {
+	lo, hi := s.RowPtr[i], s.RowPtr[i+1]
+	idx := sort.SearchInts(s.ColIdx[lo:hi], j) + lo
+	if idx < hi && s.ColIdx[idx] == j {
+		return s.Val[idx]
+	}
+	return 0
+}
+
+// MulVec computes y = s*x. If y is non-nil with the right length it is
+// reused.
+func (s *CSR) MulVec(x, y []float64) []float64 {
+	if len(x) != s.Cols {
+		panic(fmt.Sprintf("mat: CSR MulVec dimension mismatch: %d cols vs %d vec", s.Cols, len(x)))
+	}
+	if y == nil || len(y) != s.Rows {
+		y = make([]float64, s.Rows)
+	}
+	for i := 0; i < s.Rows; i++ {
+		var sum float64
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			sum += s.Val[p] * x[s.ColIdx[p]]
+		}
+		y[i] = sum
+	}
+	return y
+}
+
+// RowNNZ returns the number of stored entries in row i.
+func (s *CSR) RowNNZ(i int) int { return s.RowPtr[i+1] - s.RowPtr[i] }
+
+// Builder accumulates (i, j, v) triplets and produces a CSR matrix.
+// Duplicate entries for the same (i, j) are summed.
+type Builder struct {
+	rows, cols int
+	entries    map[[2]int]float64
+}
+
+// NewBuilder returns a Builder for a rows x cols matrix.
+func NewBuilder(rows, cols int) *Builder {
+	return &Builder{rows: rows, cols: cols, entries: make(map[[2]int]float64)}
+}
+
+// Add accumulates v at (i, j).
+func (b *Builder) Add(i, j int, v float64) {
+	if i < 0 || i >= b.rows || j < 0 || j >= b.cols {
+		panic(fmt.Sprintf("mat: Builder.Add out of range (%d,%d) in %dx%d", i, j, b.rows, b.cols))
+	}
+	b.entries[[2]int{i, j}] += v
+}
+
+// Build produces the CSR matrix. Entries that summed to exactly zero are
+// still stored; callers that care should prune with eps beforehand.
+func (b *Builder) Build() *CSR {
+	type trip struct {
+		i, j int
+		v    float64
+	}
+	trips := make([]trip, 0, len(b.entries))
+	for k, v := range b.entries {
+		trips = append(trips, trip{k[0], k[1], v})
+	}
+	sort.Slice(trips, func(a, c int) bool {
+		if trips[a].i != trips[c].i {
+			return trips[a].i < trips[c].i
+		}
+		return trips[a].j < trips[c].j
+	})
+	s := &CSR{Rows: b.rows, Cols: b.cols, RowPtr: make([]int, b.rows+1)}
+	s.ColIdx = make([]int, 0, len(trips))
+	s.Val = make([]float64, 0, len(trips))
+	row := 0
+	for _, t := range trips {
+		for row < t.i {
+			row++
+			s.RowPtr[row] = len(s.Val)
+		}
+		s.ColIdx = append(s.ColIdx, t.j)
+		s.Val = append(s.Val, t.v)
+	}
+	for row < b.rows {
+		row++
+		s.RowPtr[row] = len(s.Val)
+	}
+	return s
+}

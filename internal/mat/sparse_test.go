@@ -1,0 +1,136 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromDenseRoundTrip(t *testing.T) {
+	m := NewDenseFrom(3, 3, []float64{0, 1, 0, 2, 0, 3, 0, 0, 0})
+	s := FromDense(m, 0)
+	if s.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3", s.NNZ())
+	}
+	back := s.ToDense()
+	if !back.Equal(m, 0) {
+		t.Fatalf("round trip mismatch: %v vs %v", back.Data, m.Data)
+	}
+}
+
+func TestFromDenseEps(t *testing.T) {
+	m := NewDenseFrom(1, 3, []float64{0.001, 0.5, -0.0005})
+	s := FromDense(m, 0.01)
+	if s.NNZ() != 1 || s.Val[0] != 0.5 {
+		t.Fatalf("eps pruning failed: %v", s.Val)
+	}
+}
+
+func TestCSRAt(t *testing.T) {
+	m := NewDenseFrom(2, 3, []float64{0, 7, 0, 1, 0, 2})
+	s := FromDense(m, 0)
+	cases := [][3]float64{{0, 1, 7}, {0, 0, 0}, {1, 0, 1}, {1, 2, 2}, {1, 1, 0}}
+	for _, c := range cases {
+		if got := s.At(int(c[0]), int(c[1])); got != c[2] {
+			t.Fatalf("At(%d,%d) = %g, want %g", int(c[0]), int(c[1]), got, c[2])
+		}
+	}
+}
+
+func TestCSRMulVecMatchesDenseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := newTestRand(seed)
+		m := NewDense(6, 6)
+		for i := range m.Data {
+			if r.next() < 0.3 {
+				m.Data[i] = r.next()*2 - 1
+			}
+		}
+		v := randVec(r, 6)
+		dy := m.MulVec(v, nil)
+		sy := FromDense(m, 0).MulVec(v, nil)
+		for i := range dy {
+			if math.Abs(dy[i]-sy[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRDensity(t *testing.T) {
+	m := NewDense(4, 4)
+	m.Set(0, 1, 1)
+	m.Set(2, 3, 1)
+	s := FromDense(m, 0)
+	if got := s.Density(); got != 2.0/16 {
+		t.Fatalf("Density = %g", got)
+	}
+}
+
+func TestCSRRowNNZ(t *testing.T) {
+	m := NewDenseFrom(2, 2, []float64{1, 1, 0, 1})
+	s := FromDense(m, 0)
+	if s.RowNNZ(0) != 2 || s.RowNNZ(1) != 1 {
+		t.Fatalf("RowNNZ = %d,%d", s.RowNNZ(0), s.RowNNZ(1))
+	}
+}
+
+func TestBuilderSumsDuplicates(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.Add(0, 1, 1.5)
+	b.Add(0, 1, 0.5)
+	b.Add(1, 0, -1)
+	s := b.Build()
+	if got := s.At(0, 1); got != 2 {
+		t.Fatalf("duplicate sum = %g, want 2", got)
+	}
+	if got := s.At(1, 0); got != -1 {
+		t.Fatalf("At(1,0) = %g", got)
+	}
+}
+
+func TestBuilderEmptyRows(t *testing.T) {
+	b := NewBuilder(4, 4)
+	b.Add(3, 0, 1)
+	s := b.Build()
+	if s.RowNNZ(0) != 0 || s.RowNNZ(1) != 0 || s.RowNNZ(2) != 0 || s.RowNNZ(3) != 1 {
+		t.Fatalf("row pointers wrong: %v", s.RowPtr)
+	}
+	if s.At(3, 0) != 1 {
+		t.Fatal("missing entry")
+	}
+}
+
+func TestBuilderOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder(2, 2).Add(2, 0, 1)
+}
+
+func TestBuilderMatchesFromDenseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := newTestRand(seed)
+		m := NewDense(5, 5)
+		b := NewBuilder(5, 5)
+		for i := 0; i < 5; i++ {
+			for j := 0; j < 5; j++ {
+				if r.next() < 0.4 {
+					v := r.next()
+					m.Set(i, j, v)
+					b.Add(i, j, v)
+				}
+			}
+		}
+		return b.Build().ToDense().Equal(m, 1e-15)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

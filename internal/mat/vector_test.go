@@ -1,0 +1,84 @@
+package mat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %g", got)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestAxpy(t *testing.T) {
+	y := []float64{1, 1}
+	Axpy(2, []float64{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Fatalf("Axpy = %v", y)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	x := []float64{3, -4}
+	if Norm2(x) != 5 {
+		t.Fatalf("Norm2 = %g", Norm2(x))
+	}
+	if NormInf(x) != 4 {
+		t.Fatalf("NormInf = %g", NormInf(x))
+	}
+}
+
+func TestClamp(t *testing.T) {
+	x := []float64{-2, 0.5, 3}
+	Clamp(x, -1, 1)
+	if x[0] != -1 || x[1] != 0.5 || x[2] != 1 {
+		t.Fatalf("Clamp = %v", x)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(x) != 5 {
+		t.Fatalf("Mean = %g", Mean(x))
+	}
+	if math.Abs(Std(x)-2) > 1e-12 {
+		t.Fatalf("Std = %g, want 2", Std(x))
+	}
+	if Mean(nil) != 0 || Std(nil) != 0 {
+		t.Fatal("empty input should give 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = %g,%g", lo, hi)
+	}
+}
+
+func TestCopyVecIndependent(t *testing.T) {
+	x := []float64{1, 2}
+	c := CopyVec(x)
+	c[0] = 9
+	if x[0] != 1 {
+		t.Fatal("CopyVec must copy")
+	}
+}
+
+func TestScaleVec(t *testing.T) {
+	x := []float64{1, -2}
+	ScaleVec(3, x)
+	if x[0] != 3 || x[1] != -6 {
+		t.Fatalf("ScaleVec = %v", x)
+	}
+}

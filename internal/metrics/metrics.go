@@ -1,0 +1,142 @@
+// Package metrics provides the evaluation metrics used across the
+// reproduction. The paper reports accuracy as RMSE on normalized data;
+// MAE and MAPE are included for completeness.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RMSE returns the root-mean-square error between predictions and targets.
+func RMSE(pred, target []float64) float64 {
+	if len(pred) != len(target) {
+		panic(fmt.Sprintf("metrics: RMSE length mismatch %d vs %d", len(pred), len(target)))
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	var s float64
+	for i, p := range pred {
+		d := p - target[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(pred)))
+}
+
+// MAE returns the mean absolute error.
+func MAE(pred, target []float64) float64 {
+	if len(pred) != len(target) {
+		panic("metrics: MAE length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	var s float64
+	for i, p := range pred {
+		s += math.Abs(p - target[i])
+	}
+	return s / float64(len(pred))
+}
+
+// MAPE returns the mean absolute percentage error, skipping targets with
+// |t| < eps to avoid division blow-up.
+func MAPE(pred, target []float64, eps float64) float64 {
+	if len(pred) != len(target) {
+		panic("metrics: MAPE length mismatch")
+	}
+	var s float64
+	n := 0
+	for i, p := range pred {
+		if math.Abs(target[i]) < eps {
+			continue
+		}
+		s += math.Abs((p - target[i]) / target[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// Accumulator streams squared-error statistics so long evaluation loops do
+// not need to retain every prediction.
+type Accumulator struct {
+	n      int
+	sumSq  float64
+	sumAbs float64
+}
+
+// Add records one prediction/target pair.
+func (a *Accumulator) Add(pred, target float64) {
+	d := pred - target
+	a.sumSq += d * d
+	a.sumAbs += math.Abs(d)
+	a.n++
+}
+
+// AddVec records a vector of pairs.
+func (a *Accumulator) AddVec(pred, target []float64) {
+	if len(pred) != len(target) {
+		panic("metrics: AddVec length mismatch")
+	}
+	for i := range pred {
+		a.Add(pred[i], target[i])
+	}
+}
+
+// N returns the number of recorded pairs.
+func (a *Accumulator) N() int { return a.n }
+
+// RMSE returns the running root-mean-square error.
+func (a *Accumulator) RMSE() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return math.Sqrt(a.sumSq / float64(a.n))
+}
+
+// MAE returns the running mean absolute error.
+func (a *Accumulator) MAE() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sumAbs / float64(a.n)
+}
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	N                int
+	Mean, Std        float64
+	Min, Median, Max float64
+}
+
+// Summarize computes summary statistics of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	mean := sum / float64(len(xs))
+	var sq float64
+	for _, v := range xs {
+		d := v - mean
+		sq += d * d
+	}
+	return Summary{
+		N:      len(xs),
+		Mean:   mean,
+		Std:    math.Sqrt(sq / float64(len(xs))),
+		Min:    sorted[0],
+		Median: sorted[len(sorted)/2],
+		Max:    sorted[len(sorted)-1],
+	}
+}

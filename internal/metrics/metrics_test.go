@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRMSEBasic(t *testing.T) {
+	if got := RMSE([]float64{1, 2}, []float64{1, 2}); got != 0 {
+		t.Fatalf("perfect RMSE = %g", got)
+	}
+	got := RMSE([]float64{0, 0}, []float64{3, 4})
+	want := math.Sqrt(12.5)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RMSE = %g, want %g", got, want)
+	}
+}
+
+func TestRMSEEmptyAndMismatch(t *testing.T) {
+	if RMSE(nil, nil) != 0 {
+		t.Fatal("empty RMSE should be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RMSE([]float64{1}, []float64{1, 2})
+}
+
+func TestMAE(t *testing.T) {
+	got := MAE([]float64{0, 0}, []float64{3, -4})
+	if got != 3.5 {
+		t.Fatalf("MAE = %g", got)
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	got := MAPE([]float64{110, 90}, []float64{100, 100}, 1e-9)
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("MAPE = %g", got)
+	}
+	// Zero targets skipped.
+	got = MAPE([]float64{1, 110}, []float64{0, 100}, 1e-9)
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("MAPE with zero target = %g", got)
+	}
+	if MAPE([]float64{1}, []float64{0}, 1e-9) != 0 {
+		t.Fatal("all-zero targets should give 0")
+	}
+}
+
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	f := func(seed int64) bool {
+		pred := make([]float64, 20)
+		targ := make([]float64, 20)
+		s := uint64(seed)
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(s>>11)/(1<<53)*2 - 1
+		}
+		for i := range pred {
+			pred[i] = next()
+			targ[i] = next()
+		}
+		var acc Accumulator
+		acc.AddVec(pred, targ)
+		return math.Abs(acc.RMSE()-RMSE(pred, targ)) < 1e-12 &&
+			math.Abs(acc.MAE()-MAE(pred, targ)) < 1e-12 &&
+			acc.N() == 20
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var acc Accumulator
+	if acc.RMSE() != 0 || acc.MAE() != 0 || acc.N() != 0 {
+		t.Fatal("empty accumulator must be zero")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Median != 3 { // upper median for even length
+		t.Fatalf("median = %g", s.Median)
+	}
+	if Summarize(nil).N != 0 {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Summarize must not sort the caller's slice")
+	}
+}

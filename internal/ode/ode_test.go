@@ -1,0 +1,122 @@
+package ode
+
+import (
+	"math"
+	"testing"
+)
+
+// decay is dx/dt = -k x with known solution x(t) = x0 e^{-kt}.
+type decay struct{ k float64 }
+
+func (d decay) Dim() int { return 1 }
+func (d decay) Derivative(_ float64, x, dst []float64) {
+	dst[0] = -d.k * x[0]
+}
+
+// oscillator is the harmonic oscillator x” = -x as a 2-D system, with
+// conserved energy x² + v².
+type oscillator struct{}
+
+func (oscillator) Dim() int { return 2 }
+func (oscillator) Derivative(_ float64, x, dst []float64) {
+	dst[0] = x[1]
+	dst[1] = -x[0]
+}
+
+func TestEulerDecay(t *testing.T) {
+	sys := decay{k: 1}
+	x := []float64{1}
+	Run(NewEuler(), sys, 0, 0.001, 1000, x, nil)
+	want := math.Exp(-1)
+	if math.Abs(x[0]-want) > 1e-3 {
+		t.Fatalf("Euler decay: got %g, want %g", x[0], want)
+	}
+}
+
+func TestRK4Decay(t *testing.T) {
+	sys := decay{k: 1}
+	x := []float64{1}
+	Run(NewRK4(), sys, 0, 0.01, 100, x, nil)
+	want := math.Exp(-1)
+	if math.Abs(x[0]-want) > 1e-8 {
+		t.Fatalf("RK4 decay: got %g, want %g (err %g)", x[0], want, x[0]-want)
+	}
+}
+
+func TestRK4OrderBeatsEuler(t *testing.T) {
+	want := math.Exp(-1)
+	xe := []float64{1}
+	Run(NewEuler(), decay{k: 1}, 0, 0.01, 100, xe, nil)
+	xr := []float64{1}
+	Run(NewRK4(), decay{k: 1}, 0, 0.01, 100, xr, nil)
+	errE := math.Abs(xe[0] - want)
+	errR := math.Abs(xr[0] - want)
+	if errR >= errE {
+		t.Fatalf("RK4 error %g not better than Euler %g at same dt", errR, errE)
+	}
+}
+
+func TestRK4OscillatorEnergy(t *testing.T) {
+	x := []float64{1, 0}
+	Run(NewRK4(), oscillator{}, 0, 0.01, 1000, x, nil)
+	energy := x[0]*x[0] + x[1]*x[1]
+	if math.Abs(energy-1) > 1e-6 {
+		t.Fatalf("oscillator energy drifted to %g", energy)
+	}
+	// After t = 10 the exact solution is cos(10).
+	if math.Abs(x[0]-math.Cos(10)) > 1e-5 {
+		t.Fatalf("oscillator position %g, want %g", x[0], math.Cos(10))
+	}
+}
+
+func TestRunObserveCount(t *testing.T) {
+	count := 0
+	x := []float64{1}
+	final := Run(NewEuler(), decay{k: 1}, 0, 0.1, 7, x, func(tt float64, _ []float64) {
+		count++
+	})
+	if count != 7 {
+		t.Fatalf("observe called %d times, want 7", count)
+	}
+	if math.Abs(final-0.7) > 1e-12 {
+		t.Fatalf("final time %g, want 0.7", final)
+	}
+}
+
+func TestRunUntilStops(t *testing.T) {
+	x := []float64{1}
+	_, steps := RunUntil(NewEuler(), decay{k: 1}, 0, 0.01, 10000, x,
+		func(_ float64, s []float64) bool { return s[0] < 0.5 })
+	if steps >= 10000 {
+		t.Fatal("RunUntil never stopped")
+	}
+	if x[0] >= 0.5 {
+		t.Fatalf("stop condition not reached: x = %g", x[0])
+	}
+}
+
+func TestRunUntilMaxSteps(t *testing.T) {
+	x := []float64{1}
+	_, steps := RunUntil(NewEuler(), decay{k: 1}, 0, 0.01, 5, x, nil)
+	if steps != 5 {
+		t.Fatalf("steps = %d, want 5", steps)
+	}
+}
+
+func TestIntegratorNames(t *testing.T) {
+	if NewEuler().Name() != "euler" || NewRK4().Name() != "rk4" {
+		t.Fatal("integrator names changed")
+	}
+}
+
+func TestEulerBufferReuseAcrossDims(t *testing.T) {
+	// Using the same integrator for systems of different sizes must work.
+	e := NewEuler()
+	x1 := []float64{1}
+	e.Step(decay{k: 1}, 0, 0.1, x1)
+	x2 := []float64{1, 0}
+	e.Step(oscillator{}, 0, 0.1, x2) // must not panic on size change
+	if x2[0] == 1 && x2[1] == 0 {
+		t.Fatal("state did not advance")
+	}
+}

@@ -1,0 +1,231 @@
+// Package pattern builds the interconnect-pattern coupling masks of paper
+// Sec. IV.B/IV.C. After redistribution places super-communities on the PE
+// mesh, couplings are only physically realizable where the interconnect
+// provides a path:
+//
+//   - within a PE, the local K x K crossbar connects every node pair;
+//   - Chain links nodes on consecutive PEs (snake order over the grid);
+//   - Mesh links nodes on 2-D-adjacent PEs (includes Chain);
+//   - DMesh additionally links diagonal PE neighbors;
+//   - Wormholes bridge a limited number of remote PE pairs over the
+//     CU-to-CU super-connection grid, allocated to the strongest remaining
+//     couplings.
+//
+// The resulting boolean mask confines the fine-tuning step of the training
+// pipeline, so the learned system is exactly mappable onto the hardware.
+package pattern
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dsgl/internal/community"
+	"dsgl/internal/mat"
+)
+
+// Kind selects the interconnect pattern between super-communities.
+type Kind int
+
+const (
+	// Chain connects consecutive PEs only.
+	Chain Kind = iota
+	// Mesh connects 2-D grid neighbors (up/down/left/right).
+	Mesh
+	// DMesh adds diagonal neighbors to Mesh.
+	DMesh
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Chain:
+		return "chain"
+	case Mesh:
+		return "mesh"
+	case DMesh:
+		return "dmesh"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Kinds lists the pattern kinds in increasing richness.
+func Kinds() []Kind { return []Kind{Chain, Mesh, DMesh} }
+
+// Config parameterizes mask construction.
+type Config struct {
+	Kind Kind
+	// Wormholes is the maximum number of remote PE pairs bridged by super
+	// connections (0 disables wormholes).
+	Wormholes int
+}
+
+// Stats reports how the mask decomposed the couplings.
+type Stats struct {
+	// Entries allowed by each mechanism (directed entry counts).
+	Intra, Neighbor, Wormhole int
+	// Denied counts desired couplings (non-zero J entries) the mask
+	// rejected.
+	Denied int
+	// WormholePairs lists the PE pairs granted wormholes.
+	WormholePairs [][2]int
+}
+
+// BuildMask constructs the allowed-coupling mask for the placed system.
+// j supplies the desired couplings (used to rank wormhole candidates and
+// count denials); it may be nil, in which case no wormholes are allocated
+// and Denied is zero.
+func BuildMask(a *community.Assignment, j *mat.Dense, cfg Config) (*mat.Bool, *Stats) {
+	n := len(a.PEOf)
+	if j != nil && (j.Rows != n || j.Cols != n) {
+		panic(fmt.Sprintf("pattern: J is %dx%d for %d placed nodes", j.Rows, j.Cols, n))
+	}
+	mask := mat.NewBool(n, n)
+	stats := &Stats{}
+
+	// Which PE pairs does the base pattern connect?
+	peLinked := func(p, q int) bool {
+		if p == q {
+			return true
+		}
+		switch cfg.Kind {
+		case Chain:
+			return chainAdjacent(a, p, q)
+		case Mesh:
+			return chainAdjacent(a, p, q) || meshAdjacent(a, p, q)
+		case DMesh:
+			return chainAdjacent(a, p, q) || meshAdjacent(a, p, q) || diagAdjacent(a, p, q)
+		default:
+			panic(fmt.Sprintf("pattern: unknown kind %d", cfg.Kind))
+		}
+	}
+
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			if x == y {
+				continue
+			}
+			px, py := a.PEOf[x], a.PEOf[y]
+			if px == py {
+				mask.Set(x, y, true)
+				stats.Intra++
+			} else if peLinked(px, py) {
+				mask.Set(x, y, true)
+				stats.Neighbor++
+			}
+		}
+	}
+
+	// Wormholes: rank remote PE pairs by total desired coupling magnitude.
+	if cfg.Wormholes > 0 && j != nil {
+		type cand struct {
+			p, q int
+			mag  float64
+		}
+		acc := make(map[[2]int]float64)
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				if x == y || mask.At(x, y) {
+					continue
+				}
+				v := math.Abs(j.At(x, y))
+				if v == 0 {
+					continue
+				}
+				p, q := a.PEOf[x], a.PEOf[y]
+				if p > q {
+					p, q = q, p
+				}
+				acc[[2]int{p, q}] += v
+			}
+		}
+		cands := make([]cand, 0, len(acc))
+		for k, v := range acc {
+			cands = append(cands, cand{k[0], k[1], v})
+		}
+		sort.Slice(cands, func(i, k int) bool {
+			if cands[i].mag != cands[k].mag {
+				return cands[i].mag > cands[k].mag
+			}
+			if cands[i].p != cands[k].p {
+				return cands[i].p < cands[k].p
+			}
+			return cands[i].q < cands[k].q
+		})
+		limit := cfg.Wormholes
+		if limit > len(cands) {
+			limit = len(cands)
+		}
+		worm := make(map[[2]int]bool, limit)
+		for _, c := range cands[:limit] {
+			worm[[2]int{c.p, c.q}] = true
+			stats.WormholePairs = append(stats.WormholePairs, [2]int{c.p, c.q})
+		}
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				if x == y || mask.At(x, y) {
+					continue
+				}
+				p, q := a.PEOf[x], a.PEOf[y]
+				if p > q {
+					p, q = q, p
+				}
+				if worm[[2]int{p, q}] {
+					mask.Set(x, y, true)
+					stats.Wormhole++
+				}
+			}
+		}
+	}
+
+	// Count denials of desired couplings.
+	if j != nil {
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				if x != y && j.At(x, y) != 0 && !mask.At(x, y) {
+					stats.Denied++
+				}
+			}
+		}
+	}
+	return mask, stats
+}
+
+// chainAdjacent reports whether PEs p and q are consecutive in the snake
+// (boustrophedon) order over the grid, which keeps chain neighbors
+// physically adjacent.
+func chainAdjacent(a *community.Assignment, p, q int) bool {
+	return snakeIndex(a, p)-snakeIndex(a, q) == 1 || snakeIndex(a, q)-snakeIndex(a, p) == 1
+}
+
+// snakeIndex converts a row-major PE index to its boustrophedon position.
+func snakeIndex(a *community.Assignment, pe int) int {
+	x, y := a.PEXY(pe)
+	if y%2 == 1 {
+		x = a.GridW - 1 - x
+	}
+	return y*a.GridW + x
+}
+
+// meshAdjacent reports 4-neighborhood adjacency on the grid.
+func meshAdjacent(a *community.Assignment, p, q int) bool {
+	px, py := a.PEXY(p)
+	qx, qy := a.PEXY(q)
+	dx, dy := abs(px-qx), abs(py-qy)
+	return dx+dy == 1
+}
+
+// diagAdjacent reports diagonal adjacency on the grid.
+func diagAdjacent(a *community.Assignment, p, q int) bool {
+	px, py := a.PEXY(p)
+	qx, qy := a.PEXY(q)
+	return abs(px-qx) == 1 && abs(py-qy) == 1
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,210 @@
+package pattern
+
+import (
+	"testing"
+
+	"dsgl/internal/community"
+	"dsgl/internal/mat"
+)
+
+// gridAssignment builds an assignment with gw*gh PEs, each holding cap
+// consecutive nodes.
+func gridAssignment(gw, gh, cap int) *community.Assignment {
+	n := gw * gh * cap
+	a := &community.Assignment{
+		PEOf:     make([]int, n),
+		NodesOf:  make([][]int, gw*gh),
+		GridW:    gw,
+		GridH:    gh,
+		Capacity: cap,
+	}
+	for i := 0; i < n; i++ {
+		pe := i / cap
+		a.PEOf[i] = pe
+		a.NodesOf[pe] = append(a.NodesOf[pe], i)
+	}
+	return a
+}
+
+func TestIntraPEAlwaysAllowed(t *testing.T) {
+	a := gridAssignment(2, 2, 3)
+	mask, stats := BuildMask(a, nil, Config{Kind: Chain})
+	for _, nodes := range a.NodesOf {
+		for _, x := range nodes {
+			for _, y := range nodes {
+				if x != y && !mask.At(x, y) {
+					t.Fatalf("intra-PE pair (%d,%d) not allowed", x, y)
+				}
+			}
+		}
+	}
+	// 4 PEs x 3 nodes x 2 directed pairs x ... = 4*3*2 = 24 directed intra
+	// entries.
+	if stats.Intra != 4*3*2 {
+		t.Fatalf("intra count %d, want 24", stats.Intra)
+	}
+}
+
+func TestDiagonalNeverAllowed(t *testing.T) {
+	a := gridAssignment(2, 2, 2)
+	mask, _ := BuildMask(a, nil, Config{Kind: DMesh})
+	for i := 0; i < len(a.PEOf); i++ {
+		if mask.At(i, i) {
+			t.Fatalf("self-coupling %d allowed", i)
+		}
+	}
+}
+
+func TestPatternHierarchy(t *testing.T) {
+	// Chain ⊆ Mesh ⊆ DMesh: richer patterns allow strictly more pairs on
+	// a 3x3 grid.
+	a := gridAssignment(3, 3, 2)
+	chain, _ := BuildMask(a, nil, Config{Kind: Chain})
+	mesh, _ := BuildMask(a, nil, Config{Kind: Mesh})
+	dmesh, _ := BuildMask(a, nil, Config{Kind: DMesh})
+	for i := range chain.Data {
+		if chain.Data[i] && !mesh.Data[i] {
+			t.Fatal("chain pair missing from mesh")
+		}
+		if mesh.Data[i] && !dmesh.Data[i] {
+			t.Fatal("mesh pair missing from dmesh")
+		}
+	}
+	if chain.Count() >= mesh.Count() {
+		t.Fatalf("mesh (%d) not richer than chain (%d)", mesh.Count(), chain.Count())
+	}
+	if mesh.Count() >= dmesh.Count() {
+		t.Fatalf("dmesh (%d) not richer than mesh (%d)", dmesh.Count(), mesh.Count())
+	}
+}
+
+func TestChainFollowsSnakeOrder(t *testing.T) {
+	// On a 2x2 grid, snake order is PE0, PE1, PE3, PE2. Chain must link
+	// (1,3) and (3,2) but not (1,2) or (0,3).
+	a := gridAssignment(2, 2, 1)
+	mask, _ := BuildMask(a, nil, Config{Kind: Chain})
+	type pair struct{ x, y int }
+	want := map[pair]bool{
+		{0, 1}: true, {1, 0}: true,
+		{1, 3}: true, {3, 1}: true,
+		{3, 2}: true, {2, 3}: true,
+	}
+	for x := 0; x < 4; x++ {
+		for y := 0; y < 4; y++ {
+			if x == y {
+				continue
+			}
+			if got := mask.At(x, y); got != want[pair{x, y}] {
+				t.Fatalf("chain link (%d,%d) = %v, want %v", x, y, got, want[pair{x, y}])
+			}
+		}
+	}
+}
+
+func TestMeshLinksGridNeighbors(t *testing.T) {
+	a := gridAssignment(2, 2, 1)
+	mask, _ := BuildMask(a, nil, Config{Kind: Mesh})
+	// PE 0 and PE 3 are diagonal — not allowed under Mesh.
+	if mask.At(0, 3) {
+		t.Fatal("mesh must not link diagonal PEs")
+	}
+	// PE 0-1 (horizontal) and 0-2 (vertical) allowed.
+	if !mask.At(0, 1) || !mask.At(0, 2) {
+		t.Fatal("mesh missing grid neighbors")
+	}
+}
+
+func TestDMeshAddsDiagonal(t *testing.T) {
+	a := gridAssignment(2, 2, 1)
+	mask, _ := BuildMask(a, nil, Config{Kind: DMesh})
+	if !mask.At(0, 3) || !mask.At(1, 2) {
+		t.Fatal("dmesh must link diagonal PEs")
+	}
+}
+
+func TestWormholeBridgesStrongestRemote(t *testing.T) {
+	// 3x1 grid: PEs 0,1,2 in a row. PE0-PE2 is remote under Chain? No —
+	// use 4x1: PE0 and PE3 are remote for Chain and Mesh.
+	a := gridAssignment(4, 1, 1)
+	j := mat.NewDense(4, 4)
+	j.Set(0, 3, 0.9) // strong remote coupling
+	j.Set(3, 0, 0.9)
+	j.Set(1, 3, 0.1) // weaker remote coupling (PE1-PE3 also remote)
+	j.Set(3, 1, 0.1)
+	mask, stats := BuildMask(a, j, Config{Kind: Chain, Wormholes: 1})
+	if !mask.At(0, 3) || !mask.At(3, 0) {
+		t.Fatal("wormhole must bridge the strongest remote pair")
+	}
+	if mask.At(1, 3) {
+		t.Fatal("only one wormhole was budgeted")
+	}
+	if len(stats.WormholePairs) != 1 || stats.WormholePairs[0] != [2]int{0, 3} {
+		t.Fatalf("wormhole pairs = %v", stats.WormholePairs)
+	}
+	if stats.Wormhole != 2 {
+		t.Fatalf("wormhole entry count %d, want 2", stats.Wormhole)
+	}
+	if stats.Denied != 2 {
+		t.Fatalf("denied count %d, want 2 (the 1-3 pair)", stats.Denied)
+	}
+}
+
+func TestWormholeZeroBudget(t *testing.T) {
+	a := gridAssignment(4, 1, 1)
+	j := mat.NewDense(4, 4)
+	j.Set(0, 3, 0.9)
+	mask, stats := BuildMask(a, j, Config{Kind: Chain})
+	if mask.At(0, 3) {
+		t.Fatal("no wormholes budgeted, remote pair must be denied")
+	}
+	if stats.Denied != 1 {
+		t.Fatalf("denied = %d", stats.Denied)
+	}
+}
+
+func TestDeniedZeroWithoutJ(t *testing.T) {
+	a := gridAssignment(2, 2, 2)
+	_, stats := BuildMask(a, nil, Config{Kind: Chain, Wormholes: 5})
+	if stats.Denied != 0 || stats.Wormhole != 0 {
+		t.Fatalf("nil J should not produce denials/wormholes: %+v", stats)
+	}
+}
+
+func TestMaskSymmetryForSymmetricJ(t *testing.T) {
+	a := gridAssignment(3, 3, 2)
+	n := len(a.PEOf)
+	j := mat.NewDense(n, n)
+	j.Set(0, n-1, 0.5)
+	j.Set(n-1, 0, 0.5)
+	for _, k := range Kinds() {
+		mask, _ := BuildMask(a, j, Config{Kind: k, Wormholes: 2})
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				if mask.At(x, y) != mask.At(y, x) {
+					t.Fatalf("%v mask asymmetric at (%d,%d)", k, x, y)
+				}
+			}
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Chain.String() != "chain" || Mesh.String() != "mesh" || DMesh.String() != "dmesh" {
+		t.Fatal("kind names changed")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind must stringify")
+	}
+}
+
+func TestSnakeIndexCoversGrid(t *testing.T) {
+	a := gridAssignment(3, 3, 1)
+	seen := make(map[int]bool)
+	for pe := 0; pe < 9; pe++ {
+		idx := snakeIndex(a, pe)
+		if idx < 0 || idx >= 9 || seen[idx] {
+			t.Fatalf("snake index %d invalid for PE %d", idx, pe)
+		}
+		seen[idx] = true
+	}
+}

@@ -1,0 +1,72 @@
+package scalable
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Describe writes a human-readable report of the compiled mapping: the PE
+// grid, per-PE occupancy and local coupling counts, per-portal export
+// demand against the lane budget, temporal slices, and wormhole routes.
+// It is the software equivalent of dumping the PE-CU Map Buffers.
+func (m *Machine) Describe(w io.Writer) {
+	st := m.stats
+	fmt.Fprintf(w, "Scalable DSPU mapping: %d nodes on %dx%d PEs (K=%d, L=%d)\n",
+		m.N, m.assign.GridW, m.assign.GridH, m.assign.Capacity, m.cfg.Lanes)
+	fmt.Fprintf(w, "mode %s, %d slice(s); couplings: %d intra, %d inter (%d via wormholes, %d dropped)\n",
+		st.Mode, st.Rounds, st.IntraCouplings, st.InterCouplings, st.WormholeCouplings, st.DroppedCouplings)
+
+	// Per-PE occupancy and intra-coupling counts.
+	intraPerPE := make([]int, m.assign.NumPEs())
+	for i := 0; i < m.intra.Rows; i++ {
+		pe := m.assign.PEOf[i]
+		intraPerPE[pe] += m.intra.RowNNZ(i)
+	}
+	fmt.Fprintf(w, "\n%-6s %8s %10s\n", "PE", "nodes", "intra-NNZ")
+	for pe := 0; pe < m.assign.NumPEs(); pe++ {
+		fmt.Fprintf(w, "(%d,%d) %8d %10d\n",
+			pe%m.assign.GridW, pe/m.assign.GridW, len(m.assign.NodesOf[pe]), intraPerPE[pe])
+	}
+
+	fmt.Fprintf(w, "\nmax portal demand D = %d vs lane budget L = %d -> %s co-annealing\n",
+		st.MaxPortalDemand, st.Lanes, st.Mode)
+
+	// Per-slice coupling counts.
+	if len(m.phases) > 1 {
+		fmt.Fprintf(w, "\n%-8s %10s\n", "slice", "couplings")
+		for k, ph := range m.phases {
+			fmt.Fprintf(w, "%-8d %10d\n", k, ph.NNZ())
+		}
+	}
+
+	// Inter-PE traffic matrix (directed entry counts between PE pairs).
+	traffic := make(map[[2]int]int)
+	for _, ph := range m.phases {
+		for i := 0; i < ph.Rows; i++ {
+			for p := ph.RowPtr[i]; p < ph.RowPtr[i+1]; p++ {
+				a, b := m.assign.PEOf[i], m.assign.PEOf[ph.ColIdx[p]]
+				if a > b {
+					a, b = b, a
+				}
+				traffic[[2]int{a, b}]++
+			}
+		}
+	}
+	if len(traffic) > 0 {
+		keys := make([][2]int, 0, len(traffic))
+		for k := range traffic {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i][0] != keys[j][0] {
+				return keys[i][0] < keys[j][0]
+			}
+			return keys[i][1] < keys[j][1]
+		})
+		fmt.Fprintf(w, "\n%-12s %10s\n", "PE pair", "couplings")
+		for _, k := range keys {
+			fmt.Fprintf(w, "%2d <-> %-5d %10d\n", k[0], k[1], traffic[k])
+		}
+	}
+}

@@ -1,0 +1,373 @@
+package scalable
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dsgl/internal/community"
+	"dsgl/internal/mat"
+	"dsgl/internal/rng"
+	"dsgl/internal/train"
+)
+
+// Mode reports which co-annealing method a mapping runs.
+type Mode int
+
+const (
+	// ModeSpatial is pure Spatial co-annealing: every routed coupling is
+	// live simultaneously (communication demand D <= lane budget L).
+	ModeSpatial Mode = iota
+	// ModeTemporalSpatial time-multiplexes coupling slices (D > L).
+	ModeTemporalSpatial
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeSpatial:
+		return "spatial"
+	case ModeTemporalSpatial:
+		return "temporal+spatial"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config holds the hardware and runtime parameters of the Scalable DSPU.
+type Config struct {
+	// Lanes is L, the analog lanes per exporting portal. The paper uses 30.
+	Lanes int
+	// Dt is the integration timestep in ns. Default 0.1 (a tenth of the
+	// ~1 ns node time constant).
+	Dt float64
+	// MaxTimeNs bounds one inference. Default 20000 ns (Fig. 11's axis).
+	MaxTimeNs float64
+	// SettleTol stops the run when max |dσ/dt| falls below it. Default 1e-5.
+	SettleTol float64
+	// VRail bounds node voltages. Default 1.
+	VRail float64
+	// SyncIntervalNs is the inter-mapping synchronization interval
+	// (Sec. V.D / Fig. 12): how long each temporal slice ("mapping")
+	// stays live before the Switch Controller rotates to the next. Within
+	// the live mapping coupling is continuous analog current and needs no
+	// synchronization; the inactive mappings' held contributions refresh
+	// only when their slice next becomes live — i.e. cross-mapping
+	// information exchanges once per synchronization interval. Default
+	// 200 ns, the interval the DS-GL hardware supports. Values <= Dt
+	// rotate every integration step.
+	SyncIntervalNs float64
+	// SwitchIntervalNs overrides the slice rotation period when non-zero;
+	// by default it equals SyncIntervalNs (rotation IS the
+	// synchronization mechanism).
+	SwitchIntervalNs float64
+	// SwitchOverheadNs is the dead time per mapping switch while the
+	// In-CU Weight Buffers redrive the crossbar DACs and the schedulers
+	// reload routing state (default 20 ns); it counts toward latency but
+	// performs no annealing.
+	SwitchOverheadNs float64
+	// TemporalDisabled selects the DS-GL-Spatial variant: couplings beyond
+	// one round are dropped instead of time-multiplexed.
+	TemporalDisabled bool
+	// NodeNoise / CouplerNoise are relative Gaussian disturbance sigmas
+	// (Fig. 13). Zero disables noise.
+	NodeNoise, CouplerNoise float64
+	// Seed drives free-node initialization and noise.
+	Seed uint64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Lanes == 0 {
+		c.Lanes = 30
+	}
+	if c.Dt == 0 {
+		c.Dt = 0.1
+	}
+	if c.MaxTimeNs == 0 {
+		c.MaxTimeNs = 20000
+	}
+	if c.SettleTol == 0 {
+		c.SettleTol = 1e-5
+	}
+	if c.VRail == 0 {
+		c.VRail = 1
+	}
+	if c.SyncIntervalNs == 0 {
+		c.SyncIntervalNs = 200
+	}
+	if c.SwitchIntervalNs == 0 {
+		c.SwitchIntervalNs = c.SyncIntervalNs
+	}
+	if c.SwitchOverheadNs == 0 {
+		c.SwitchOverheadNs = 20
+	}
+}
+
+// Stats describes how a mapping compiled onto the hardware.
+type Stats struct {
+	Mode              Mode
+	Rounds            int // temporal slices (1 = pure spatial)
+	Lanes             int // L
+	MaxPortalDemand   int // D: max distinct nodes any portal must export
+	IntraCouplings    int
+	InterCouplings    int
+	WormholeCouplings int
+	DroppedCouplings  int // only non-zero for TemporalDisabled overflows
+}
+
+// Machine is a compiled Scalable DSPU mapping ready for inference.
+type Machine struct {
+	N      int
+	cfg    Config
+	params *train.Params
+	assign *community.Assignment
+	intra  *mat.CSR   // intra-PE couplings (always live, always fresh)
+	phases []*mat.CSR // inter-PE couplings per temporal slice
+	stats  Stats
+}
+
+// Stats returns the compilation statistics.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// Config returns the defaults-filled configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Observation clamps node Index to Value during inference.
+type Observation struct {
+	Index int
+	Value float64
+}
+
+// Result is the outcome of one Scalable DSPU inference.
+type Result struct {
+	Voltage   []float64
+	LatencyNs float64 // annealing time + slice-switch overhead
+	AnnealNs  float64 // annealing time only
+	Settled   bool
+	Switches  int // mapping switches (= synchronization events) performed
+	Energy    float64
+}
+
+// Infer clamps the observations, initializes free nodes near zero, and runs
+// the co-annealing process to equilibrium.
+func (m *Machine) Infer(obs []Observation) (*Result, error) {
+	r := rng.New(m.cfg.Seed)
+	x := make([]float64, m.N)
+	r.FillUniform(x, -0.1, 0.1)
+	return m.inferFrom(x, obs, r)
+}
+
+// InferFrom runs inference from an explicit initial state.
+func (m *Machine) InferFrom(x0 []float64, obs []Observation) (*Result, error) {
+	if len(x0) != m.N {
+		return nil, fmt.Errorf("scalable: initial state has %d entries, want %d", len(x0), m.N)
+	}
+	return m.inferFrom(mat.CopyVec(x0), obs, rng.New(m.cfg.Seed))
+}
+
+func (m *Machine) inferFrom(x []float64, obs []Observation, r *rng.RNG) (*Result, error) {
+	clamped := make([]bool, m.N)
+	for _, o := range obs {
+		if o.Index < 0 || o.Index >= m.N {
+			return nil, fmt.Errorf("scalable: observation index %d out of range [0,%d)", o.Index, m.N)
+		}
+		if math.Abs(o.Value) > m.cfg.VRail {
+			return nil, fmt.Errorf("scalable: observation value %g exceeds rail %g", o.Value, m.cfg.VRail)
+		}
+		x[o.Index] = o.Value
+		clamped[o.Index] = true
+	}
+	steps := int(m.cfg.MaxTimeNs / m.cfg.Dt)
+	if steps < 1 {
+		return nil, errors.New("scalable: MaxTimeNs shorter than one timestep")
+	}
+
+	intraCur := make([]float64, m.N)
+	deriv := make([]float64, m.N)
+	// contrib[k] is the coupling current of slice k ("mapping" k). The
+	// live mapping is a real analog connection and refreshes from the
+	// fresh state every step; an inactive mapping's CU sample-and-hold
+	// keeps the current it carried when last live. Mappings that have
+	// never been live contribute nothing yet — cross-mapping information
+	// only propagates as the Switch Controller rotates through them, one
+	// synchronization interval at a time.
+	contrib := make([][]float64, len(m.phases))
+	interSum := make([]float64, m.N)
+	for k := range m.phases {
+		contrib[k] = make([]float64, m.N)
+	}
+	m.phases[0].MulVec(x, contrib[0])
+	for i, v := range contrib[0] {
+		interSum[i] += v
+	}
+	refresh := func(k int) {
+		for i, v := range contrib[k] {
+			interSum[i] -= v
+		}
+		m.phases[k].MulVec(x, contrib[k])
+		for i, v := range contrib[k] {
+			interSum[i] += v
+		}
+	}
+
+	noisy := m.cfg.NodeNoise > 0 || m.cfg.CouplerNoise > 0
+	var couplerScale float64
+	if noisy {
+		couplerScale = m.typicalCoupling()
+	}
+
+	phase := 0
+	nextSwitch := m.cfg.SwitchIntervalNs
+	annealT := 0.0
+	switches := 0
+	settled := false
+	// Steps per full slice cycle, for the temporal-mode convergence check.
+	checkEvery := int(m.cfg.SwitchIntervalNs*float64(len(m.phases))/m.cfg.Dt) + 1
+	if checkEvery < 32 {
+		checkEvery = 32
+	}
+
+	for s := 0; s < steps; s++ {
+		m.intra.MulVec(x, intraCur)
+		refresh(phase)
+		maxD := 0.0
+		for i := 0; i < m.N; i++ {
+			if clamped[i] {
+				deriv[i] = 0
+				continue
+			}
+			cur := intraCur[i] + interSum[i]
+			if noisy && m.cfg.CouplerNoise > 0 {
+				cur += r.NormScaled(0, m.cfg.CouplerNoise*couplerScale)
+			}
+			d := cur + m.params.H[i]*x[i]
+			if noisy && m.cfg.NodeNoise > 0 {
+				d += r.NormScaled(0, m.cfg.NodeNoise)
+			}
+			if x[i] >= m.cfg.VRail && d > 0 {
+				d = 0
+			} else if x[i] <= -m.cfg.VRail && d < 0 {
+				d = 0
+			}
+			deriv[i] = d
+			if a := math.Abs(d); a > maxD {
+				maxD = a
+			}
+		}
+		for i := 0; i < m.N; i++ {
+			x[i] += m.cfg.Dt * deriv[i]
+		}
+		mat.Clamp(x, -m.cfg.VRail, m.cfg.VRail)
+		annealT += m.cfg.Dt
+
+		// Convergence: a single-slice mapping settles when its own residual
+		// vanishes; a multiplexed mapping carries switching ripple, so the
+		// true (full-coupling) residual is checked once per slice cycle.
+		if len(m.phases) == 1 {
+			if maxD < m.cfg.SettleTol && m.fullResidual(x, clamped) < m.cfg.SettleTol*10 {
+				settled = true
+				break
+			}
+		} else if s%checkEvery == checkEvery-1 {
+			if m.fullResidual(x, clamped) < m.cfg.SettleTol*10 {
+				settled = true
+				break
+			}
+		}
+		if len(m.phases) > 1 && annealT >= nextSwitch {
+			phase = (phase + 1) % len(m.phases)
+			switches++
+			nextSwitch += m.cfg.SwitchIntervalNs
+		}
+	}
+	return &Result{
+		Voltage:   x,
+		AnnealNs:  annealT,
+		LatencyNs: annealT + float64(switches)*m.cfg.SwitchOverheadNs,
+		Settled:   settled,
+		Switches:  switches,
+		Energy:    m.EnergyAt(x),
+	}, nil
+}
+
+// fullResidual evaluates max |dσ/dt| with every coupling live and fresh —
+// the true equilibrium condition of the underlying dynamical system.
+func (m *Machine) fullResidual(x []float64, clamped []bool) float64 {
+	buf := m.intra.MulVec(x, nil)
+	for _, ph := range m.phases {
+		tmp := ph.MulVec(x, nil)
+		for i := range buf {
+			buf[i] += tmp[i]
+		}
+	}
+	maxD := 0.0
+	for i := 0; i < m.N; i++ {
+		if clamped[i] {
+			continue
+		}
+		d := buf[i] + m.params.H[i]*x[i]
+		if x[i] >= m.cfg.VRail && d > 0 {
+			d = 0
+		} else if x[i] <= -m.cfg.VRail && d < 0 {
+			d = 0
+		}
+		if a := math.Abs(d); a > maxD {
+			maxD = a
+		}
+	}
+	return maxD
+}
+
+// EnergyAt evaluates the real-valued Hamiltonian of the compiled system
+// (all couplings, intra and inter) at state x.
+func (m *Machine) EnergyAt(x []float64) float64 {
+	var e float64
+	addJ := func(s *mat.CSR) {
+		for i := 0; i < s.Rows; i++ {
+			for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+				e -= 0.5 * s.Val[p] * x[i] * x[s.ColIdx[p]]
+			}
+		}
+	}
+	addJ(m.intra)
+	for _, ph := range m.phases {
+		addJ(ph)
+	}
+	for i, h := range m.params.H {
+		e -= 0.5 * h * x[i] * x[i]
+	}
+	return e
+}
+
+// typicalCoupling estimates the nominal coupling-current magnitude for
+// multiplicative coupler-noise scaling.
+func (m *Machine) typicalCoupling() float64 {
+	var sum float64
+	cnt := 0
+	for _, v := range m.intra.Val {
+		sum += math.Abs(v)
+		cnt++
+	}
+	for _, ph := range m.phases {
+		for _, v := range ph.Val {
+			sum += math.Abs(v)
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 1
+	}
+	return sum / float64(m.N)
+}
+
+// EffectiveJ reconstructs the total coupling matrix the compiled machine
+// realizes (intra + all slices); for a lossless compilation this equals
+// the trained J. Used by tests and by the DS-GL-Spatial accuracy
+// accounting.
+func (m *Machine) EffectiveJ() *mat.Dense {
+	out := m.intra.ToDense()
+	for _, ph := range m.phases {
+		out.AddM(ph.ToDense())
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package tensor
+
+import "math"
+
+// Adam is the Adam optimizer over a fixed parameter list.
+type Adam struct {
+	LR       float64
+	Beta1    float64
+	Beta2    float64
+	Eps      float64
+	Clip     float64 // max gradient element magnitude, 0 = no clipping
+	params   []*Tensor
+	mom, vel [][]float64
+	t        int
+}
+
+// NewAdam builds an optimizer for params with the given learning rate.
+func NewAdam(params []*Tensor, lr float64) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, Clip: 5, params: params}
+	a.mom = make([][]float64, len(params))
+	a.vel = make([][]float64, len(params))
+	for i, p := range params {
+		a.mom[i] = make([]float64, len(p.Data))
+		a.vel[i] = make([]float64, len(p.Data))
+	}
+	return a
+}
+
+// Step applies one update from the accumulated gradients and clears them.
+func (a *Adam) Step() {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for pi, p := range a.params {
+		if p.Grad == nil {
+			continue
+		}
+		for i, g := range p.Grad {
+			if a.Clip > 0 {
+				if g > a.Clip {
+					g = a.Clip
+				} else if g < -a.Clip {
+					g = -a.Clip
+				}
+			}
+			a.mom[pi][i] = a.Beta1*a.mom[pi][i] + (1-a.Beta1)*g
+			a.vel[pi][i] = a.Beta2*a.vel[pi][i] + (1-a.Beta2)*g*g
+			mhat := a.mom[pi][i] / c1
+			vhat := a.vel[pi][i] / c2
+			p.Data[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+		}
+	}
+	a.ZeroGrads()
+}
+
+// ZeroGrads clears every parameter gradient.
+func (a *Adam) ZeroGrads() {
+	for _, p := range a.params {
+		p.ZeroGrad()
+	}
+}

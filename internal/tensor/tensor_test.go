@@ -1,0 +1,267 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"dsgl/internal/rng"
+)
+
+// numGrad computes the numeric gradient of loss() w.r.t. p.Data[idx].
+func numGrad(p *Tensor, idx int, loss func() *Tensor) float64 {
+	const eps = 1e-6
+	orig := p.Data[idx]
+	p.Data[idx] = orig + eps
+	up := loss().Data[0]
+	p.Data[idx] = orig - eps
+	down := loss().Data[0]
+	p.Data[idx] = orig
+	return (up - down) / (2 * eps)
+}
+
+// checkGrads verifies analytic vs numeric gradients of loss() for every
+// element of every param.
+func checkGrads(t *testing.T, params []*Tensor, loss func() *Tensor) {
+	t.Helper()
+	l := loss()
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+	l.Backward()
+	for pi, p := range params {
+		for i := range p.Data {
+			want := numGrad(p, i, loss)
+			got := p.Grad[i]
+			if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+				t.Fatalf("param %d elem %d: grad %g, numeric %g", pi, i, got, want)
+			}
+		}
+	}
+}
+
+func TestMatMulForward(t *testing.T) {
+	a := FromData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromData(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Fatalf("MatMul[%d] = %g, want %g", i, c.Data[i], v)
+		}
+	}
+}
+
+func TestMatMulGrad(t *testing.T) {
+	r := rng.New(1)
+	a := Param(3, 4, r)
+	b := Param(4, 2, r)
+	target := New(3, 2)
+	r.FillUniform(target.Data, -1, 1)
+	checkGrads(t, []*Tensor{a, b}, func() *Tensor {
+		return MSE(MatMul(a, b), target)
+	})
+}
+
+func TestAddBroadcastGrad(t *testing.T) {
+	r := rng.New(2)
+	a := Param(3, 4, r)
+	bias := Param(1, 4, r)
+	target := New(3, 4)
+	checkGrads(t, []*Tensor{a, bias}, func() *Tensor {
+		return MSE(Add(a, bias), target)
+	})
+}
+
+func TestSubMulGrad(t *testing.T) {
+	r := rng.New(3)
+	a := Param(2, 3, r)
+	b := Param(2, 3, r)
+	target := New(2, 3)
+	checkGrads(t, []*Tensor{a, b}, func() *Tensor {
+		return MSE(Mul(Sub(a, b), a), target)
+	})
+}
+
+func TestActivationsGrad(t *testing.T) {
+	r := rng.New(4)
+	for name, act := range map[string]func(*Tensor) *Tensor{
+		"tanh":    Tanh,
+		"sigmoid": Sigmoid,
+		"relu":    ReLU,
+	} {
+		a := Param(2, 3, r)
+		// Keep ReLU inputs away from the kink.
+		for i := range a.Data {
+			if math.Abs(a.Data[i]) < 0.05 {
+				a.Data[i] = 0.1
+			}
+		}
+		target := New(2, 3)
+		t.Run(name, func(t *testing.T) {
+			checkGrads(t, []*Tensor{a}, func() *Tensor {
+				return MSE(act(a), target)
+			})
+		})
+	}
+}
+
+func TestConcatSliceGrad(t *testing.T) {
+	r := rng.New(5)
+	a := Param(2, 2, r)
+	b := Param(2, 3, r)
+	target := New(2, 2)
+	checkGrads(t, []*Tensor{a, b}, func() *Tensor {
+		cat := ConcatCols(a, b)
+		return MSE(SliceCols(cat, 1, 3), target)
+	})
+}
+
+func TestSoftmaxRowsGrad(t *testing.T) {
+	r := rng.New(6)
+	a := Param(3, 4, r)
+	target := New(3, 4)
+	r.FillUniform(target.Data, 0, 1)
+	checkGrads(t, []*Tensor{a}, func() *Tensor {
+		return MSE(SoftmaxRows(a), target)
+	})
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	r := rng.New(7)
+	a := New(3, 5)
+	r.FillUniform(a.Data, -3, 3)
+	s := SoftmaxRows(a)
+	for i := 0; i < 3; i++ {
+		var sum float64
+		for j := 0; j < 5; j++ {
+			sum += s.At(i, j)
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("row %d sums to %g", i, sum)
+		}
+	}
+}
+
+func TestTransposeGrad(t *testing.T) {
+	r := rng.New(8)
+	a := Param(2, 3, r)
+	target := New(3, 2)
+	checkGrads(t, []*Tensor{a}, func() *Tensor {
+		return MSE(Transpose(a), target)
+	})
+}
+
+func TestScaleSumGrad(t *testing.T) {
+	r := rng.New(9)
+	a := Param(2, 2, r)
+	checkGrads(t, []*Tensor{a}, func() *Tensor {
+		return SumScalar(Scale(Mul(a, a), 0.5))
+	})
+}
+
+func TestChainedGraphGrad(t *testing.T) {
+	// A small MLP: y = W2 tanh(W1 x + b1) — the composite case the GNNs
+	// rely on.
+	r := rng.New(10)
+	x := New(4, 3)
+	r.FillUniform(x.Data, -1, 1)
+	w1 := Param(3, 5, r)
+	b1 := ZeroParam(1, 5)
+	w2 := Param(5, 2, r)
+	target := New(4, 2)
+	r.FillUniform(target.Data, -1, 1)
+	checkGrads(t, []*Tensor{w1, b1, w2}, func() *Tensor {
+		h := Tanh(Add(MatMul(x, w1), b1))
+		return MSE(MatMul(h, w2), target)
+	})
+}
+
+func TestReusedTensorAccumulatesGrad(t *testing.T) {
+	// A tensor used twice must receive the sum of both paths' gradients.
+	r := rng.New(11)
+	a := Param(2, 2, r)
+	checkGrads(t, []*Tensor{a}, func() *Tensor {
+		return SumScalar(Add(Mul(a, a), a))
+	})
+}
+
+func TestBackwardRequiresScalar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 2).Backward()
+}
+
+func TestNoTapeForConstants(t *testing.T) {
+	a := New(2, 2)
+	b := New(2, 2)
+	c := MatMul(a, b)
+	if c.backward != nil {
+		t.Fatal("constant-only op should not record a tape")
+	}
+}
+
+func TestAdamReducesLoss(t *testing.T) {
+	r := rng.New(12)
+	// Fit y = x W_true with a linear model.
+	wTrue := New(3, 2)
+	r.FillUniform(wTrue.Data, -1, 1)
+	x := New(16, 3)
+	r.FillUniform(x.Data, -1, 1)
+	y := MatMul(x, wTrue)
+
+	w := Param(3, 2, r)
+	opt := NewAdam([]*Tensor{w}, 0.05)
+	var first, last float64
+	for epoch := 0; epoch < 200; epoch++ {
+		loss := MSE(MatMul(x, w), y)
+		if epoch == 0 {
+			first = loss.Data[0]
+		}
+		last = loss.Data[0]
+		loss.Backward()
+		opt.Step()
+	}
+	if last > first*0.01 {
+		t.Fatalf("Adam barely converged: %g -> %g", first, last)
+	}
+}
+
+func TestAdamClipStabilizes(t *testing.T) {
+	r := rng.New(13)
+	w := Param(1, 1, r)
+	w.Data[0] = 0
+	opt := NewAdam([]*Tensor{w}, 0.1)
+	// Huge gradient must be clipped to Clip before the update.
+	w.ensureGrad()
+	w.Grad[0] = 1e9
+	opt.Step()
+	if math.IsNaN(w.Data[0]) || math.Abs(w.Data[0]) > 1 {
+		t.Fatalf("clipped update moved param to %g", w.Data[0])
+	}
+}
+
+func TestFromDataPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromData(2, 2, []float64{1})
+}
+
+func TestParamInitBounded(t *testing.T) {
+	r := rng.New(14)
+	p := Param(10, 10, r)
+	limit := math.Sqrt(6.0 / 20)
+	for _, v := range p.Data {
+		if math.Abs(v) > limit {
+			t.Fatalf("param init %g exceeds Glorot limit %g", v, limit)
+		}
+	}
+	if !p.RequiresGrad() {
+		t.Fatal("Param must require grad")
+	}
+}

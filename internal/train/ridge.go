@@ -1,0 +1,263 @@
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"dsgl/internal/mat"
+)
+
+// RidgeInit solves the graph-learning training objective in closed form for
+// the observed-to-unknown couplings: for every unknown variable u it fits
+// the ridge regression
+//
+//	σ_u ≈ Σ_i W[u][i] σ_obs[i],  W = (Xᵀ X + λI)⁻¹ Xᵀ Y
+//
+// over the training windows and installs the weights as couplings
+// J[u][obs_i] = W[u][i] with h_u = -1, so the regression of Eq. 10
+// reproduces the fit exactly. Unknown-to-unknown couplings start at zero;
+// the subsequent gradient fine-tune is free to grow them where joint
+// annealing helps.
+//
+// This is the same objective Fit optimizes — the closed form simply lands
+// on the optimum directly for the clamped-input block, which stochastic
+// training approaches slowly.
+func RidgeInit(samples [][]float64, observed []bool, lambda float64) (*Params, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("train: no samples")
+	}
+	n := len(samples[0])
+	if len(observed) != n {
+		return nil, fmt.Errorf("train: observed mask has %d entries, want %d", len(observed), n)
+	}
+	if lambda <= 0 {
+		return nil, fmt.Errorf("train: ridge lambda must be positive, got %g", lambda)
+	}
+	var obsIdx, unkIdx []int
+	for i, o := range observed {
+		if o {
+			obsIdx = append(obsIdx, i)
+		} else {
+			unkIdx = append(unkIdx, i)
+		}
+	}
+	if len(obsIdx) == 0 || len(unkIdx) == 0 {
+		return nil, fmt.Errorf("train: need both observed and unknown variables (%d/%d)", len(obsIdx), len(unkIdx))
+	}
+
+	no, nu := len(obsIdx), len(unkIdx)
+	// Gram matrix G = Xᵀ X over observed columns and cross term B = Xᵀ Y.
+	g := mat.NewDense(no, no)
+	b := mat.NewDense(no, nu)
+	for _, smp := range samples {
+		if len(smp) != n {
+			return nil, fmt.Errorf("train: ragged samples")
+		}
+		for i := 0; i < no; i++ {
+			vi := smp[obsIdx[i]]
+			if vi == 0 {
+				continue
+			}
+			grow := g.Row(i)
+			for j := i; j < no; j++ {
+				grow[j] += vi * smp[obsIdx[j]]
+			}
+			brow := b.Row(i)
+			for u := 0; u < nu; u++ {
+				brow[u] += vi * smp[unkIdx[u]]
+			}
+		}
+	}
+	for i := 0; i < no; i++ {
+		for j := 0; j < i; j++ {
+			g.Set(i, j, g.At(j, i))
+		}
+		g.Add(i, i, lambda)
+	}
+	w, err := solveMulti(g, b)
+	if err != nil {
+		return nil, err
+	}
+
+	j := mat.NewDense(n, n)
+	h := make([]float64, n)
+	for i := range h {
+		h[i] = -1
+	}
+	for u := 0; u < nu; u++ {
+		for i := 0; i < no; i++ {
+			j.Set(unkIdx[u], obsIdx[i], w.At(i, u))
+		}
+	}
+	j.ZeroDiagonal()
+	return &Params{J: j, H: h}, nil
+}
+
+// solveMulti solves A X = B for X by Gaussian elimination with partial
+// pivoting. A is overwritten.
+func solveMulti(a, b *mat.Dense) (*mat.Dense, error) {
+	n := a.Rows
+	if a.Cols != n || b.Rows != n {
+		return nil, fmt.Errorf("train: solveMulti shape mismatch")
+	}
+	m := b.Cols
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a.At(r, col)) > math.Abs(a.At(piv, col)) {
+				piv = r
+			}
+		}
+		if a.At(piv, col) == 0 {
+			return nil, fmt.Errorf("train: singular system at column %d", col)
+		}
+		if piv != col {
+			swapRows(a, piv, col)
+			swapRows(b, piv, col)
+		}
+		pv := a.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := a.At(r, col) / pv
+			if f == 0 {
+				continue
+			}
+			arow, acol := a.Row(r), a.Row(col)
+			for c := col; c < n; c++ {
+				arow[c] -= f * acol[c]
+			}
+			brow, bcol := b.Row(r), b.Row(col)
+			for c := 0; c < m; c++ {
+				brow[c] -= f * bcol[c]
+			}
+		}
+	}
+	x := mat.NewDense(n, m)
+	for r := n - 1; r >= 0; r-- {
+		xrow, brow := x.Row(r), b.Row(r)
+		arow := a.Row(r)
+		for c := 0; c < m; c++ {
+			s := brow[c]
+			for k := r + 1; k < n; k++ {
+				s -= arow[k] * x.At(k, c)
+			}
+			xrow[c] = s / arow[r]
+		}
+	}
+	return x, nil
+}
+
+func swapRows(m *mat.Dense, a, b int) {
+	if a == b {
+		return
+	}
+	ra, rb := m.Row(a), m.Row(b)
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}
+
+// MaskedRidge re-solves the training objective in closed form with J's
+// support confined to a coupling mask — the "parameter fine-tune with
+// patterns" step of Sec. IV.B. For every unknown variable u it fits a
+// ridge regression over only the observed variables the interconnect mask
+// allows it to couple with, using one shared Gram matrix over the observed
+// block. Unknown-to-unknown couplings are left at zero: they would be
+// fitted against ground-truth values that are unavailable at inference
+// time (exposure bias), which measurably hurts the annealed solution.
+func MaskedRidge(samples [][]float64, observed []bool, mask *mat.Bool, lambda float64) (*Params, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("train: no samples")
+	}
+	n := len(samples[0])
+	if len(observed) != n {
+		return nil, fmt.Errorf("train: observed mask has %d entries, want %d", len(observed), n)
+	}
+	if mask == nil || mask.Rows != n || mask.Cols != n {
+		return nil, fmt.Errorf("train: coupling mask missing or mis-shaped")
+	}
+	if lambda <= 0 {
+		return nil, fmt.Errorf("train: ridge lambda must be positive, got %g", lambda)
+	}
+	var obsIdx, unkIdx []int
+	obsPos := make([]int, n) // global index -> position in obsIdx
+	for i, o := range observed {
+		if o {
+			obsPos[i] = len(obsIdx)
+			obsIdx = append(obsIdx, i)
+		} else {
+			obsPos[i] = -1
+			unkIdx = append(unkIdx, i)
+		}
+	}
+	if len(obsIdx) == 0 || len(unkIdx) == 0 {
+		return nil, fmt.Errorf("train: need both observed and unknown variables (%d/%d)", len(obsIdx), len(unkIdx))
+	}
+	no := len(obsIdx)
+
+	// Shared Gram over the observed block and cross moments to every
+	// unknown target.
+	g := mat.NewDense(no, no)
+	b := mat.NewDense(no, len(unkIdx))
+	for _, smp := range samples {
+		if len(smp) != n {
+			return nil, fmt.Errorf("train: ragged samples")
+		}
+		for i := 0; i < no; i++ {
+			vi := smp[obsIdx[i]]
+			if vi == 0 {
+				continue
+			}
+			grow := g.Row(i)
+			for j := i; j < no; j++ {
+				grow[j] += vi * smp[obsIdx[j]]
+			}
+			brow := b.Row(i)
+			for u := range unkIdx {
+				brow[u] += vi * smp[unkIdx[u]]
+			}
+		}
+	}
+	for i := 0; i < no; i++ {
+		for j := 0; j < i; j++ {
+			g.Set(i, j, g.At(j, i))
+		}
+	}
+
+	j := mat.NewDense(n, n)
+	h := make([]float64, n)
+	for i := range h {
+		h[i] = -1
+	}
+	for u, uIdx := range unkIdx {
+		// Columns this row may couple with: masked AND observed.
+		var cols []int
+		for c := 0; c < n; c++ {
+			if c != uIdx && mask.At(uIdx, c) && observed[c] {
+				cols = append(cols, obsPos[c])
+			}
+		}
+		if len(cols) == 0 {
+			continue // isolated row predicts 0 (the normalized mean)
+		}
+		s := len(cols)
+		sub := mat.NewDense(s, s)
+		rhs := mat.NewDense(s, 1)
+		for a := 0; a < s; a++ {
+			for c := 0; c < s; c++ {
+				sub.Set(a, c, g.At(cols[a], cols[c]))
+			}
+			sub.Add(a, a, lambda)
+			rhs.Set(a, 0, b.At(cols[a], u))
+		}
+		wts, err := solveMulti(sub, rhs)
+		if err != nil {
+			return nil, fmt.Errorf("train: masked ridge row %d: %w", uIdx, err)
+		}
+		for a := 0; a < s; a++ {
+			j.Set(uIdx, obsIdx[cols[a]], wts.At(a, 0))
+		}
+	}
+	j.ZeroDiagonal()
+	return &Params{J: j, H: h}, nil
+}

@@ -1,0 +1,146 @@
+package dsgl
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"dsgl/internal/community"
+	"dsgl/internal/mat"
+	"dsgl/internal/scalable"
+	"dsgl/internal/train"
+)
+
+// modelSnapshot is the serialized form of a trained Model: everything
+// needed to rebuild the compiled machine except the dataset itself (which
+// is regenerable from its seed or reloadable from CSV).
+type modelSnapshot struct {
+	// Format guards against incompatible future layouts.
+	Format int
+
+	DatasetName string
+	WindowLen   int
+
+	Opts Options
+
+	JRows, JCols int
+	JData        []float64
+	H            []float64
+
+	PEOf         []int
+	GridW, GridH int
+	Capacity     int
+
+	MaskRows, MaskCols int
+	MaskData           []bool
+}
+
+const snapshotFormat = 1
+
+// Save serializes the trained model (parameters, placement, and coupling
+// mask) so inference can resume in a later process without retraining.
+// The dataset is not embedded; pass the same dataset to Load.
+func (m *Model) Save(w io.Writer) error {
+	mask := m.maskSnapshot()
+	opts := m.Opts
+	opts.DenseInit = nil // never embed the dense phase in snapshots
+	snap := modelSnapshot{
+		Format:      snapshotFormat,
+		DatasetName: m.Dataset.Name,
+		WindowLen:   m.Dataset.WindowLen(),
+		Opts:        opts,
+		JRows:       m.Tuned.J.Rows,
+		JCols:       m.Tuned.J.Cols,
+		JData:       m.Tuned.J.Data,
+		H:           m.Tuned.H,
+		PEOf:        m.Assignment.PEOf,
+		GridW:       m.Assignment.GridW,
+		GridH:       m.Assignment.GridH,
+		Capacity:    m.Assignment.Capacity,
+		MaskRows:    mask.Rows,
+		MaskCols:    mask.Cols,
+		MaskData:    mask.Data,
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// maskSnapshot reconstructs the effective coupling mask from the tuned
+// support (the mask itself is not retained on the model; the tuned J's
+// support is exactly the masked support after the closed-form refit).
+func (m *Model) maskSnapshot() *mat.Bool {
+	n := m.Tuned.Dim()
+	mask := mat.NewBool(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && m.Tuned.J.At(i, j) != 0 {
+				mask.Set(i, j, true)
+			}
+		}
+	}
+	return mask
+}
+
+// Load rebuilds a trained model from a snapshot written by Save. ds must
+// be the dataset the model was trained on (same name and window geometry).
+func Load(r io.Reader, ds *Dataset) (*Model, error) {
+	var snap modelSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("dsgl: decoding snapshot: %w", err)
+	}
+	if snap.Format != snapshotFormat {
+		return nil, fmt.Errorf("dsgl: snapshot format %d unsupported (want %d)", snap.Format, snapshotFormat)
+	}
+	if ds.Name != snap.DatasetName {
+		return nil, fmt.Errorf("dsgl: snapshot is for dataset %q, got %q", snap.DatasetName, ds.Name)
+	}
+	if ds.WindowLen() != snap.WindowLen {
+		return nil, fmt.Errorf("dsgl: snapshot window length %d, dataset has %d", snap.WindowLen, ds.WindowLen())
+	}
+	tuned := &train.Params{
+		J: mat.NewDenseFrom(snap.JRows, snap.JCols, snap.JData),
+		H: snap.H,
+	}
+	if err := tuned.Validate(); err != nil {
+		return nil, fmt.Errorf("dsgl: snapshot parameters: %w", err)
+	}
+	assign := &community.Assignment{
+		PEOf:     snap.PEOf,
+		NodesOf:  make([][]int, snap.GridW*snap.GridH),
+		GridW:    snap.GridW,
+		GridH:    snap.GridH,
+		Capacity: snap.Capacity,
+	}
+	for node, pe := range assign.PEOf {
+		if pe < 0 || pe >= len(assign.NodesOf) {
+			return nil, fmt.Errorf("dsgl: snapshot places node %d on invalid PE %d", node, pe)
+		}
+		assign.NodesOf[pe] = append(assign.NodesOf[pe], node)
+	}
+	if err := assign.Validate(); err != nil {
+		return nil, fmt.Errorf("dsgl: snapshot assignment: %w", err)
+	}
+	mask := &mat.Bool{Rows: snap.MaskRows, Cols: snap.MaskCols, Data: snap.MaskData}
+	opts := snap.Opts
+	machine, err := scalable.Build(tuned, assign, mask, scalable.Config{
+		Lanes:            opts.Lanes,
+		TemporalDisabled: opts.TemporalDisabled,
+		SyncIntervalNs:   opts.SyncIntervalNs,
+		MaxTimeNs:        opts.MaxInferNs,
+		NodeNoise:        opts.NodeNoise,
+		CouplerNoise:     opts.CouplerNoise,
+		Seed:             opts.Seed + 2,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dsgl: rebuilding machine: %w", err)
+	}
+	return &Model{
+		Dataset:    ds,
+		Opts:       opts,
+		Dense:      tuned, // the dense phase is not persisted; reuse tuned
+		Tuned:      tuned,
+		Assignment: assign,
+		Machine:    machine,
+		unknown:    ds.UnknownIndices(),
+		observed:   ds.ObservedMask(),
+	}, nil
+}

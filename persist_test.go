@@ -1,0 +1,67 @@
+package dsgl
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ds := tinyDataset(t, "traffic")
+	model, err := Train(ds, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical predictions on the same window.
+	_, test := ds.Split()
+	p1, err := model.Predict(test[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := loaded.Predict(test[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1.Values {
+		if p1.Values[i] != p2.Values[i] {
+			t.Fatalf("prediction %d differs after reload: %g vs %g", i, p1.Values[i], p2.Values[i])
+		}
+	}
+	if loaded.Machine.Stats().Mode != model.Machine.Stats().Mode {
+		t.Fatal("co-annealing mode changed after reload")
+	}
+}
+
+func TestLoadRejectsWrongDataset(t *testing.T) {
+	ds := tinyDataset(t, "traffic")
+	model, err := Train(ds, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := tinyDataset(t, "no2")
+	if _, err := Load(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Fatal("expected error for mismatched dataset name")
+	}
+	shrunk := GenerateDataset("traffic", DatasetConfig{N: 8, T: 400, History: 4, Horizon: 1, Seed: 2})
+	if _, err := Load(bytes.NewReader(buf.Bytes()), shrunk); err == nil {
+		t.Fatal("expected error for mismatched window length")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	ds := tinyDataset(t, "traffic")
+	if _, err := Load(bytes.NewReader([]byte("not a snapshot")), ds); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
