@@ -1,0 +1,33 @@
+# Developer entry points for the DS-GL reproduction. Everything is plain
+# `go` underneath; the targets just pin the flags CI and the README quote.
+
+GO ?= go
+
+.PHONY: all build vet test race bench clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the batch-inference benchmarks in steady state and captures the
+# full -json event stream (benchmark results ride in "output" events) as
+# BENCH_infer.json for machine consumption, while the human-readable table
+# still lands on stdout via BENCH_infer.txt.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkInfer(Batch|With|Fresh)|BenchmarkEvaluateParallel' \
+		-benchmem -benchtime=10x -json . | tee BENCH_infer.json | \
+		$(GO) run ./cmd/benchfmt
+	@echo "wrote BENCH_infer.json"
+
+clean:
+	rm -f BENCH_infer.json

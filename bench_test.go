@@ -15,8 +15,10 @@ package dsgl_test
 //	go run ./cmd/dsgl table2
 
 import (
+	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"testing"
 
 	"dsgl"
@@ -609,4 +611,144 @@ func BenchmarkAblationRedistribution(b *testing.B) {
 		}
 		b.ReportMetric(rmse, "rmse")
 	})
+}
+
+// ---------------------------------------------------------------------------
+// Batch-inference engine: the worker pool and the zero-allocation arena.
+//
+// Compare the fresh-state path against the reusable arena, and sweep the
+// worker count (the container CI runs these with -benchtime=1x as a smoke
+// test; run locally with -benchmem for the allocs/op columns quoted in
+// README.md):
+//
+//	go test -bench='BenchmarkInfer(Batch|With|Fresh)' -benchmem
+// ---------------------------------------------------------------------------
+
+// benchBatchSetup trains a scaled-down model and precomputes the observation
+// lists for a batch of test windows. lanes=30 keeps the machine in pure
+// spatial mode; lanes=6 forces temporal+spatial co-annealing (held slices,
+// sample-and-hold refreshes).
+func benchBatchSetup(b *testing.B, lanes int) (*scalable.Machine, [][]scalable.Observation) {
+	b.Helper()
+	ds := benchDataset()
+	model, err := dsgl.Train(ds, dsgl.Options{Seed: 7, Lanes: lanes, MaxInferNs: 3000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, test := ds.Split()
+	if len(test) > 32 {
+		test = test[:32]
+	}
+	observed := ds.ObservedMask()
+	obs := make([][]scalable.Observation, len(test))
+	for i, w := range test {
+		for j, o := range observed {
+			if o {
+				obs[i] = append(obs[i], scalable.Observation{Index: j, Value: w.Full[j]})
+			}
+		}
+	}
+	return model.Machine, obs
+}
+
+// BenchmarkInferBatch sweeps the worker pool over a 32-window batch in both
+// co-annealing modes. Results are bit-identical across worker counts (each
+// window's anneal is seeded by its index), so the sweep isolates scheduling
+// cost against parallel speedup.
+func BenchmarkInferBatch(b *testing.B) {
+	nproc := runtime.GOMAXPROCS(0)
+	for _, mode := range []struct {
+		name  string
+		lanes int
+	}{{"spatial", 30}, {"temporal", 6}} {
+		m, obs := benchBatchSetup(b, mode.lanes)
+		for _, workers := range []int{1, 4, nproc} {
+			b.Run(fmt.Sprintf("%s/workers=%d", mode.name, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := m.InferBatch(obs, workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(len(obs)), "windows")
+			})
+		}
+	}
+}
+
+// BenchmarkInferWith is the steady-state single inference through a reused
+// arena — allocs/op must report 0 (enforced by TestInferWithZeroAlloc).
+func BenchmarkInferWith(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		lanes int
+	}{{"spatial", 30}, {"temporal", 6}} {
+		m, obs := benchBatchSetup(b, mode.lanes)
+		st := m.NewInferState()
+		if _, err := m.InferWith(st, obs[0], 1); err != nil { // warm-up
+			b.Fatal(err)
+		}
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.InferWith(st, obs[0], uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInferFresh is the pre-arena baseline: InferSeeded builds a fresh
+// state per call, so its allocs/op column is what the arena eliminates.
+func BenchmarkInferFresh(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		lanes int
+	}{{"spatial", 30}, {"temporal", 6}} {
+		m, obs := benchBatchSetup(b, mode.lanes)
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.InferSeeded(obs[0], uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEvaluateParallel contrasts the sequential Evaluate loop with the
+// pooled EvaluateParallel at 1 and GOMAXPROCS workers over the same windows.
+func BenchmarkEvaluateParallel(b *testing.B) {
+	ds := benchDataset()
+	model, err := dsgl.Train(ds, dsgl.Options{Seed: 7, MaxInferNs: 3000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, test := ds.Split()
+	if len(test) > 24 {
+		test = test[:24]
+	}
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := model.Evaluate(test); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("parallel/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := model.EvaluateParallel(test, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -1,0 +1,62 @@
+// Command benchfmt turns the `go test -json` event stream of a benchmark
+// run back into the human-readable benchmark table. `make bench` pipes the
+// stream through it while tee-ing the raw JSON to BENCH_infer.json, so one
+// run yields both the machine-readable artifact and the console table.
+//
+//	go test -run '^$' -bench . -json . | tee BENCH.json | go run ./cmd/benchfmt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// event is the subset of test2json's event schema we care about.
+type event struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	// test2json splits one console line across several "output" events (the
+	// benchmark name is emitted before the timing completes), so first
+	// reassemble the raw stream, then filter whole lines.
+	var raw strings.Builder
+	for sc.Scan() {
+		line := sc.Bytes()
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			// Not a JSON event (plain `go test` output): pass through.
+			raw.Write(line)
+			raw.WriteByte('\n')
+			continue
+		}
+		if ev.Action == "output" {
+			raw.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfmt:", err)
+		os.Exit(1)
+	}
+	for _, out := range strings.SplitAfter(raw.String(), "\n") {
+		// Keep benchmark result lines, headers, and the final verdict;
+		// drop run announcements and per-test chatter.
+		keep := strings.Contains(out, "ns/op") ||
+			strings.HasPrefix(out, "goos:") ||
+			strings.HasPrefix(out, "goarch:") ||
+			strings.HasPrefix(out, "pkg:") ||
+			strings.HasPrefix(out, "cpu:") ||
+			strings.HasPrefix(out, "PASS") ||
+			strings.HasPrefix(out, "FAIL") ||
+			strings.HasPrefix(out, "ok ")
+		if keep {
+			fmt.Print(out)
+		}
+	}
+}

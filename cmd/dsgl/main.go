@@ -40,6 +40,7 @@ func main() {
 	evalWindows := fs.Int("eval", 30, "test windows evaluated per configuration")
 	gnnEpochs := fs.Int("gnn-epochs", 12, "training epochs for the GNN baselines")
 	seed := fs.Uint64("seed", 7, "suite seed")
+	workers := fs.Int("workers", 0, "worker-pool size for batch inference and parameter sweeps (0 = GOMAXPROCS)")
 	if err := fs.Parse(rest); err != nil {
 		os.Exit(2)
 	}
@@ -49,6 +50,8 @@ func main() {
 		EvalWindows: *evalWindows,
 		GNNEpochs:   *gnnEpochs,
 		Seed:        *seed,
+		Parallelism: *workers,
+		Workers:     *workers,
 	}
 
 	registry := experiments.Registry()
@@ -97,7 +100,7 @@ func run(registry map[string]experiments.Runner, id string, cfg experiments.Conf
 // compiled hardware mapping (PE occupancy, slices, inter-PE traffic).
 func inspect(name string, cfg experiments.Config) error {
 	ds := dsgl.GenerateDataset(name, dsgl.DatasetConfig{N: cfg.N, T: cfg.T, Seed: cfg.Seed})
-	model, err := dsgl.Train(ds, dsgl.Options{Seed: cfg.Seed})
+	model, err := dsgl.Train(ds, dsgl.Options{Seed: cfg.Seed, Workers: cfg.Workers})
 	if err != nil {
 		return err
 	}
@@ -124,5 +127,5 @@ experiments:
   inspect  train one dataset and dump the compiled PE/CU mapping
   list     print experiment ids
 
-flags: -n, -t, -eval, -gnn-epochs, -seed (see 'dsgl <exp> -h')`)
+flags: -n, -t, -eval, -gnn-epochs, -seed, -workers (see 'dsgl <exp> -h')`)
 }

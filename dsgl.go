@@ -26,12 +26,14 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 
 	"dsgl/internal/community"
 	"dsgl/internal/datasets"
 	"dsgl/internal/dspu"
 	"dsgl/internal/metrics"
 	"dsgl/internal/pattern"
+	"dsgl/internal/pool"
 	"dsgl/internal/scalable"
 	"dsgl/internal/train"
 )
@@ -66,13 +68,22 @@ func GenerateDataset(name string, cfg DatasetConfig) *Dataset {
 func DatasetNames() []string { return datasets.Names() }
 
 // Options configures the DS-GL pipeline.
+//
+// Zero-value convention: for every numeric field, 0 means "use the
+// documented default", never "literally zero". Fields whose zero default
+// differs from their literal zero (Wormholes, TrainEpochs, Workers) accept
+// a negative value as the explicit "off"/minimum sentinel, as noted on the
+// field.
 type Options struct {
-	// Pattern is the inter-PE interconnect (default DMesh, the richest).
+	// Pattern is the inter-PE interconnect. The zero value is Chain (the
+	// cheapest); the paper's richest pattern is DMesh.
 	Pattern Pattern
 	// Density is the post-decomposition coupling-matrix density target
 	// (proportion of non-zeros; the paper sweeps 0..0.25). Default 0.10.
 	Density float64
-	// Wormholes is the budget of remote-PE super-connections. Default 4.
+	// Wormholes is the budget of remote-PE super-connections. 0 means the
+	// default budget of 4; pass a negative value to disable wormholes
+	// entirely (a budget of literally zero).
 	Wormholes int
 	// PECapacity is K, nodes per PE. Default 48 — window systems then
 	// span multi-PE grids where the interconnect patterns genuinely
@@ -87,9 +98,12 @@ type Options struct {
 	// training windows.
 	RidgeLambda float64
 	// TrainEpochs > 0 adds gradient refinement after the closed-form dense
-	// solution (default -1 via fillDefaults: closed form only).
-	// FineTuneEpochs > 0 adds gradient refinement after the closed-form
-	// masked re-solve (default 0: closed form only).
+	// solution. 0 means the default — no refinement, normalized to the -1
+	// sentinel by fillDefaults — so any negative value likewise selects
+	// "closed form only"; there is no meaningful "zero epochs but on"
+	// state. FineTuneEpochs > 0 adds gradient refinement after the
+	// closed-form masked re-solve; 0 or negative means closed form only
+	// (no sentinel needed: the default and literal zero coincide).
 	TrainEpochs, FineTuneEpochs int
 	// SyncIntervalNs is the inter-tile synchronization interval (default
 	// 200 ns, the hardware-supported rate).
@@ -104,6 +118,13 @@ type Options struct {
 	// and skips phase 1 — parameter sweeps over density/pattern reuse one
 	// dense model this way.
 	DenseInit *train.Params
+	// Workers sizes the worker pool used by EvaluateParallel and the
+	// ridge-lambda selection grid. 0 means the default,
+	// runtime.GOMAXPROCS(0); pass a negative value to force a sequential
+	// (single-worker) pool. Parallel results are bit-identical to
+	// sequential ones — every window is seeded by its index, not by
+	// scheduling order — so Workers is purely a throughput knob.
+	Workers int
 	// Seed makes the pipeline deterministic.
 	Seed uint64
 }
@@ -129,6 +150,12 @@ func (o *Options) fillDefaults() {
 	}
 	if o.MaxInferNs == 0 {
 		o.MaxInferNs = 10000
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers < 0 {
+		o.Workers = 1
 	}
 }
 
@@ -163,7 +190,7 @@ func Train(ds *Dataset, opts Options) (*Model, error) {
 		samples[i] = w.Full
 	}
 	if opts.RidgeLambda == 0 {
-		lam, err := selectLambda(ds, samples)
+		lam, err := selectLambda(ds, samples, opts.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("dsgl: lambda selection: %w", err)
 		}
@@ -274,6 +301,26 @@ type Prediction struct {
 // Predict clamps the window's observed entries and anneals the unknown
 // ones.
 func (m *Model) Predict(w datasets.Window) (*Prediction, error) {
+	return m.predictSeeded(w, m.Machine.Config().Seed)
+}
+
+// predictSeeded is Predict with an explicit anneal seed. Evaluate and
+// EvaluateParallel both give window i the seed machineSeed + i, which is
+// what makes the parallel path bit-identical to the sequential one.
+func (m *Model) predictSeeded(w datasets.Window, seed uint64) (*Prediction, error) {
+	obs, err := m.windowObservations(w)
+	if err != nil {
+		return nil, err
+	}
+	res, err := m.Machine.InferSeeded(obs, seed)
+	if err != nil {
+		return nil, err
+	}
+	return m.predictionFrom(w, res), nil
+}
+
+// windowObservations builds the clamp list for one window.
+func (m *Model) windowObservations(w datasets.Window) ([]scalable.Observation, error) {
 	if len(w.Full) != m.Tuned.Dim() {
 		return nil, fmt.Errorf("dsgl: window has %d entries, model expects %d", len(w.Full), m.Tuned.Dim())
 	}
@@ -283,10 +330,11 @@ func (m *Model) Predict(w datasets.Window) (*Prediction, error) {
 			obs = append(obs, scalable.Observation{Index: i, Value: w.Full[i]})
 		}
 	}
-	res, err := m.Machine.Infer(obs)
-	if err != nil {
-		return nil, err
-	}
+	return obs, nil
+}
+
+// predictionFrom extracts the unknown entries of an inference result.
+func (m *Model) predictionFrom(w datasets.Window, res *scalable.Result) *Prediction {
 	p := &Prediction{
 		Values:    make([]float64, len(m.unknown)),
 		Truth:     make([]float64, len(m.unknown)),
@@ -297,7 +345,7 @@ func (m *Model) Predict(w datasets.Window) (*Prediction, error) {
 		p.Values[k] = res.Voltage[idx]
 		p.Truth[k] = w.Full[idx]
 	}
-	return p, nil
+	return p
 }
 
 // Report summarizes an evaluation run.
@@ -311,7 +359,9 @@ type Report struct {
 }
 
 // Evaluate predicts every given window (nil = the dataset's test split)
-// and reports aggregate accuracy and latency.
+// sequentially and reports aggregate accuracy and latency. Window i is
+// annealed with seed machineSeed + i, so Evaluate is the bit-identical
+// sequential reference for EvaluateParallel.
 func (m *Model) Evaluate(windows []datasets.Window) (*Report, error) {
 	if windows == nil {
 		_, windows = m.Dataset.Split()
@@ -319,11 +369,12 @@ func (m *Model) Evaluate(windows []datasets.Window) (*Report, error) {
 	if len(windows) == 0 {
 		return nil, errors.New("dsgl: no windows to evaluate")
 	}
+	seed := m.Machine.Config().Seed
 	var acc metrics.Accumulator
 	var mae metrics.Accumulator
 	var lat float64
-	for _, w := range windows {
-		p, err := m.Predict(w)
+	for i, w := range windows {
+		p, err := m.predictSeeded(w, seed+uint64(i))
 		if err != nil {
 			return nil, err
 		}
@@ -331,14 +382,59 @@ func (m *Model) Evaluate(windows []datasets.Window) (*Report, error) {
 		mae.AddVec(p.Values, p.Truth)
 		lat += p.LatencyUs
 	}
+	return m.report(acc, mae, lat, len(windows)), nil
+}
+
+// EvaluateParallel is Evaluate fanned across the batch-inference engine's
+// worker pool. workers <= 0 selects Options.Workers (which itself defaults
+// to runtime.GOMAXPROCS(0)). Because every window's anneal is seeded by its
+// index and the metrics are accumulated in window order after the batch
+// completes, the report is bit-identical to Evaluate's for any worker
+// count — parallelism changes throughput, never results.
+func (m *Model) EvaluateParallel(windows []datasets.Window, workers int) (*Report, error) {
+	if windows == nil {
+		_, windows = m.Dataset.Split()
+	}
+	if len(windows) == 0 {
+		return nil, errors.New("dsgl: no windows to evaluate")
+	}
+	if workers <= 0 {
+		workers = m.Opts.Workers
+	}
+	obsList := make([][]scalable.Observation, len(windows))
+	for i, w := range windows {
+		obs, err := m.windowObservations(w)
+		if err != nil {
+			return nil, err
+		}
+		obsList[i] = obs
+	}
+	results, err := m.Machine.InferBatch(obsList, workers)
+	if err != nil {
+		return nil, err
+	}
+	var acc metrics.Accumulator
+	var mae metrics.Accumulator
+	var lat float64
+	for i, res := range results {
+		p := m.predictionFrom(windows[i], res)
+		acc.AddVec(p.Values, p.Truth)
+		mae.AddVec(p.Values, p.Truth)
+		lat += p.LatencyUs
+	}
+	return m.report(acc, mae, lat, len(windows)), nil
+}
+
+// report assembles the aggregate evaluation report.
+func (m *Model) report(acc, mae metrics.Accumulator, latUs float64, windows int) *Report {
 	return &Report{
 		RMSE:          acc.RMSE(),
 		MAE:           mae.MAE(),
-		MeanLatencyUs: lat / float64(len(windows)),
-		Windows:       len(windows),
+		MeanLatencyUs: latUs / float64(windows),
+		Windows:       windows,
 		Mode:          m.Machine.Stats().Mode.String(),
 		Stats:         m.Machine.Stats(),
-	}, nil
+	}
 }
 
 // lambdaCandidates is the grid searched when Options.RidgeLambda is zero.
@@ -346,8 +442,12 @@ var lambdaCandidates = []float64{0.03, 0.1, 0.3, 1, 3}
 
 // selectLambda picks the ridge strength that minimizes validation RMSE
 // over the unknown entries, using the last 15% of the training windows as
-// the validation slice (time-ordered, so no leakage).
-func selectLambda(ds *Dataset, samples [][]float64) (float64, error) {
+// the validation slice (time-ordered, so no leakage). The candidate grid is
+// embarrassingly parallel — each candidate solves an independent ridge
+// system — so it fans out over the shared worker pool; the winner is picked
+// by scanning candidates in grid order, which keeps the choice identical to
+// the sequential scan for any worker count.
+func selectLambda(ds *Dataset, samples [][]float64, workers int) (float64, error) {
 	nVal := len(samples) / 7
 	if nVal < 4 {
 		return 0.1, nil // too little data to validate; a safe default
@@ -355,13 +455,13 @@ func selectLambda(ds *Dataset, samples [][]float64) (float64, error) {
 	fit := samples[:len(samples)-nVal]
 	val := samples[len(samples)-nVal:]
 	unknown := ds.UnknownIndices()
-	best, bestRMSE := lambdaCandidates[0], math.Inf(1)
-	buf := make([]float64, ds.WindowLen())
-	for _, lam := range lambdaCandidates {
-		p, err := train.RidgeInit(fit, ds.ObservedMask(), lam)
+	rmse := make([]float64, len(lambdaCandidates))
+	err := pool.RunErr(workers, len(lambdaCandidates), func(i int) error {
+		p, err := train.RidgeInit(fit, ds.ObservedMask(), lambdaCandidates[i])
 		if err != nil {
-			return 0, err
+			return err
 		}
+		buf := make([]float64, ds.WindowLen())
 		var acc metrics.Accumulator
 		for _, smp := range val {
 			// With no unknown-to-unknown couplings the clamped equilibrium
@@ -371,8 +471,16 @@ func selectLambda(ds *Dataset, samples [][]float64) (float64, error) {
 				acc.Add(buf[idx], smp[idx])
 			}
 		}
-		if r := acc.RMSE(); r < bestRMSE {
-			bestRMSE = r
+		rmse[i] = acc.RMSE()
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	best, bestRMSE := lambdaCandidates[0], math.Inf(1)
+	for i, lam := range lambdaCandidates {
+		if rmse[i] < bestRMSE {
+			bestRMSE = rmse[i]
 			best = lam
 		}
 	}
@@ -413,7 +521,7 @@ func TrainDense(ds *Dataset, opts Options) (*train.Params, error) {
 		samples[i] = w.Full
 	}
 	if opts.RidgeLambda == 0 {
-		lam, err := selectLambda(ds, samples)
+		lam, err := selectLambda(ds, samples, opts.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("dsgl: lambda selection: %w", err)
 		}

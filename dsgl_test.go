@@ -2,6 +2,7 @@ package dsgl
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"dsgl/internal/metrics"
@@ -313,5 +314,90 @@ func TestAutoLambdaSelected(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("auto lambda %g not from the candidate grid", model.Opts.RidgeLambda)
+	}
+}
+
+// TestOptionsFillDefaults is the table test for every Options field's
+// zero-value behaviour, including the negative sentinels (Wormholes,
+// TrainEpochs, Workers) documented on the type.
+func TestOptionsFillDefaults(t *testing.T) {
+	maxProcs := runtime.GOMAXPROCS(0)
+	for _, tc := range []struct {
+		name string
+		in   Options
+		want Options
+	}{
+		{
+			name: "all-defaults",
+			in:   Options{},
+			want: Options{
+				Pattern: Chain, Density: 0.10, Wormholes: 4, PECapacity: 48,
+				Lanes: 30, TrainEpochs: -1, SyncIntervalNs: 200,
+				MaxInferNs: 10000, Workers: maxProcs,
+			},
+		},
+		{
+			name: "explicit-values-kept",
+			in: Options{
+				Pattern: DMesh, Density: 0.25, Wormholes: 2, PECapacity: 16,
+				Lanes: 6, TemporalDisabled: true, RidgeLambda: 0.3,
+				TrainEpochs: 5, FineTuneEpochs: 3, SyncIntervalNs: 50,
+				MaxInferNs: 500, NodeNoise: 0.1, CouplerNoise: 0.2,
+				Workers: 3, Seed: 11,
+			},
+			want: Options{
+				Pattern: DMesh, Density: 0.25, Wormholes: 2, PECapacity: 16,
+				Lanes: 6, TemporalDisabled: true, RidgeLambda: 0.3,
+				TrainEpochs: 5, FineTuneEpochs: 3, SyncIntervalNs: 50,
+				MaxInferNs: 500, NodeNoise: 0.1, CouplerNoise: 0.2,
+				Workers: 3, Seed: 11,
+			},
+		},
+		{
+			name: "negative-sentinels",
+			in:   Options{Wormholes: -1, TrainEpochs: -7, Workers: -1},
+			want: Options{
+				Pattern: Chain, Density: 0.10, Wormholes: -1, PECapacity: 48,
+				Lanes: 30, TrainEpochs: -7, SyncIntervalNs: 200,
+				MaxInferNs: 10000, Workers: 1,
+			},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.in
+			got.fillDefaults()
+			if got != tc.want {
+				t.Fatalf("fillDefaults:\n got  %+v\n want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestEvaluateParallelBitIdentical is the top-level determinism contract:
+// EvaluateParallel must reproduce Evaluate's report exactly — RMSE, MAE,
+// mean latency — for any worker count, because both seed window i with
+// machineSeed + i and accumulate metrics in window order.
+func TestEvaluateParallelBitIdentical(t *testing.T) {
+	ds := tinyDataset(t, "traffic")
+	model, err := Train(ds, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, test := ds.Split()
+	test = test[:12]
+	ref, err := model.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 8, 0} {
+		par, err := model.EvaluateParallel(test, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.RMSE != ref.RMSE || par.MAE != ref.MAE ||
+			par.MeanLatencyUs != ref.MeanLatencyUs || par.Windows != ref.Windows {
+			t.Fatalf("workers=%d: parallel report %+v != sequential %+v",
+				workers, par, ref)
+		}
 	}
 }

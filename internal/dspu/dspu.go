@@ -122,8 +122,51 @@ type Observation struct {
 	Value float64
 }
 
+// InferState is a reusable scratch arena for DSPU inference, mirroring
+// scalable.InferState: it holds the working voltages, the derivative
+// buffer, the clamp index list, and a by-value RNG so that repeated
+// inferences on one state run allocation-free after warm-up (the first call
+// also warms the integrator's and network's internal buffers).
+//
+// A state belongs to the DSPU that created it. Note that the DSPU itself is
+// not safe for concurrent use — the circuit network and integrator carry
+// shared scratch — so parallel batches build one DSPU per worker; the state
+// removes the per-call allocations within each worker.
+type InferState struct {
+	d        *DSPU
+	x        []float64
+	deriv    []float64
+	clampIdx []int
+	rng      rng.RNG
+	res      Result
+}
+
+// NewInferState allocates a scratch arena sized for this DSPU.
+func (d *DSPU) NewInferState() *InferState {
+	return &InferState{
+		d:        d,
+		x:        make([]float64, d.N),
+		deriv:    make([]float64, d.N),
+		clampIdx: make([]int, 0, d.N),
+	}
+}
+
+// Result returns the outcome of the last inference run on this state. The
+// Voltage slice aliases the state's internal buffer and is overwritten by
+// the next inference; copy it if it must outlive the state.
+func (st *InferState) Result() *Result { return &st.res }
+
+// detach deep-copies a Result so it no longer aliases scratch buffers.
+func (r *Result) detach() *Result {
+	c := *r
+	c.Voltage = mat.CopyVec(r.Voltage)
+	return &c
+}
+
 // Infer clamps the observations, randomly initializes the free nodes, and
-// anneals to equilibrium. It returns the settled state.
+// anneals to equilibrium. It returns the settled state. Successive calls
+// advance the DSPU's internal RNG, so repeated inferences explore different
+// initializations; use InferWith for explicit per-call seeding.
 func (d *DSPU) Infer(obs []Observation) (*Result, error) {
 	x := make([]float64, d.N)
 	d.rng.FillUniform(x, -0.1, 0.1)
@@ -135,8 +178,33 @@ func (d *DSPU) InferFrom(x0 []float64, obs []Observation) (*Result, error) {
 	if len(x0) != d.N {
 		return nil, fmt.Errorf("dspu: initial state has %d entries, want %d", len(x0), d.N)
 	}
-	x := mat.CopyVec(x0)
-	clamped := make([]int, 0, len(obs))
+	st := d.NewInferState()
+	copy(st.x, x0)
+	res, err := d.anneal(st, obs)
+	if err != nil {
+		return nil, err
+	}
+	return res.detach(), nil
+}
+
+// InferWith runs one inference on a reusable scratch state, seeding the
+// free-node initialization from seed (independent of the DSPU's internal
+// RNG stream). After the state's first use the call performs zero heap
+// allocations; the returned Result aliases the state's buffers.
+func (d *DSPU) InferWith(st *InferState, obs []Observation, seed uint64) (*Result, error) {
+	if st == nil || st.d != d {
+		return nil, errors.New("dspu: InferState belongs to a different DSPU")
+	}
+	st.rng.Reseed(seed)
+	st.rng.FillUniform(st.x, -0.1, 0.1)
+	return d.anneal(st, obs)
+}
+
+// anneal integrates the network from st.x to equilibrium. It is the
+// allocation-free core shared by every Infer variant.
+func (d *DSPU) anneal(st *InferState, obs []Observation) (*Result, error) {
+	x := st.x
+	st.clampIdx = st.clampIdx[:0]
 	for _, o := range obs {
 		if o.Index < 0 || o.Index >= d.N {
 			return nil, fmt.Errorf("dspu: observation index %d out of range [0,%d)", o.Index, d.N)
@@ -145,11 +213,11 @@ func (d *DSPU) InferFrom(x0 []float64, obs []Observation) (*Result, error) {
 			return nil, fmt.Errorf("dspu: observation value %g exceeds rail %g", o.Value, d.cfg.VRail)
 		}
 		x[o.Index] = o.Value
-		clamped = append(clamped, o.Index)
+		st.clampIdx = append(st.clampIdx, o.Index)
 	}
-	d.Net.ClampSet(clamped)
+	d.Net.ClampSet(st.clampIdx)
 
-	deriv := make([]float64, d.N)
+	deriv := st.deriv
 	steps := int(d.cfg.MaxTimeNs / d.cfg.Dt)
 	if steps < 1 {
 		return nil, errors.New("dspu: MaxTimeNs shorter than one timestep")
@@ -170,13 +238,14 @@ func (d *DSPU) InferFrom(x0 []float64, obs []Observation) (*Result, error) {
 			}
 		}
 	}
-	return &Result{
+	st.res = Result{
 		Voltage:     x,
 		LatencyNs:   t,
 		Steps:       taken,
 		Settled:     settled,
 		FinalEnergy: d.Net.Energy(x),
-	}, nil
+	}
+	return &st.res, nil
 }
 
 // Trace records a voltage trajectory: one sample of the full state per

@@ -13,10 +13,10 @@ import (
 	"fmt"
 	"io"
 	"runtime"
-	"sync"
 
 	"dsgl"
 	"dsgl/internal/datasets"
+	"dsgl/internal/pool"
 )
 
 // Config sizes the experiment suite.
@@ -34,8 +34,14 @@ type Config struct {
 	Datasets []string
 	// Seed drives the whole suite.
 	Seed uint64
-	// Parallelism bounds concurrent dataset-level jobs (default NumCPU).
+	// Parallelism bounds the worker pool the sweep harnesses (Fig. 10-13)
+	// fan their grid cells across (default NumCPU). Cells are seeded per
+	// configuration, so results are identical for any parallelism.
 	Parallelism int
+	// Workers sets dsgl.Options.Workers — the per-model worker pool used
+	// by EvaluateParallel and lambda selection — for the models the
+	// harnesses train (0 = runtime.GOMAXPROCS(0)).
+	Workers int
 }
 
 func (c *Config) fillDefaults() {
@@ -101,36 +107,19 @@ func (c Config) dsglModel(ds *datasets.Dataset, opts dsgl.Options) (*dsgl.Model,
 	if opts.Seed == 0 {
 		opts.Seed = c.Seed + 11
 	}
+	if opts.Workers == 0 {
+		opts.Workers = c.Workers
+	}
 	return dsgl.Train(ds, opts)
 }
 
-// parallelForEach runs fn over items with bounded parallelism, collecting
-// the first error.
+// parallelForEach fans fn over items [0, n) across the shared worker-pool
+// primitive with bounded parallelism, returning the first error in item
+// order. The sweep harnesses use it to evaluate independent grid cells
+// concurrently; each cell writes only its own slot, so output assembly
+// stays deterministic.
 func parallelForEach(par int, n int, fn func(i int) error) error {
-	if par < 1 {
-		par = 1
-	}
-	sem := make(chan struct{}, par)
-	errs := make(chan error, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		i := i
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			errs <- fn(i)
-		}()
-	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return pool.RunErr(par, n, fn)
 }
 
 // Runner dispatches an experiment by its paper identifier.

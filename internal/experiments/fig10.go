@@ -59,28 +59,42 @@ func Fig10(cfg Config, w io.Writer) error {
 			return err
 		}
 
+		// The density x pattern grid is embarrassingly parallel: every
+		// cell trains an independent decomposition from the shared dense
+		// model. Fan the cells across the worker pool, then print in
+		// grid order.
+		rmse := make([]float64, len(densities)*len(patterns))
+		err = parallelForEach(cfg.Parallelism, len(rmse), func(cell int) error {
+			di, pi := cell/len(patterns), cell%len(patterns)
+			model, err := cfg.dsglModel(ds, dsgl.Options{
+				Pattern:   patterns[pi].kind,
+				Density:   densities[di],
+				DenseInit: dense,
+			})
+			if err != nil {
+				return err
+			}
+			rep, err := model.Evaluate(test)
+			if err != nil {
+				return err
+			}
+			rmse[cell] = rep.RMSE
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+
 		fmt.Fprintf(w, "\n%s (best GNN RMSE %.4g):\n", name, bestGNN)
 		fmt.Fprintf(w, "%9s", "density")
 		for _, p := range patterns {
 			fmt.Fprintf(w, "%10s", p.name)
 		}
 		fmt.Fprintln(w)
-		for _, d := range densities {
+		for di, d := range densities {
 			fmt.Fprintf(w, "%9.2f", d)
-			for _, p := range patterns {
-				model, err := cfg.dsglModel(ds, dsgl.Options{
-					Pattern:   p.kind,
-					Density:   d,
-					DenseInit: dense,
-				})
-				if err != nil {
-					return err
-				}
-				rep, err := model.Evaluate(test)
-				if err != nil {
-					return err
-				}
-				fmt.Fprintf(w, "%10.4g", rep.RMSE)
+			for pi := range patterns {
+				fmt.Fprintf(w, "%10.4g", rmse[di*len(patterns)+pi])
 			}
 			fmt.Fprintln(w)
 		}

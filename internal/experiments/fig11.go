@@ -42,37 +42,43 @@ func Fig11(cfg Config, w io.Writer) error {
 		}
 
 		// Evaluate every operating point per budget; report the best RMSE
-		// achieved within each latency budget.
+		// achieved within each latency budget. The point x budget grid
+		// fans across the worker pool — every cell trains and evaluates
+		// an independent model.
 		type meas struct {
 			rmse, latencyUs float64
 		}
-		results := make(map[string][]meas) // point -> per-budget
-		for _, p := range points {
-			for _, budget := range budgets {
-				model, err := cfg.dsglModel(ds, dsgl.Options{
-					Pattern:          dsgl.DMesh,
-					Density:          p.density,
-					Lanes:            p.lanes,
-					TemporalDisabled: p.temporalDisabled,
-					MaxInferNs:       budget,
-					DenseInit:        dense,
-				})
-				if err != nil {
-					return err
-				}
-				rep, err := model.Evaluate(test)
-				if err != nil {
-					return err
-				}
-				results[p.name] = append(results[p.name], meas{rep.RMSE, rep.MeanLatencyUs})
+		results := make([]meas, len(points)*len(budgets)) // pi*len(budgets)+bi
+		err = parallelForEach(cfg.Parallelism, len(results), func(cell int) error {
+			p := points[cell/len(budgets)]
+			budget := budgets[cell%len(budgets)]
+			model, err := cfg.dsglModel(ds, dsgl.Options{
+				Pattern:          dsgl.DMesh,
+				Density:          p.density,
+				Lanes:            p.lanes,
+				TemporalDisabled: p.temporalDisabled,
+				MaxInferNs:       budget,
+				DenseInit:        dense,
+			})
+			if err != nil {
+				return err
 			}
+			rep, err := model.Evaluate(test)
+			if err != nil {
+				return err
+			}
+			results[cell] = meas{rep.RMSE, rep.MeanLatencyUs}
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 
 		fmt.Fprintf(w, "\n%s:\n%12s %12s\n", name, "latency(us)", "best RMSE")
 		for bi, budget := range budgets {
 			best := 0.0
-			for _, p := range points {
-				m := results[p.name][bi]
+			for pi := range points {
+				m := results[pi*len(budgets)+bi]
 				if m.latencyUs*1000 <= budget+1 && (best == 0 || m.rmse < best) {
 					best = m.rmse
 				}

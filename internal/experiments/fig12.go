@@ -24,15 +24,20 @@ func Fig12(cfg Config, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "\n%s:\n%14s %10s %12s\n", name, "sync(ns)", "RMSE", "latency(us)")
-		for _, sync := range intervals {
+		// Each synchronization interval is an independent compile+evaluate
+		// job — fan them across the worker pool and print in sweep order.
+		type meas struct {
+			rmse, latencyUs float64
+		}
+		results := make([]meas, len(intervals))
+		err = parallelForEach(cfg.Parallelism, len(intervals), func(i int) error {
 			// Few lanes force temporal+spatial mode so held slices exist
 			// and synchronization matters.
 			model, err := cfg.dsglModel(ds, dsgl.Options{
 				Pattern:        dsgl.DMesh,
 				Density:        0.10,
 				Lanes:          6,
-				SyncIntervalNs: sync,
+				SyncIntervalNs: intervals[i],
 				MaxInferNs:     5000,
 				DenseInit:      dense,
 			})
@@ -43,7 +48,16 @@ func Fig12(cfg Config, w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(w, "%14.0f %10.4g %12.3g\n", sync, rep.RMSE, rep.MeanLatencyUs)
+			results[i] = meas{rep.RMSE, rep.MeanLatencyUs}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+
+		fmt.Fprintf(w, "\n%s:\n%14s %10s %12s\n", name, "sync(ns)", "RMSE", "latency(us)")
+		for i, sync := range intervals {
+			fmt.Fprintf(w, "%14.0f %10.4g %12.3g\n", sync, results[i].rmse, results[i].latencyUs)
 		}
 	}
 	return nil

@@ -26,30 +26,44 @@ func Fig13(cfg Config, w io.Writer) error {
 		if err != nil {
 			return err
 		}
+		// The density x noise grid fans across the worker pool; every cell
+		// decomposes and evaluates independently from the shared dense
+		// model, so results land in fixed slots regardless of scheduling.
+		rmse := make([]float64, len(densities)*len(noises))
+		err = parallelForEach(cfg.Parallelism, len(rmse), func(cell int) error {
+			d := densities[cell/len(noises)]
+			n := noises[cell%len(noises)]
+			model, err := cfg.dsglModel(ds, dsgl.Options{
+				Pattern:      dsgl.DMesh,
+				Density:      d,
+				NodeNoise:    n,
+				CouplerNoise: n,
+				MaxInferNs:   8000,
+				DenseInit:    dense,
+			})
+			if err != nil {
+				return err
+			}
+			rep, err := model.Evaluate(test)
+			if err != nil {
+				return err
+			}
+			rmse[cell] = rep.RMSE
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+
 		fmt.Fprintf(w, "\n%s:\n%9s", name, "density")
 		for _, n := range noises {
 			fmt.Fprintf(w, "%10s", fmt.Sprintf("n=%.0f%%", n*100))
 		}
 		fmt.Fprintln(w)
-		for _, d := range densities {
+		for di, d := range densities {
 			fmt.Fprintf(w, "%9.2f", d)
-			for _, n := range noises {
-				model, err := cfg.dsglModel(ds, dsgl.Options{
-					Pattern:      dsgl.DMesh,
-					Density:      d,
-					NodeNoise:    n,
-					CouplerNoise: n,
-					MaxInferNs:   8000,
-					DenseInit:    dense,
-				})
-				if err != nil {
-					return err
-				}
-				rep, err := model.Evaluate(test)
-				if err != nil {
-					return err
-				}
-				fmt.Fprintf(w, "%10.4g", rep.RMSE)
+			for ni := range noises {
+				fmt.Fprintf(w, "%10.4g", rmse[di*len(noises)+ni])
 			}
 			fmt.Fprintln(w)
 		}

@@ -1,0 +1,107 @@
+package pool
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := Workers(0); got != want {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := Workers(-5); got != want {
+		t.Fatalf("Workers(-5) = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(16, 4); got != 4 {
+		t.Fatalf("Clamp(16, 4) = %d, want 4", got)
+	}
+	if got := Clamp(2, 100); got != 2 {
+		t.Fatalf("Clamp(2, 100) = %d, want 2", got)
+	}
+	if got := Clamp(5, 0); got != 1 {
+		t.Fatalf("Clamp(5, 0) = %d, want 1", got)
+	}
+}
+
+func TestRunVisitsEveryItemOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		const n = 257
+		var counts [n]atomic.Int32
+		Run(workers, n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: item %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunZeroItems(t *testing.T) {
+	called := false
+	Run(4, 0, func(int) { called = true })
+	if called {
+		t.Fatal("fn called with zero items")
+	}
+	if err := RunErr(4, 0, func(int) error { return errors.New("boom") }); err != nil {
+		t.Fatalf("RunErr on zero items: %v", err)
+	}
+}
+
+func TestRunErrReturnsFirstErrorInItemOrder(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := RunErr(4, 10, func(i int) error {
+		switch i {
+		case 3:
+			return errA
+		case 7:
+			return errB
+		}
+		return nil
+	})
+	if err != errA {
+		t.Fatalf("RunErr = %v, want first error in item order (%v)", err, errA)
+	}
+	if err := RunErr(4, 10, func(int) error { return nil }); err != nil {
+		t.Fatalf("RunErr without failures: %v", err)
+	}
+}
+
+func TestRunWorkersPassesValidWorkerIndex(t *testing.T) {
+	const workers, n = 4, 64
+	var bad atomic.Int32
+	var visited atomic.Int32
+	RunWorkers(workers, n, func(worker, i int) {
+		if worker < 0 || worker >= workers {
+			bad.Add(1)
+		}
+		visited.Add(1)
+	})
+	if bad.Load() != 0 {
+		t.Fatal("worker index out of range")
+	}
+	if visited.Load() != n {
+		t.Fatalf("visited %d items, want %d", visited.Load(), n)
+	}
+}
+
+func TestRunSequentialFallbackIsInline(t *testing.T) {
+	// With one worker the items must run on the calling goroutine in
+	// order — sequential callers get loop semantics back exactly.
+	var order []int
+	Run(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("single-worker order %v not sequential", order)
+		}
+	}
+}

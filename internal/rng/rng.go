@@ -19,6 +19,12 @@ type RNG struct {
 // New returns an RNG seeded with seed.
 func New(seed uint64) *RNG { return &RNG{state: seed} }
 
+// Reseed resets the generator to the exact stream of New(seed) without
+// allocating. Reusable scratch states (scalable.InferState, dspu.InferState)
+// embed an RNG by value and Reseed it per inference so the anneal hot loop
+// stays allocation-free.
+func (r *RNG) Reseed(seed uint64) { r.state = seed }
+
 // Split derives an independent child generator. The child's stream is
 // decorrelated from the parent's continued stream, so subsystems can be
 // given their own sources without coordinating draw counts.

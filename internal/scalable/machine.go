@@ -7,6 +7,7 @@ import (
 
 	"dsgl/internal/community"
 	"dsgl/internal/mat"
+	"dsgl/internal/pool"
 	"dsgl/internal/rng"
 	"dsgl/internal/train"
 )
@@ -35,6 +36,11 @@ func (m Mode) String() string {
 }
 
 // Config holds the hardware and runtime parameters of the Scalable DSPU.
+//
+// Zero-value convention: 0 in any numeric field means "use the documented
+// default", never "literally zero". Where a literal zero is meaningful and
+// differs from the default (SwitchOverheadNs), a negative value is the
+// explicit "zero/off" sentinel, as noted on the field.
 type Config struct {
 	// Lanes is L, the analog lanes per exporting portal. The paper uses 30.
 	Lanes int
@@ -64,7 +70,8 @@ type Config struct {
 	// SwitchOverheadNs is the dead time per mapping switch while the
 	// In-CU Weight Buffers redrive the crossbar DACs and the schedulers
 	// reload routing state (default 20 ns); it counts toward latency but
-	// performs no annealing.
+	// performs no annealing. Pass a negative value to model free switching
+	// (an overhead of literally zero).
 	SwitchOverheadNs float64
 	// TemporalDisabled selects the DS-GL-Spatial variant: couplings beyond
 	// one round are dropped instead of time-multiplexed.
@@ -100,6 +107,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.SwitchOverheadNs == 0 {
 		c.SwitchOverheadNs = 20
+	}
+	if c.SwitchOverheadNs < 0 {
+		c.SwitchOverheadNs = 0
 	}
 }
 
@@ -148,13 +158,93 @@ type Result struct {
 	Energy    float64
 }
 
+// InferState is a reusable per-worker scratch arena for Machine inference.
+// One state holds every buffer the anneal hot loop touches — the working
+// voltages, the clamp mask, the intra-PE current, the derivative, the
+// per-slice sample-and-hold contributions, their running sum, and the
+// full-residual check buffer — so that after the state's first use an
+// inference runs allocation-free (enforced by TestInferWithZeroAlloc and
+// reported by the BenchmarkInferBatch allocs/op column).
+//
+// A state belongs to the machine that created it and must not be shared
+// between goroutines; concurrent inference uses one state per worker
+// (InferBatch arranges this automatically).
+type InferState struct {
+	m        *Machine
+	x        []float64
+	clamped  []bool
+	intraCur []float64
+	deriv    []float64
+	interSum []float64
+	resBuf   []float64
+	contrib  [][]float64
+	rng      rng.RNG
+	res      Result
+}
+
+// NewInferState allocates a scratch arena sized for this machine.
+func (m *Machine) NewInferState() *InferState {
+	st := &InferState{
+		m:        m,
+		x:        make([]float64, m.N),
+		clamped:  make([]bool, m.N),
+		intraCur: make([]float64, m.N),
+		deriv:    make([]float64, m.N),
+		interSum: make([]float64, m.N),
+		resBuf:   make([]float64, m.N),
+		contrib:  make([][]float64, len(m.phases)),
+	}
+	// One backing array for all slices keeps the sample-and-hold buffers
+	// contiguous in memory (the refresh loop walks them back to back).
+	flat := make([]float64, len(m.phases)*m.N)
+	for k := range st.contrib {
+		st.contrib[k] = flat[k*m.N : (k+1)*m.N : (k+1)*m.N]
+	}
+	return st
+}
+
+// Result returns the outcome of the last inference run on this state. The
+// Voltage slice aliases the state's internal buffer and is overwritten by
+// the next inference; copy it if it must outlive the state.
+func (st *InferState) Result() *Result { return &st.res }
+
+// refreshPhase re-evaluates slice k's held contribution from the fresh
+// state: subtract the stale current, recompute, add the fresh one.
+func (st *InferState) refreshPhase(k int) {
+	contrib := st.contrib[k]
+	interSum := st.interSum
+	for i, v := range contrib {
+		interSum[i] -= v
+	}
+	st.m.phases[k].MulVec(st.x, contrib)
+	for i, v := range contrib {
+		interSum[i] += v
+	}
+}
+
+// detach deep-copies a Result so it no longer aliases scratch buffers.
+func (r *Result) detach() *Result {
+	c := *r
+	c.Voltage = mat.CopyVec(r.Voltage)
+	return &c
+}
+
 // Infer clamps the observations, initializes free nodes near zero, and runs
-// the co-annealing process to equilibrium.
+// the co-annealing process to equilibrium. It is the convenience wrapper
+// around InferWith: a fresh scratch state is allocated per call.
 func (m *Machine) Infer(obs []Observation) (*Result, error) {
-	r := rng.New(m.cfg.Seed)
-	x := make([]float64, m.N)
-	r.FillUniform(x, -0.1, 0.1)
-	return m.inferFrom(x, obs, r)
+	return m.InferSeeded(obs, m.cfg.Seed)
+}
+
+// InferSeeded is Infer with an explicit seed for free-node initialization
+// and noise. The batch engine gives window w the seed Config.Seed + w so a
+// parallel batch is bit-identical to a sequential loop over the windows.
+func (m *Machine) InferSeeded(obs []Observation, seed uint64) (*Result, error) {
+	res, err := m.InferWith(m.NewInferState(), obs, seed)
+	if err != nil {
+		return nil, err
+	}
+	return res.detach(), nil
 }
 
 // InferFrom runs inference from an explicit initial state.
@@ -162,11 +252,70 @@ func (m *Machine) InferFrom(x0 []float64, obs []Observation) (*Result, error) {
 	if len(x0) != m.N {
 		return nil, fmt.Errorf("scalable: initial state has %d entries, want %d", len(x0), m.N)
 	}
-	return m.inferFrom(mat.CopyVec(x0), obs, rng.New(m.cfg.Seed))
+	st := m.NewInferState()
+	copy(st.x, x0)
+	st.rng.Reseed(m.cfg.Seed)
+	res, err := m.inferInto(st, obs)
+	if err != nil {
+		return nil, err
+	}
+	return res.detach(), nil
 }
 
-func (m *Machine) inferFrom(x []float64, obs []Observation, r *rng.RNG) (*Result, error) {
-	clamped := make([]bool, m.N)
+// InferWith runs one inference on a reusable scratch state with an explicit
+// seed. After the state's first use the whole call — initialization, anneal
+// loop, residual checks, result — performs zero heap allocations. The
+// returned Result aliases the state's buffers (see InferState.Result).
+func (m *Machine) InferWith(st *InferState, obs []Observation, seed uint64) (*Result, error) {
+	if st == nil || st.m != m {
+		return nil, errors.New("scalable: InferState belongs to a different machine")
+	}
+	st.rng.Reseed(seed)
+	st.rng.FillUniform(st.x, -0.1, 0.1)
+	return m.inferInto(st, obs)
+}
+
+// InferBatch anneals every observation set of a batch across a pool of
+// workers (workers <= 0 selects runtime.GOMAXPROCS(0)) and returns one
+// Result per entry, in order. Each worker owns a private InferState, so the
+// per-window steady state allocates nothing; window i is seeded
+// Config.Seed + i, making the output bit-identical to calling
+// InferSeeded(obs[i], Config.Seed + i) sequentially — regardless of worker
+// count or scheduling.
+func (m *Machine) InferBatch(obs [][]Observation, workers int) ([]*Result, error) {
+	n := len(obs)
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	w := pool.Clamp(workers, n)
+	states := make([]*InferState, w)
+	for i := range states {
+		states[i] = m.NewInferState()
+	}
+	pool.RunWorkers(w, n, func(worker, i int) {
+		res, err := m.InferWith(states[worker], obs[i], m.cfg.Seed+uint64(i))
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		results[i] = res.detach()
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// inferInto runs the co-annealing process on a prepared state (st.x holds
+// the initial voltages, st.rng the noise stream). It is the allocation-free
+// core shared by every Infer variant.
+func (m *Machine) inferInto(st *InferState, obs []Observation) (*Result, error) {
+	x := st.x
+	clamped := st.clamped
+	for i := range clamped {
+		clamped[i] = false
+	}
 	for _, o := range obs {
 		if o.Index < 0 || o.Index >= m.N {
 			return nil, fmt.Errorf("scalable: observation index %d out of range [0,%d)", o.Index, m.N)
@@ -182,8 +331,8 @@ func (m *Machine) inferFrom(x []float64, obs []Observation, r *rng.RNG) (*Result
 		return nil, errors.New("scalable: MaxTimeNs shorter than one timestep")
 	}
 
-	intraCur := make([]float64, m.N)
-	deriv := make([]float64, m.N)
+	intraCur := st.intraCur
+	deriv := st.deriv
 	// contrib[k] is the coupling current of slice k ("mapping" k). The
 	// live mapping is a real analog connection and refreshes from the
 	// fresh state every step; an inactive mapping's CU sample-and-hold
@@ -191,23 +340,19 @@ func (m *Machine) inferFrom(x []float64, obs []Observation, r *rng.RNG) (*Result
 	// never been live contribute nothing yet — cross-mapping information
 	// only propagates as the Switch Controller rotates through them, one
 	// synchronization interval at a time.
-	contrib := make([][]float64, len(m.phases))
-	interSum := make([]float64, m.N)
-	for k := range m.phases {
-		contrib[k] = make([]float64, m.N)
+	interSum := st.interSum
+	for i := range interSum {
+		interSum[i] = 0
 	}
-	m.phases[0].MulVec(x, contrib[0])
-	for i, v := range contrib[0] {
+	for k := range st.contrib {
+		c := st.contrib[k]
+		for i := range c {
+			c[i] = 0
+		}
+	}
+	m.phases[0].MulVec(x, st.contrib[0])
+	for i, v := range st.contrib[0] {
 		interSum[i] += v
-	}
-	refresh := func(k int) {
-		for i, v := range contrib[k] {
-			interSum[i] -= v
-		}
-		m.phases[k].MulVec(x, contrib[k])
-		for i, v := range contrib[k] {
-			interSum[i] += v
-		}
 	}
 
 	noisy := m.cfg.NodeNoise > 0 || m.cfg.CouplerNoise > 0
@@ -215,6 +360,7 @@ func (m *Machine) inferFrom(x []float64, obs []Observation, r *rng.RNG) (*Result
 	if noisy {
 		couplerScale = m.typicalCoupling()
 	}
+	r := &st.rng
 
 	phase := 0
 	nextSwitch := m.cfg.SwitchIntervalNs
@@ -229,7 +375,7 @@ func (m *Machine) inferFrom(x []float64, obs []Observation, r *rng.RNG) (*Result
 
 	for s := 0; s < steps; s++ {
 		m.intra.MulVec(x, intraCur)
-		refresh(phase)
+		st.refreshPhase(phase)
 		maxD := 0.0
 		for i := 0; i < m.N; i++ {
 			if clamped[i] {
@@ -264,12 +410,12 @@ func (m *Machine) inferFrom(x []float64, obs []Observation, r *rng.RNG) (*Result
 		// vanishes; a multiplexed mapping carries switching ripple, so the
 		// true (full-coupling) residual is checked once per slice cycle.
 		if len(m.phases) == 1 {
-			if maxD < m.cfg.SettleTol && m.fullResidual(x, clamped) < m.cfg.SettleTol*10 {
+			if maxD < m.cfg.SettleTol && m.fullResidual(x, clamped, st.resBuf) < m.cfg.SettleTol*10 {
 				settled = true
 				break
 			}
 		} else if s%checkEvery == checkEvery-1 {
-			if m.fullResidual(x, clamped) < m.cfg.SettleTol*10 {
+			if m.fullResidual(x, clamped, st.resBuf) < m.cfg.SettleTol*10 {
 				settled = true
 				break
 			}
@@ -280,24 +426,31 @@ func (m *Machine) inferFrom(x []float64, obs []Observation, r *rng.RNG) (*Result
 			nextSwitch += m.cfg.SwitchIntervalNs
 		}
 	}
-	return &Result{
+	st.res = Result{
 		Voltage:   x,
 		AnnealNs:  annealT,
 		LatencyNs: annealT + float64(switches)*m.cfg.SwitchOverheadNs,
 		Settled:   settled,
 		Switches:  switches,
 		Energy:    m.EnergyAt(x),
-	}, nil
+	}
+	return &st.res, nil
 }
 
 // fullResidual evaluates max |dσ/dt| with every coupling live and fresh —
-// the true equilibrium condition of the underlying dynamical system.
-func (m *Machine) fullResidual(x []float64, clamped []bool) float64 {
-	buf := m.intra.MulVec(x, nil)
+// the true equilibrium condition of the underlying dynamical system. buf is
+// caller-provided scratch of length m.N: residual checks sit inside the
+// anneal loop and must not allocate.
+func (m *Machine) fullResidual(x []float64, clamped []bool, buf []float64) float64 {
+	m.intra.MulVec(x, buf)
 	for _, ph := range m.phases {
-		tmp := ph.MulVec(x, nil)
-		for i := range buf {
-			buf[i] += tmp[i]
+		// Accumulate directly into buf instead of via a temporary.
+		for i := 0; i < ph.Rows; i++ {
+			var sum float64
+			for p := ph.RowPtr[i]; p < ph.RowPtr[i+1]; p++ {
+				sum += ph.Val[p] * x[ph.ColIdx[p]]
+			}
+			buf[i] += sum
 		}
 	}
 	maxD := 0.0
@@ -340,7 +493,8 @@ func (m *Machine) EnergyAt(x []float64) float64 {
 }
 
 // typicalCoupling estimates the nominal coupling-current magnitude for
-// multiplicative coupler-noise scaling.
+// multiplicative coupler-noise scaling: the mean |J_ij| over the couplings
+// the machine actually realizes (intra plus every temporal slice).
 func (m *Machine) typicalCoupling() float64 {
 	var sum float64
 	cnt := 0
@@ -357,7 +511,7 @@ func (m *Machine) typicalCoupling() float64 {
 	if cnt == 0 {
 		return 1
 	}
-	return sum / float64(m.N)
+	return sum / float64(cnt)
 }
 
 // EffectiveJ reconstructs the total coupling matrix the compiled machine
