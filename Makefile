@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench clean
+.PHONY: all build vet test race bench verify clean
 
 all: vet build test
 
@@ -18,6 +18,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# verify trains the standard pipeline on every built-in dataset and checks
+# the five runtime invariants (energy descent, settle residual, snapshot
+# round trip, seq/par bit-identity, lossless compilation). Nonzero exit on
+# any violation; small -n keeps it CI-cheap.
+verify:
+	$(GO) run ./cmd/dsgl verify -n 16 -eval 8
 
 # bench runs the batch-inference benchmarks in steady state and captures the
 # full -json event stream (benchmark results ride in "output" events) as

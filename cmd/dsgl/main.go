@@ -7,6 +7,7 @@
 //	dsgl fig4                 # circuit-level validation (Fig. 4)
 //	dsgl fig10 -n 32 -eval 30 # accuracy vs density (Fig. 10)
 //	dsgl table2               # RMSE vs SOTA GNNs (Table II)
+//	dsgl verify               # check the five runtime invariants
 //	dsgl all                  # run the full suite in paper order
 package main
 
@@ -34,6 +35,15 @@ func main() {
 		inspectName = rest[0]
 		rest = rest[1:]
 	}
+	// "verify" takes any number of dataset names before the flags
+	// (default: every built-in workload).
+	var verifyNames []string
+	if cmd == "verify" {
+		for len(rest) > 0 && len(rest[0]) > 0 && rest[0][0] != '-' {
+			verifyNames = append(verifyNames, rest[0])
+			rest = rest[1:]
+		}
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	n := fs.Int("n", 32, "graph nodes per dataset")
 	t := fs.Int("t", 0, "series length (0 = dataset default)")
@@ -59,6 +69,11 @@ func main() {
 	case "inspect":
 		if err := inspect(inspectName, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "dsgl inspect: %v\n", err)
+			os.Exit(1)
+		}
+	case "verify":
+		if err := verify(verifyNames, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "dsgl verify: %v\n", err)
 			os.Exit(1)
 		}
 	case "list":
@@ -108,6 +123,40 @@ func inspect(name string, cfg experiments.Config) error {
 	return nil
 }
 
+// verify trains the standard pipeline on each named workload (default:
+// every built-in dataset) and runs the invariant-verification harness
+// against the trained model: monotone energy descent, equilibrium
+// residual at settle, Save/Load round-trip equivalence, sequential vs
+// parallel bit-identity, and lossless compilation. Any violation makes
+// the command exit nonzero.
+func verify(names []string, cfg experiments.Config) error {
+	if len(names) == 0 {
+		names = append(dsgl.DatasetNames(), dsgl.MultiDatasetNames()...)
+	}
+	failed := 0
+	for _, name := range names {
+		ds := dsgl.GenerateDataset(name, dsgl.DatasetConfig{N: cfg.N, T: cfg.T, Seed: cfg.Seed})
+		model, err := dsgl.Train(ds, dsgl.Options{Seed: cfg.Seed, Workers: cfg.Workers})
+		if err != nil {
+			return fmt.Errorf("%s: train: %w", name, err)
+		}
+		rep, err := model.Verify(dsgl.VerifyOptions{Windows: cfg.EvalWindows, Workers: cfg.Workers})
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("%s:\n", name)
+		rep.Fprint(os.Stdout)
+		if !rep.Ok() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d/%d datasets violated invariants", failed, len(names))
+	}
+	fmt.Printf("\nall invariants hold on %d dataset(s)\n", len(names))
+	return nil
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `dsgl — regenerate the DS-GL (ISCA 2024) evaluation
 
@@ -125,6 +174,8 @@ experiments:
   table4   multi-dimensional datasets (housing, climate)
   all      everything above, in paper order
   inspect  train one dataset and dump the compiled PE/CU mapping
+  verify   train on the named (default: all) datasets and check the
+           five runtime invariants; nonzero exit on any violation
   list     print experiment ids
 
 flags: -n, -t, -eval, -gnn-epochs, -seed, -workers (see 'dsgl <exp> -h')`)

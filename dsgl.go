@@ -31,6 +31,7 @@ import (
 	"dsgl/internal/community"
 	"dsgl/internal/datasets"
 	"dsgl/internal/dspu"
+	"dsgl/internal/mat"
 	"dsgl/internal/metrics"
 	"dsgl/internal/pattern"
 	"dsgl/internal/pool"
@@ -66,6 +67,9 @@ func GenerateDataset(name string, cfg DatasetConfig) *Dataset {
 
 // DatasetNames lists the seven single-feature workloads.
 func DatasetNames() []string { return datasets.Names() }
+
+// MultiDatasetNames lists the two multi-feature workloads (Table IV).
+func MultiDatasetNames() []string { return datasets.MultiNames() }
 
 // Options configures the DS-GL pipeline.
 //
@@ -174,6 +178,12 @@ type Model struct {
 	// Machine is the compiled Scalable DSPU.
 	Machine *scalable.Machine
 
+	// mask is the interconnect coupling mask the machine was compiled
+	// under (pattern-legal ∩ density budget). It is retained verbatim so
+	// Save persists the real mask rather than reconstructing it from the
+	// tuned J's support — the two differ whenever the closed-form refit
+	// drives a masked coupling to exactly zero.
+	mask     *mat.Bool
 	unknown  []int
 	observed []bool
 }
@@ -281,6 +291,7 @@ func Train(ds *Dataset, opts Options) (*Model, error) {
 		Tuned:      tuned,
 		Assignment: assign,
 		Machine:    machine,
+		mask:       mask,
 		unknown:    ds.UnknownIndices(),
 		observed:   ds.ObservedMask(),
 	}, nil
@@ -370,8 +381,8 @@ func (m *Model) Evaluate(windows []datasets.Window) (*Report, error) {
 		return nil, errors.New("dsgl: no windows to evaluate")
 	}
 	seed := m.Machine.Config().Seed
+	// One accumulator carries both the squared and absolute error sums.
 	var acc metrics.Accumulator
-	var mae metrics.Accumulator
 	var lat float64
 	for i, w := range windows {
 		p, err := m.predictSeeded(w, seed+uint64(i))
@@ -379,10 +390,9 @@ func (m *Model) Evaluate(windows []datasets.Window) (*Report, error) {
 			return nil, err
 		}
 		acc.AddVec(p.Values, p.Truth)
-		mae.AddVec(p.Values, p.Truth)
 		lat += p.LatencyUs
 	}
-	return m.report(acc, mae, lat, len(windows)), nil
+	return m.report(acc, lat, len(windows)), nil
 }
 
 // EvaluateParallel is Evaluate fanned across the batch-inference engine's
@@ -414,22 +424,20 @@ func (m *Model) EvaluateParallel(windows []datasets.Window, workers int) (*Repor
 		return nil, err
 	}
 	var acc metrics.Accumulator
-	var mae metrics.Accumulator
 	var lat float64
 	for i, res := range results {
 		p := m.predictionFrom(windows[i], res)
 		acc.AddVec(p.Values, p.Truth)
-		mae.AddVec(p.Values, p.Truth)
 		lat += p.LatencyUs
 	}
-	return m.report(acc, mae, lat, len(windows)), nil
+	return m.report(acc, lat, len(windows)), nil
 }
 
 // report assembles the aggregate evaluation report.
-func (m *Model) report(acc, mae metrics.Accumulator, latUs float64, windows int) *Report {
+func (m *Model) report(acc metrics.Accumulator, latUs float64, windows int) *Report {
 	return &Report{
 		RMSE:          acc.RMSE(),
-		MAE:           mae.MAE(),
+		MAE:           acc.MAE(),
 		MeanLatencyUs: latUs / float64(windows),
 		Windows:       windows,
 		Mode:          m.Machine.Stats().Mode.String(),
@@ -440,15 +448,23 @@ func (m *Model) report(acc, mae metrics.Accumulator, latUs float64, windows int)
 // lambdaCandidates is the grid searched when Options.RidgeLambda is zero.
 var lambdaCandidates = []float64{0.03, 0.1, 0.3, 1, 3}
 
+// validationCount returns the size of the lambda-selection validation
+// slice for n training windows: the last 15% (floor, in exact integer
+// arithmetic: n*3/20), pinned by TestValidationCountPinsSplit. Before this
+// was reconciled the code took n/7 (~14.3%) while the doc claimed 15%.
+func validationCount(n int) int {
+	return n * 3 / 20
+}
+
 // selectLambda picks the ridge strength that minimizes validation RMSE
 // over the unknown entries, using the last 15% of the training windows as
-// the validation slice (time-ordered, so no leakage). The candidate grid is
-// embarrassingly parallel — each candidate solves an independent ridge
-// system — so it fans out over the shared worker pool; the winner is picked
-// by scanning candidates in grid order, which keeps the choice identical to
-// the sequential scan for any worker count.
+// the validation slice (time-ordered, so no leakage; see validationCount).
+// The candidate grid is embarrassingly parallel — each candidate solves an
+// independent ridge system — so it fans out over the shared worker pool;
+// the winner is picked by scanning candidates in grid order, which keeps
+// the choice identical to the sequential scan for any worker count.
 func selectLambda(ds *Dataset, samples [][]float64, workers int) (float64, error) {
-	nVal := len(samples) / 7
+	nVal := validationCount(len(samples))
 	if nVal < 4 {
 		return 0.1, nil // too little data to validate; a safe default
 	}

@@ -401,3 +401,24 @@ func TestEvaluateParallelBitIdentical(t *testing.T) {
 		}
 	}
 }
+
+// TestValidationCountPinsSplit pins the lambda-selection validation split
+// to the documented "last 15%" (floor), computed in exact integer
+// arithmetic as n*3/20. The table includes n=20, where the old len/7 code
+// path gave 2 windows and a float round-trip int(20*0.15) also gives 2 —
+// both wrong against the documented 3.
+func TestValidationCountPinsSplit(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {6, 0}, {7, 1}, {13, 1}, {19, 2},
+		{20, 3}, {27, 4}, {40, 6}, {100, 15}, {133, 19}, {340, 51},
+	}
+	for _, tc := range cases {
+		if got := validationCount(tc.n); got != tc.want {
+			t.Errorf("validationCount(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+	// The reconciliation is observable: the old code's n/7 disagrees.
+	if old, now := 20/7, validationCount(20); old == now {
+		t.Fatal("test premise broken: n=20 no longer distinguishes n/7 from 15%")
+	}
+}

@@ -122,6 +122,21 @@ type Observation struct {
 	Value float64
 }
 
+// StepInfo is the per-step telemetry handed to a StepObserver: the step
+// index, the simulated time, and the Hamiltonian H_RV at the post-step
+// state.
+type StepInfo struct {
+	Step   int
+	TimeNs float64
+	Energy float64
+}
+
+// StepObserver receives StepInfo after every integration step of an
+// inference — the dense-path twin of scalable.StepObserver, used by the
+// invariant-verification harness to watch monotone energy descent. A nil
+// observer costs one branch per step.
+type StepObserver func(StepInfo)
+
 // InferState is a reusable scratch arena for DSPU inference, mirroring
 // scalable.InferState: it holds the working voltages, the derivative
 // buffer, the clamp index list, and a by-value RNG so that repeated
@@ -139,7 +154,13 @@ type InferState struct {
 	clampIdx []int
 	rng      rng.RNG
 	res      Result
+	observer StepObserver
 }
+
+// SetObserver installs (or, with nil, removes) a per-step observer on this
+// state. The observer applies to every subsequent inference run on the
+// state.
+func (st *InferState) SetObserver(fn StepObserver) { st.observer = fn }
 
 // NewInferState allocates a scratch arena sized for this DSPU.
 func (d *DSPU) NewInferState() *InferState {
@@ -229,6 +250,9 @@ func (d *DSPU) anneal(st *InferState, obs []Observation) (*Result, error) {
 		t = d.cfg.Integrator.Step(d.Net, t, d.cfg.Dt, x)
 		d.Net.ClampRails(x)
 		taken = s + 1
+		if st.observer != nil {
+			st.observer(StepInfo{Step: s, TimeNs: t, Energy: d.Net.Energy(x)})
+		}
 		// Convergence check every few steps to keep the hot loop tight.
 		if s%8 == 7 {
 			d.Net.Derivative(t, x, deriv)

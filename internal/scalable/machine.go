@@ -113,6 +113,12 @@ func (c *Config) fillDefaults() {
 	}
 }
 
+// settleResidualFactor relaxes SettleTol for the full-residual settle
+// check: the live-slice derivative must beat SettleTol itself, while the
+// true (all-couplings-fresh) residual — which carries sample-and-hold
+// staleness in temporal mode — must beat SettleTol * settleResidualFactor.
+const settleResidualFactor = 10
+
 // Stats describes how a mapping compiled onto the hardware.
 type Stats struct {
 	Mode              Mode
@@ -158,6 +164,28 @@ type Result struct {
 	Energy    float64
 }
 
+// StepInfo is the per-step telemetry handed to a StepObserver: the step
+// index, the simulated anneal time, the Hamiltonian of the full compiled
+// system at the post-step state (EnergyAt), the live mapping slice, the
+// live-system max |dσ/dt| that the convergence check saw, and the state
+// vector itself. X aliases the inference scratch buffer — read it during
+// the callback, copy it if it must outlive the step, never write it.
+type StepInfo struct {
+	Step     int
+	TimeNs   float64
+	Energy   float64
+	MaxDeriv float64
+	Phase    int
+	X        []float64
+}
+
+// StepObserver receives StepInfo after every integration step of an
+// inference. Observers are the hook the invariant-verification harness uses
+// to watch monotone energy descent (paper Eqs. 6-8); they run inline in the
+// anneal loop, so an installed observer trades speed for visibility. A nil
+// observer costs one branch per step and keeps the hot loop allocation-free.
+type StepObserver func(StepInfo)
+
 // InferState is a reusable per-worker scratch arena for Machine inference.
 // One state holds every buffer the anneal hot loop touches — the working
 // voltages, the clamp mask, the intra-PE current, the derivative, the
@@ -180,7 +208,13 @@ type InferState struct {
 	contrib  [][]float64
 	rng      rng.RNG
 	res      Result
+	observer StepObserver
 }
+
+// SetObserver installs (or, with nil, removes) a per-step observer on this
+// state. The observer applies to every subsequent inference run on the
+// state.
+func (st *InferState) SetObserver(fn StepObserver) { st.observer = fn }
 
 // NewInferState allocates a scratch arena sized for this machine.
 func (m *Machine) NewInferState() *InferState {
@@ -405,17 +439,27 @@ func (m *Machine) inferInto(st *InferState, obs []Observation) (*Result, error) 
 		}
 		mat.Clamp(x, -m.cfg.VRail, m.cfg.VRail)
 		annealT += m.cfg.Dt
+		if st.observer != nil {
+			st.observer(StepInfo{
+				Step:     s,
+				TimeNs:   annealT,
+				Energy:   m.EnergyAt(x),
+				MaxDeriv: maxD,
+				Phase:    phase,
+				X:        x,
+			})
+		}
 
 		// Convergence: a single-slice mapping settles when its own residual
 		// vanishes; a multiplexed mapping carries switching ripple, so the
 		// true (full-coupling) residual is checked once per slice cycle.
 		if len(m.phases) == 1 {
-			if maxD < m.cfg.SettleTol && m.fullResidual(x, clamped, st.resBuf) < m.cfg.SettleTol*10 {
+			if maxD < m.cfg.SettleTol && m.fullResidual(x, clamped, st.resBuf) < m.cfg.SettleTol*settleResidualFactor {
 				settled = true
 				break
 			}
 		} else if s%checkEvery == checkEvery-1 {
-			if m.fullResidual(x, clamped, st.resBuf) < m.cfg.SettleTol*10 {
+			if m.fullResidual(x, clamped, st.resBuf) < m.cfg.SettleTol*settleResidualFactor {
 				settled = true
 				break
 			}
@@ -471,6 +515,31 @@ func (m *Machine) fullResidual(x []float64, clamped []bool, buf []float64) float
 	return maxD
 }
 
+// ResidualAt evaluates the true equilibrium residual max |dσ/dt| at state x
+// with every coupling live and fresh, skipping nodes marked in clamped (nil
+// = no node clamped). It is the exported, allocating face of the in-loop
+// residual check: the invariant "Settled implies residual < 10*SettleTol"
+// is verifiable from outside the anneal loop with exactly the quantity the
+// loop used.
+func (m *Machine) ResidualAt(x []float64, clamped []bool) (float64, error) {
+	if len(x) != m.N {
+		return 0, fmt.Errorf("scalable: state has %d entries, want %d", len(x), m.N)
+	}
+	if clamped == nil {
+		clamped = make([]bool, m.N)
+	} else if len(clamped) != m.N {
+		return 0, fmt.Errorf("scalable: clamp mask has %d entries, want %d", len(clamped), m.N)
+	}
+	return m.fullResidual(x, clamped, make([]float64, m.N)), nil
+}
+
+// SettleResidualTol is the residual bound a Settled result guarantees:
+// whenever Result.Settled is true, ResidualAt at the settled state is below
+// SettleTol * settleResidualFactor.
+func (m *Machine) SettleResidualTol() float64 {
+	return m.cfg.SettleTol * settleResidualFactor
+}
+
 // EnergyAt evaluates the real-valued Hamiltonian of the compiled system
 // (all couplings, intra and inter) at state x.
 func (m *Machine) EnergyAt(x []float64) float64 {
@@ -488,6 +557,52 @@ func (m *Machine) EnergyAt(x []float64) float64 {
 	}
 	for i, h := range m.params.H {
 		e -= 0.5 * h * x[i] * x[i]
+	}
+	return e
+}
+
+// ClampedEnergyAt evaluates the conditional Hamiltonian of the free
+// subsystem given the clamped nodes:
+//
+//	E_c(x) = - 1/2 Σ_{i,j free} J_ij x_i x_j
+//	         -     Σ_{i free, j clamped} J_ij x_i x_j
+//	         - 1/2 Σ_{i free} h_i x_i²
+//
+// This — not the raw Hamiltonian EnergyAt — is the Lyapunov function of
+// clamped annealing: the dynamics dσ_i/dt = Σ_j J_ij σ_j + h_i σ_i on the
+// free nodes are exactly -∇E_c whenever the free-free coupling block is
+// symmetric (in particular whenever it is empty, as the closed-form trained
+// systems are: couplings run from observed to predicted nodes only). The
+// clamp-coupling term enters with full weight because the clamped node is a
+// boundary condition, not a co-descending coordinate; EnergyAt's symmetric
+// 1/2 accounting double-discounts it, which is why EnergyAt can rise
+// monotonically while the system descends E_c to the regression
+// equilibrium σ_i = -Σ J_ij σ_j / h_i (paper Eqs. 6-8).
+func (m *Machine) ClampedEnergyAt(x []float64, clamped []bool) float64 {
+	var e float64
+	addJ := func(s *mat.CSR) {
+		for i := 0; i < s.Rows; i++ {
+			if clamped[i] {
+				continue
+			}
+			xi := x[i]
+			for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+				w := 0.5
+				if clamped[s.ColIdx[p]] {
+					w = 1
+				}
+				e -= w * s.Val[p] * xi * x[s.ColIdx[p]]
+			}
+		}
+	}
+	addJ(m.intra)
+	for _, ph := range m.phases {
+		addJ(ph)
+	}
+	for i, h := range m.params.H {
+		if !clamped[i] {
+			e -= 0.5 * h * x[i] * x[i]
+		}
 	}
 	return e
 }

@@ -1,0 +1,89 @@
+package verify
+
+import (
+	"fmt"
+	"io"
+)
+
+// Violation describes one failed invariant check.
+type Violation struct {
+	// Invariant is the stable identifier of the violated contract (one of
+	// the Inv* constants).
+	Invariant string
+	// Detail is a human-readable description of the divergence.
+	Detail string
+}
+
+// Check is the outcome of verifying one invariant.
+type Check struct {
+	// Invariant is the stable identifier (one of the Inv* constants).
+	Invariant string
+	// Name is the human-readable title shown by the CLI.
+	Name string
+	// Skipped marks a check whose precondition did not apply (e.g. no
+	// settled probe window to verify the residual on). A skipped check has
+	// no violations and does not fail the report, but is reported as such.
+	Skipped bool
+	// Detail summarizes what was checked (probe count, tolerances) or why
+	// the check was skipped.
+	Detail string
+	// Violations lists every divergence found; empty means the invariant
+	// held.
+	Violations []Violation
+}
+
+// Passed reports whether the check ran and found no violation.
+func (c *Check) Passed() bool { return !c.Skipped && len(c.Violations) == 0 }
+
+// Report is the structured outcome of an invariant-verification run.
+type Report struct {
+	// Target names what was verified (typically the dataset).
+	Target string
+	// Checks holds one entry per invariant, in contract order.
+	Checks []Check
+}
+
+// Add appends a check outcome.
+func (r *Report) Add(c Check) { r.Checks = append(r.Checks, c) }
+
+// Ok reports whether no check found a violation.
+func (r *Report) Ok() bool {
+	for i := range r.Checks {
+		if len(r.Checks[i].Violations) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Violations flattens every check's violations.
+func (r *Report) Violations() []Violation {
+	var out []Violation
+	for i := range r.Checks {
+		out = append(out, r.Checks[i].Violations...)
+	}
+	return out
+}
+
+// Fprint renders the report for terminals: one status line per invariant,
+// then any violations indented beneath it.
+func (r *Report) Fprint(w io.Writer) {
+	for i := range r.Checks {
+		c := &r.Checks[i]
+		status := "PASS"
+		switch {
+		case c.Skipped:
+			status = "SKIP"
+		case len(c.Violations) > 0:
+			status = "FAIL"
+		}
+		fmt.Fprintf(w, "  %-4s %-20s %s", status, c.Invariant, c.Name)
+		if c.Detail != "" {
+			fmt.Fprintf(w, " — %s", c.Detail)
+		}
+		fmt.Fprintln(w)
+		for _, v := range c.Violations {
+			fmt.Fprintf(w, "       ! %s\n", v.Detail)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package verify is the invariant-verification layer of the DS-GL
+// reproduction: small, composable checkers for the five contracts the
+// system claims (paper Sec. III, Eqs. 6-8), plus the structured report
+// they feed.
+//
+// The five invariants, as checked by dsgl.(*Model).Verify and the
+// `dsgl verify` CLI subcommand:
+//
+//  1. energy-descent      — the Lyapunov-designed dynamics anneal with
+//     monotone (ripple-bounded) energy descent;
+//  2. settle-residual     — whenever an inference reports Settled, the true
+//     equilibrium residual max |dσ/dt| is below the machine's settle bound
+//     (the fixed point σ_i = -Σ J_ij σ_j / h_i holds);
+//  3. snapshot-round-trip — a model survives Save/Load bit-identically:
+//     same compilation stats, same effective coupling matrix, same
+//     inference results on a probe window;
+//  4. seq-par-identity    — Evaluate and EvaluateParallel (and InferBatch
+//     vs sequential InferSeeded) are bit-identical for any worker count;
+//  5. lossless-compile    — when no coupling is dropped, the compiled
+//     machine realizes exactly the tuned J (EffectiveJ == Tuned.J).
+//
+// The package deliberately contains no pipeline logic: it consumes
+// machines, results, and energy traces produced by the caller, so the same
+// checkers serve the public API, the CLI, and the unit tests of the
+// subsystems they guard.
+package verify
+
+import (
+	"fmt"
+	"math"
+
+	"dsgl/internal/mat"
+	"dsgl/internal/scalable"
+)
+
+// Invariant identifiers, stable across report formats.
+const (
+	InvEnergyDescent     = "energy-descent"
+	InvSettleResidual    = "settle-residual"
+	InvSnapshotRoundTrip = "snapshot-round-trip"
+	InvSeqParIdentity    = "seq-par-identity"
+	InvLosslessCompile   = "lossless-compile"
+)
+
+// maxViolationsPerCheck caps the per-check violation list; overflow is
+// summarized in one trailing violation so a badly broken run stays
+// readable.
+const maxViolationsPerCheck = 8
+
+// DescentTol bounds the energy increases MonotoneDescent tolerates.
+type DescentTol struct {
+	// Abs is an absolute per-step increase allowance (floating-point and
+	// forward-Euler discretization slack).
+	Abs float64
+	// Rel scales with the trace's dynamic range: a step may rise by at most
+	// Abs + Rel*(max-min). Temporal+spatial co-annealing carries
+	// sample-and-hold ripple, so multiplexed machines verify with a nonzero
+	// Rel while single-slice machines use a strict one.
+	Rel float64
+	// NetRel bounds the full-trace drift: the final energy must not exceed
+	// the initial one by more than Abs + NetRel*(max-min). Zero means the
+	// final energy must be <= the initial one (plus Abs).
+	NetRel float64
+}
+
+// MonotoneDescent checks that an energy trace descends monotonically up to
+// the given ripple tolerance, and that the trace ends no higher than it
+// began. The trace is whatever the caller sampled — per integration step
+// via a StepObserver, or downsampled to one point per slice cycle.
+func MonotoneDescent(energies []float64, tol DescentTol) []Violation {
+	if len(energies) < 2 {
+		return nil
+	}
+	lo, hi := energies[0], energies[0]
+	for _, e := range energies[1:] {
+		if e < lo {
+			lo = e
+		}
+		if e > hi {
+			hi = e
+		}
+	}
+	span := hi - lo
+	allow := tol.Abs + tol.Rel*span
+	var v []Violation
+	overflow := 0
+	for k := 1; k < len(energies); k++ {
+		rise := energies[k] - energies[k-1]
+		if rise <= allow {
+			continue
+		}
+		if len(v) < maxViolationsPerCheck {
+			v = append(v, Violation{
+				Invariant: InvEnergyDescent,
+				Detail: fmt.Sprintf("energy rose %.3g (allowed %.3g) at trace point %d: %.6g -> %.6g",
+					rise, allow, k, energies[k-1], energies[k]),
+			})
+		} else {
+			overflow++
+		}
+	}
+	if overflow > 0 {
+		v = append(v, Violation{
+			Invariant: InvEnergyDescent,
+			Detail:    fmt.Sprintf("... and %d more ripple violations", overflow),
+		})
+	}
+	if net := energies[len(energies)-1] - energies[0]; net > tol.Abs+tol.NetRel*span {
+		v = append(v, Violation{
+			Invariant: InvEnergyDescent,
+			Detail: fmt.Sprintf("net energy ascent over the anneal: %.6g -> %.6g (drift %.3g, allowed %.3g)",
+				energies[0], energies[len(energies)-1], net, tol.Abs+tol.NetRel*span),
+		})
+	}
+	return v
+}
+
+// SettledResidual checks invariant 2 on one inference outcome: a Settled
+// result must sit within the machine's full-residual settle bound. A
+// non-settled result makes no equilibrium claim and passes vacuously.
+func SettledResidual(m *scalable.Machine, res *scalable.Result, clamped []bool) []Violation {
+	if !res.Settled {
+		return nil
+	}
+	r, err := m.ResidualAt(res.Voltage, clamped)
+	if err != nil {
+		return []Violation{{Invariant: InvSettleResidual, Detail: err.Error()}}
+	}
+	if tol := m.SettleResidualTol(); r >= tol {
+		return []Violation{{
+			Invariant: InvSettleResidual,
+			Detail:    fmt.Sprintf("Settled reported but equilibrium residual %.3g >= bound %.3g", r, tol),
+		}}
+	}
+	return nil
+}
+
+// MachinesEquivalent checks that two compiled machines are observationally
+// identical: same compilation statistics and bit-identical effective
+// coupling matrices. It is the static half of invariant 3; the dynamic half
+// compares probe-window inference results via ResultsEqual.
+func MachinesEquivalent(invariant string, a, b *scalable.Machine) []Violation {
+	var v []Violation
+	if sa, sb := a.Stats(), b.Stats(); sa != sb {
+		v = append(v, Violation{
+			Invariant: invariant,
+			Detail:    fmt.Sprintf("compilation stats diverge: %+v vs %+v", sa, sb),
+		})
+	}
+	v = append(v, DenseEqual(invariant, "EffectiveJ", a.EffectiveJ(), b.EffectiveJ())...)
+	return v
+}
+
+// DenseEqual checks two dense matrices for bit-identity.
+func DenseEqual(invariant, what string, a, b *mat.Dense) []Violation {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return []Violation{{
+			Invariant: invariant,
+			Detail:    fmt.Sprintf("%s shape diverges: %dx%d vs %dx%d", what, a.Rows, a.Cols, b.Rows, b.Cols),
+		}}
+	}
+	var v []Violation
+	overflow := 0
+	for i := range a.Data {
+		if a.Data[i] == b.Data[i] || (math.IsNaN(a.Data[i]) && math.IsNaN(b.Data[i])) {
+			continue
+		}
+		if len(v) < maxViolationsPerCheck {
+			v = append(v, Violation{
+				Invariant: invariant,
+				Detail: fmt.Sprintf("%s[%d,%d] diverges: %v vs %v",
+					what, i/a.Cols, i%a.Cols, a.Data[i], b.Data[i]),
+			})
+		} else {
+			overflow++
+		}
+	}
+	if overflow > 0 {
+		v = append(v, Violation{
+			Invariant: invariant,
+			Detail:    fmt.Sprintf("... and %d more %s divergences", overflow, what),
+		})
+	}
+	return v
+}
+
+// ResultsEqual checks two inference results for bit-identity: voltages,
+// latency accounting, settle flag, switch count, and final energy. label
+// names the pair in violation details (e.g. "window 3").
+func ResultsEqual(invariant, label string, a, b *scalable.Result) []Violation {
+	var v []Violation
+	add := func(format string, args ...any) {
+		v = append(v, Violation{Invariant: invariant, Detail: label + ": " + fmt.Sprintf(format, args...)})
+	}
+	if len(a.Voltage) != len(b.Voltage) {
+		add("voltage length diverges: %d vs %d", len(a.Voltage), len(b.Voltage))
+		return v
+	}
+	diverged := 0
+	first := -1
+	for i := range a.Voltage {
+		if a.Voltage[i] != b.Voltage[i] {
+			if first < 0 {
+				first = i
+			}
+			diverged++
+		}
+	}
+	if diverged > 0 {
+		add("%d voltages diverge (first at node %d: %v vs %v)",
+			diverged, first, a.Voltage[first], b.Voltage[first])
+	}
+	if a.LatencyNs != b.LatencyNs {
+		add("latency diverges: %v vs %v ns", a.LatencyNs, b.LatencyNs)
+	}
+	if a.AnnealNs != b.AnnealNs {
+		add("anneal time diverges: %v vs %v ns", a.AnnealNs, b.AnnealNs)
+	}
+	if a.Settled != b.Settled {
+		add("settle flag diverges: %v vs %v", a.Settled, b.Settled)
+	}
+	if a.Switches != b.Switches {
+		add("switch count diverges: %d vs %d", a.Switches, b.Switches)
+	}
+	if a.Energy != b.Energy && !(math.IsNaN(a.Energy) && math.IsNaN(b.Energy)) {
+		add("final energy diverges: %v vs %v", a.Energy, b.Energy)
+	}
+	return v
+}
+
+// LosslessCompilation checks invariant 5: when the compilation dropped no
+// coupling, the machine's effective coupling matrix must equal the tuned J
+// bit-for-bit. With DroppedCouplings > 0 (the DS-GL-Spatial variant
+// overflowing its lane budget) the invariant does not apply and the check
+// passes vacuously.
+func LosslessCompilation(m *scalable.Machine, tunedJ *mat.Dense) []Violation {
+	if m.Stats().DroppedCouplings > 0 {
+		return nil
+	}
+	return DenseEqual(InvLosslessCompile, "EffectiveJ vs Tuned.J", m.EffectiveJ(), tunedJ)
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"runtime"
 
 	"dsgl/internal/community"
 	"dsgl/internal/mat"
@@ -35,13 +36,30 @@ type modelSnapshot struct {
 	MaskData           []bool
 }
 
-const snapshotFormat = 1
+// Snapshot formats.
+//
+// v1 stored a mask reconstructed from the tuned J's nonzero support, which
+// silently dropped mask entries whose closed-form refit value is exactly
+// zero — a loaded model then carried a narrower mask than the one it was
+// trained under. v2 persists the model's actual coupling mask. The wire
+// layout is identical; the format number records which semantics MaskData
+// carries. Load accepts both.
+const (
+	snapshotFormatV1 = 1
+	snapshotFormat   = 2
+)
 
 // Save serializes the trained model (parameters, placement, and coupling
 // mask) so inference can resume in a later process without retraining.
 // The dataset is not embedded; pass the same dataset to Load.
 func (m *Model) Save(w io.Writer) error {
-	mask := m.maskSnapshot()
+	mask := m.mask
+	if mask == nil {
+		// A hand-assembled Model without a retained mask: fall back to the
+		// tuned support, which is a (possibly strict) subset of the true
+		// mask.
+		mask = m.maskFromSupport()
+	}
 	opts := m.Opts
 	opts.DenseInit = nil // never embed the dense phase in snapshots
 	snap := modelSnapshot{
@@ -64,10 +82,11 @@ func (m *Model) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(&snap)
 }
 
-// maskSnapshot reconstructs the effective coupling mask from the tuned
-// support (the mask itself is not retained on the model; the tuned J's
-// support is exactly the masked support after the closed-form refit).
-func (m *Model) maskSnapshot() *mat.Bool {
+// maskFromSupport reconstructs a coupling mask from the tuned support. This
+// was the only mask v1 snapshots stored; it loses mask entries whose refit
+// value is exactly zero, so it survives solely as the Save fallback for
+// models without a retained mask and as the v1 decoding semantics.
+func (m *Model) maskFromSupport() *mat.Bool {
 	n := m.Tuned.Dim()
 	mask := mat.NewBool(n, n)
 	for i := 0; i < n; i++ {
@@ -80,6 +99,41 @@ func (m *Model) maskSnapshot() *mat.Bool {
 	return mask
 }
 
+// validateGeometry checks the snapshot's internal consistency before any
+// slice indexing, so corrupt or truncated snapshots surface as errors
+// instead of panics.
+func (snap *modelSnapshot) validateGeometry() error {
+	if snap.JRows <= 0 || snap.JCols <= 0 {
+		return fmt.Errorf("dsgl: snapshot J is %dx%d", snap.JRows, snap.JCols)
+	}
+	if snap.JRows != snap.JCols {
+		return fmt.Errorf("dsgl: snapshot J is %dx%d, want square", snap.JRows, snap.JCols)
+	}
+	if got, want := len(snap.JData), snap.JRows*snap.JCols; got != want {
+		return fmt.Errorf("dsgl: snapshot J data has %d entries, want %d", got, want)
+	}
+	if got, want := len(snap.H), snap.JRows; got != want {
+		return fmt.Errorf("dsgl: snapshot H has %d entries, want %d", got, want)
+	}
+	if got, want := len(snap.PEOf), snap.JRows; got != want {
+		return fmt.Errorf("dsgl: snapshot placement covers %d nodes, want %d", got, want)
+	}
+	if snap.MaskRows != snap.JRows || snap.MaskCols != snap.JCols {
+		return fmt.Errorf("dsgl: snapshot mask is %dx%d, want %dx%d",
+			snap.MaskRows, snap.MaskCols, snap.JRows, snap.JCols)
+	}
+	if got, want := len(snap.MaskData), snap.MaskRows*snap.MaskCols; got != want {
+		return fmt.Errorf("dsgl: snapshot mask data has %d entries, want %d", got, want)
+	}
+	if snap.GridW <= 0 || snap.GridH <= 0 {
+		return fmt.Errorf("dsgl: snapshot PE grid is %dx%d", snap.GridW, snap.GridH)
+	}
+	if snap.Capacity <= 0 {
+		return fmt.Errorf("dsgl: snapshot PE capacity is %d", snap.Capacity)
+	}
+	return nil
+}
+
 // Load rebuilds a trained model from a snapshot written by Save. ds must
 // be the dataset the model was trained on (same name and window geometry).
 func Load(r io.Reader, ds *Dataset) (*Model, error) {
@@ -87,14 +141,18 @@ func Load(r io.Reader, ds *Dataset) (*Model, error) {
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("dsgl: decoding snapshot: %w", err)
 	}
-	if snap.Format != snapshotFormat {
-		return nil, fmt.Errorf("dsgl: snapshot format %d unsupported (want %d)", snap.Format, snapshotFormat)
+	if snap.Format != snapshotFormat && snap.Format != snapshotFormatV1 {
+		return nil, fmt.Errorf("dsgl: snapshot format %d unsupported (want %d or %d)",
+			snap.Format, snapshotFormatV1, snapshotFormat)
 	}
 	if ds.Name != snap.DatasetName {
 		return nil, fmt.Errorf("dsgl: snapshot is for dataset %q, got %q", snap.DatasetName, ds.Name)
 	}
 	if ds.WindowLen() != snap.WindowLen {
 		return nil, fmt.Errorf("dsgl: snapshot window length %d, dataset has %d", snap.WindowLen, ds.WindowLen())
+	}
+	if err := snap.validateGeometry(); err != nil {
+		return nil, err
 	}
 	tuned := &train.Params{
 		J: mat.NewDenseFrom(snap.JRows, snap.JCols, snap.JData),
@@ -119,8 +177,14 @@ func Load(r io.Reader, ds *Dataset) (*Model, error) {
 	if err := assign.Validate(); err != nil {
 		return nil, fmt.Errorf("dsgl: snapshot assignment: %w", err)
 	}
+	// v2 snapshots carry the model's real mask; v1 carried only the tuned
+	// support (see the format constants).
 	mask := &mat.Bool{Rows: snap.MaskRows, Cols: snap.MaskCols, Data: snap.MaskData}
 	opts := snap.Opts
+	// Opts.Workers is a GOMAXPROCS snapshot of the saving host — meaningless
+	// here. Re-normalize to the loading process's default so a model saved
+	// on a 128-core trainer doesn't spawn 128 workers on a 2-core server.
+	opts.Workers = runtime.GOMAXPROCS(0)
 	machine, err := scalable.Build(tuned, assign, mask, scalable.Config{
 		Lanes:            opts.Lanes,
 		TemporalDisabled: opts.TemporalDisabled,
@@ -140,6 +204,7 @@ func Load(r io.Reader, ds *Dataset) (*Model, error) {
 		Tuned:      tuned,
 		Assignment: assign,
 		Machine:    machine,
+		mask:       mask,
 		unknown:    ds.UnknownIndices(),
 		observed:   ds.ObservedMask(),
 	}, nil

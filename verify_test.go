@@ -1,0 +1,164 @@
+package dsgl
+
+import (
+	"strings"
+	"testing"
+
+	"dsgl/internal/verify"
+)
+
+func findCheck(t *testing.T, rep *VerifyReport, invariant string) *VerifyCheck {
+	t.Helper()
+	for i := range rep.Checks {
+		if rep.Checks[i].Invariant == invariant {
+			return &rep.Checks[i]
+		}
+	}
+	t.Fatalf("report has no %q check", invariant)
+	return nil
+}
+
+// TestVerifyAllInvariantsGreen runs the full harness against freshly
+// trained models in every co-annealing regime. A healthy model must come
+// back clean, and each regime must skip exactly the checks whose
+// preconditions it breaks: analog noise voids the per-step Lyapunov
+// argument, and a disabled temporal dimension forces coupling drops so
+// EffectiveJ == Tuned.J no longer applies.
+func TestVerifyAllInvariantsGreen(t *testing.T) {
+	cases := []struct {
+		name    string
+		opts    Options
+		skipped []string
+	}{
+		{"spatial", tinyOptions(), nil},
+		{"temporal", func() Options { o := tinyOptions(); o.Lanes = 4; return o }(), nil},
+		{"temporal-disabled",
+			func() Options { o := tinyOptions(); o.Lanes = 4; o.TemporalDisabled = true; return o }(),
+			[]string{verify.InvLosslessCompile}},
+		{"noise",
+			func() Options { o := tinyOptions(); o.NodeNoise = 0.05; return o }(),
+			[]string{verify.InvEnergyDescent}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ds := tinyDataset(t, "traffic")
+			model, err := Train(ds, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := model.Verify(VerifyOptions{Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Ok() {
+				var sb strings.Builder
+				rep.Fprint(&sb)
+				t.Fatalf("verification failed on a healthy model:\n%s", sb.String())
+			}
+			if len(rep.Checks) != 5 {
+				t.Fatalf("report has %d checks, want all 5 invariants", len(rep.Checks))
+			}
+			mustSkip := make(map[string]bool, len(tc.skipped))
+			for _, inv := range tc.skipped {
+				mustSkip[inv] = true
+			}
+			for i := range rep.Checks {
+				c := &rep.Checks[i]
+				if mustSkip[c.Invariant] && !c.Skipped {
+					t.Errorf("%s: expected SKIP, got %q", c.Invariant, c.Detail)
+				}
+				if c.Invariant == verify.InvLosslessCompile && !mustSkip[c.Invariant] && c.Skipped {
+					t.Errorf("%s unexpectedly skipped: %s", c.Invariant, c.Detail)
+				}
+			}
+		})
+	}
+}
+
+// TestVerifyDetectsTamperedCoupling mutates one realized coupling in
+// Tuned.J after compilation, breaking the model's internal consistency.
+// The harness must flag it twice: the machine no longer realizes Tuned.J
+// (lossless compilation), and a snapshot of the tampered parameters loads
+// into a machine that disagrees with the in-memory one (round trip).
+func TestVerifyDetectsTamperedCoupling(t *testing.T) {
+	ds := tinyDataset(t, "traffic")
+	model, err := Train(ds, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Machine.Stats().DroppedCouplings != 0 {
+		t.Fatal("test premise: tiny spatial model should compile losslessly")
+	}
+	n := model.Tuned.Dim()
+	ti, tj := -1, -1
+	for i := 0; i < n && ti < 0; i++ {
+		for j := 0; j < n; j++ {
+			if model.Tuned.J.At(i, j) != 0 {
+				ti, tj = i, j
+				break
+			}
+		}
+	}
+	if ti < 0 {
+		t.Fatal("no nonzero coupling to tamper with")
+	}
+	model.Tuned.J.Set(ti, tj, model.Tuned.J.At(ti, tj)*2+0.25)
+
+	rep, err := Verify(model, VerifyOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() {
+		t.Fatal("Verify passed a model whose Tuned.J was tampered with")
+	}
+	if c := findCheck(t, rep, verify.InvLosslessCompile); c.Passed() || c.Skipped {
+		t.Fatalf("lossless-compile check did not flag the tampered coupling: %+v", c)
+	}
+	if c := findCheck(t, rep, verify.InvSnapshotRoundTrip); len(c.Violations) == 0 {
+		t.Fatal("round-trip check did not flag the snapshot/in-memory divergence")
+	}
+	// The untampered invariants still hold: the running machine is
+	// internally consistent even though it no longer matches Tuned.J.
+	if c := findCheck(t, rep, verify.InvSeqParIdentity); !c.Passed() {
+		t.Fatalf("seq/par identity should be unaffected by parameter tampering: %+v", c)
+	}
+}
+
+func TestVerifyRejectsUntrainedModel(t *testing.T) {
+	if _, err := Verify(nil, VerifyOptions{}); err == nil {
+		t.Fatal("expected error for nil model")
+	}
+	if _, err := Verify(&Model{}, VerifyOptions{}); err == nil {
+		t.Fatal("expected error for model without a machine")
+	}
+}
+
+// TestVerifyWindowCapRespected keeps the probe budget honest: Windows=3
+// must probe exactly 3 windows even though the test split is larger.
+func TestVerifyWindowCapRespected(t *testing.T) {
+	ds := tinyDataset(t, "traffic")
+	model, err := Train(ds, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, test := ds.Split()
+	if len(test) <= 3 {
+		t.Fatalf("test split too small (%d) to exercise the cap", len(test))
+	}
+	rep, err := Verify(model, VerifyOptions{Windows: 3, EnergyProbes: 7, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatal("verification failed on a healthy model")
+	}
+	c := findCheck(t, rep, verify.InvSeqParIdentity)
+	if !strings.Contains(c.Detail, "3 windows") {
+		t.Fatalf("seq/par check detail %q, want a 3-window probe set", c.Detail)
+	}
+	// EnergyProbes asked for more traces than windows; it must be capped.
+	e := findCheck(t, rep, verify.InvEnergyDescent)
+	if !strings.Contains(e.Detail, "3 probe anneals") {
+		t.Fatalf("energy check detail %q, want 3 capped probe anneals", e.Detail)
+	}
+}
