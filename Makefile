@@ -20,9 +20,9 @@ race:
 	$(GO) test -race ./...
 
 # verify trains the standard pipeline on every built-in dataset and checks
-# the five runtime invariants (energy descent, settle residual, snapshot
-# round trip, seq/par bit-identity, lossless compilation). Nonzero exit on
-# any violation; small -n keeps it CI-cheap.
+# the six runtime invariants (energy descent, settle residual, snapshot
+# round trip, seq/par bit-identity, lossless compilation, plan/naive
+# bit-identity). Nonzero exit on any violation; small -n keeps it CI-cheap.
 verify:
 	$(GO) run ./cmd/dsgl verify -n 16 -eval 8
 
@@ -31,7 +31,7 @@ verify:
 # BENCH_infer.json for machine consumption, while the human-readable table
 # still lands on stdout via BENCH_infer.txt.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkInfer(Batch|With|Fresh)|BenchmarkEvaluateParallel' \
+	$(GO) test -run '^$$' -bench 'BenchmarkInfer(Batch|With|Plan|Fresh|Observer)|BenchmarkEvaluateParallel' \
 		-benchmem -benchtime=10x -json . | tee BENCH_infer.json | \
 		$(GO) run ./cmd/benchfmt
 	@echo "wrote BENCH_infer.json"

@@ -678,7 +678,10 @@ func BenchmarkInferBatch(b *testing.B) {
 }
 
 // BenchmarkInferWith is the steady-state single inference through a reused
-// arena — allocs/op must report 0 (enforced by TestInferWithZeroAlloc).
+// arena running the NAIVE reference loop (InferWithNaive) — every coupling
+// matrix re-evaluated in full every step, exactly what InferWith did before
+// clamp plans. It is the baseline BenchmarkInferPlan is measured against;
+// allocs/op must report 0 (enforced by TestInferNaiveZeroAlloc).
 func BenchmarkInferWith(b *testing.B) {
 	for _, mode := range []struct {
 		name  string
@@ -686,6 +689,72 @@ func BenchmarkInferWith(b *testing.B) {
 	}{{"spatial", 30}, {"temporal", 6}} {
 		m, obs := benchBatchSetup(b, mode.lanes)
 		st := m.NewInferState()
+		if _, err := m.InferWithNaive(st, obs[0], 1); err != nil { // warm-up
+			b.Fatal(err)
+		}
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.InferWithNaive(st, obs[0], uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInferPlan is the same steady-state inference through the
+// clamp-plan path (the default InferWith): constant clamp currents folded
+// once per inference, free-row kernels in the anneal loop, plan resolved by
+// a cache hit. Results are bit-identical to BenchmarkInferWith's naive loop;
+// only the wall cost differs. Reports the plan-cache hit rate of the
+// measured window and must stay at 0 allocs/op (TestInferWithZeroAlloc).
+func BenchmarkInferPlan(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		lanes int
+	}{{"spatial", 30}, {"temporal", 6}} {
+		m, obs := benchBatchSetup(b, mode.lanes)
+		st := m.NewInferState()
+		if _, err := m.InferWith(st, obs[0], 1); err != nil { // warm-up compiles the plan
+			b.Fatal(err)
+		}
+		b.Run(mode.name, func(b *testing.B) {
+			h0, m0 := m.PlanCacheStats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.InferWith(st, obs[0], uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			h1, m1 := m.PlanCacheStats()
+			if lookups := (h1 - h0) + (m1 - m0); lookups > 0 {
+				b.ReportMetric(float64(h1-h0)/float64(lookups), "plan-hit-rate")
+			}
+		})
+	}
+}
+
+// BenchmarkInferObserver measures the cost of watching an anneal: nil
+// observer (the hot-loop contract), an observer that ignores the energy
+// (EnergyFn makes the Hamiltonian lazy, so this is nearly free), and an
+// observer that evaluates the energy every step (the old eager StepInfo
+// behaviour, O(nnz) per step).
+func BenchmarkInferObserver(b *testing.B) {
+	m, obs := benchBatchSetup(b, 6)
+	for _, mode := range []struct {
+		name string
+		fn   scalable.StepObserver
+	}{
+		{"nil", nil},
+		{"lazy", func(scalable.StepInfo) {}},
+		{"eager", func(si scalable.StepInfo) { _ = si.EnergyFn() }},
+	} {
+		st := m.NewInferState()
+		st.SetObserver(mode.fn)
 		if _, err := m.InferWith(st, obs[0], 1); err != nil { // warm-up
 			b.Fatal(err)
 		}

@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 )
 
@@ -44,6 +45,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchfmt:", err)
 		os.Exit(1)
 	}
+	type hitRate struct {
+		bench string
+		rate  float64
+	}
+	var hitRates []hitRate
 	for _, out := range strings.SplitAfter(raw.String(), "\n") {
 		// Keep benchmark result lines, headers, and the final verdict;
 		// drop run announcements and per-test chatter.
@@ -58,5 +64,31 @@ func main() {
 		if keep {
 			fmt.Print(out)
 		}
+		// Record the clamp-plan cache hit rate reported by the plan-path
+		// benchmarks (b.ReportMetric(..., "plan-hit-rate")) so the steady-
+		// state cache behavior is visible at a glance below the table.
+		if name, rate, ok := parseHitRate(out); ok {
+			hitRates = append(hitRates, hitRate{name, rate})
+		}
 	}
+	for _, hr := range hitRates {
+		fmt.Printf("plan-cache hit rate: %-40s %.1f%%\n", hr.bench, hr.rate*100)
+	}
+}
+
+// parseHitRate extracts the benchmark name and the value of the custom
+// "plan-hit-rate" metric from a benchmark result line, if present.
+func parseHitRate(line string) (string, float64, bool) {
+	fields := strings.Fields(line)
+	for i, f := range fields {
+		if f != "plan-hit-rate" || i == 0 {
+			continue
+		}
+		rate, err := strconv.ParseFloat(fields[i-1], 64)
+		if err != nil {
+			return "", 0, false
+		}
+		return fields[0], rate, true
+	}
+	return "", 0, false
 }

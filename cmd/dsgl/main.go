@@ -7,7 +7,7 @@
 //	dsgl fig4                 # circuit-level validation (Fig. 4)
 //	dsgl fig10 -n 32 -eval 30 # accuracy vs density (Fig. 10)
 //	dsgl table2               # RMSE vs SOTA GNNs (Table II)
-//	dsgl verify               # check the five runtime invariants
+//	dsgl verify               # check the six runtime invariants
 //	dsgl all                  # run the full suite in paper order
 package main
 
@@ -175,7 +175,7 @@ experiments:
   all      everything above, in paper order
   inspect  train one dataset and dump the compiled PE/CU mapping
   verify   train on the named (default: all) datasets and check the
-           five runtime invariants; nonzero exit on any violation
+           six runtime invariants; nonzero exit on any violation
   list     print experiment ids
 
 flags: -n, -t, -eval, -gnn-epochs, -seed, -workers (see 'dsgl <exp> -h')`)

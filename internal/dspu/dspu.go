@@ -12,8 +12,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"dsgl/internal/circuit"
+	"dsgl/internal/lru"
 	"dsgl/internal/mat"
 	"dsgl/internal/ode"
 	"dsgl/internal/rng"
@@ -68,6 +70,16 @@ type DSPU struct {
 	Net *circuit.Network
 	cfg Config
 	rng *rng.RNG
+
+	// Clamp-plan cache, mirroring scalable.Machine: compiled plans keyed
+	// by the packed observation-index bitmask, bounded LRU, lazily
+	// initialized. The DSPU itself is not goroutine-safe, but the cache is
+	// still guarded for symmetry with the scalable path (and because it is
+	// cheap).
+	planMu     sync.Mutex
+	plans      *lru.Cache[*clampPlan]
+	planHits   uint64
+	planMisses uint64
 }
 
 // New builds a DSPU from trained parameters. j must be square with zero
@@ -123,12 +135,15 @@ type Observation struct {
 }
 
 // StepInfo is the per-step telemetry handed to a StepObserver: the step
-// index, the simulated time, and the Hamiltonian H_RV at the post-step
-// state.
+// index, the simulated time, and a lazy evaluator for the Hamiltonian H_RV
+// at the post-step state. EnergyFn is a pre-bound closure over the live
+// state buffer — evaluating H_RV walks every stored coupling (O(nnz)), so
+// the anneal loop only pays for it when the observer actually calls it.
+// EnergyFn is valid only during the callback.
 type StepInfo struct {
-	Step   int
-	TimeNs float64
-	Energy float64
+	Step     int
+	TimeNs   float64
+	EnergyFn func() float64
 }
 
 // StepObserver receives StepInfo after every integration step of an
@@ -155,6 +170,17 @@ type InferState struct {
 	rng      rng.RNG
 	res      Result
 	observer StepObserver
+
+	// Clamp-plan scratch, mirroring scalable.InferState: clamp mask (also
+	// the duplicate-observation detector), packed cache key, folded
+	// constant-coupling bias, the plan system's coupling buffer, the plan
+	// ode.System wrapper itself, and the pre-bound lazy energy closure.
+	clamped  []bool
+	keyBuf   []byte
+	bias     []float64
+	coupling []float64
+	psys     planSys
+	energyFn func() float64
 }
 
 // SetObserver installs (or, with nil, removes) a per-step observer on this
@@ -164,12 +190,18 @@ func (st *InferState) SetObserver(fn StepObserver) { st.observer = fn }
 
 // NewInferState allocates a scratch arena sized for this DSPU.
 func (d *DSPU) NewInferState() *InferState {
-	return &InferState{
+	st := &InferState{
 		d:        d,
 		x:        make([]float64, d.N),
 		deriv:    make([]float64, d.N),
 		clampIdx: make([]int, 0, d.N),
+		clamped:  make([]bool, d.N),
+		keyBuf:   make([]byte, (d.N+7)/8),
+		bias:     make([]float64, d.N),
+		coupling: make([]float64, d.N),
 	}
+	st.energyFn = func() float64 { return d.Net.Energy(st.x) }
+	return st
 }
 
 // Result returns the outcome of the last inference run on this state. The
@@ -221,23 +253,84 @@ func (d *DSPU) InferWith(st *InferState, obs []Observation, seed uint64) (*Resul
 	return d.anneal(st, obs)
 }
 
-// anneal integrates the network from st.x to equilibrium. It is the
-// allocation-free core shared by every Infer variant.
-func (d *DSPU) anneal(st *InferState, obs []Observation) (*Result, error) {
+// InferWithNaive is InferWith running the naive reference anneal: the raw
+// network, no clamp plan. The plan path must match it bit for bit.
+func (d *DSPU) InferWithNaive(st *InferState, obs []Observation, seed uint64) (*Result, error) {
+	if st == nil || st.d != d {
+		return nil, errors.New("dspu: InferState belongs to a different DSPU")
+	}
+	st.rng.Reseed(seed)
+	st.rng.FillUniform(st.x, -0.1, 0.1)
+	return d.annealNaive(st, obs)
+}
+
+// PlanCacheStats reports the cumulative clamp-plan cache hit and miss
+// counts.
+func (d *DSPU) PlanCacheStats() (hits, misses uint64) {
+	d.planMu.Lock()
+	defer d.planMu.Unlock()
+	return d.planHits, d.planMisses
+}
+
+// applyObservations resets the clamp state and clamps each observation onto
+// st.x, validating index range, rail bound, and uniqueness (a duplicate
+// index is a windowing bug, not a tie-break, and is rejected). It updates
+// both the state's mask (the plan-cache key) and the network's clamp set.
+func (st *InferState) applyObservations(obs []Observation) error {
+	d := st.d
 	x := st.x
 	st.clampIdx = st.clampIdx[:0]
+	for i := range st.clamped {
+		st.clamped[i] = false
+	}
 	for _, o := range obs {
 		if o.Index < 0 || o.Index >= d.N {
-			return nil, fmt.Errorf("dspu: observation index %d out of range [0,%d)", o.Index, d.N)
+			return fmt.Errorf("dspu: observation index %d out of range [0,%d)", o.Index, d.N)
 		}
 		if math.Abs(o.Value) > d.cfg.VRail {
-			return nil, fmt.Errorf("dspu: observation value %g exceeds rail %g", o.Value, d.cfg.VRail)
+			return fmt.Errorf("dspu: observation value %g exceeds rail %g", o.Value, d.cfg.VRail)
+		}
+		if st.clamped[o.Index] {
+			return fmt.Errorf("dspu: duplicate observation for node %d", o.Index)
 		}
 		x[o.Index] = o.Value
+		st.clamped[o.Index] = true
 		st.clampIdx = append(st.clampIdx, o.Index)
 	}
 	d.Net.ClampSet(st.clampIdx)
+	return nil
+}
 
+// anneal integrates the network from st.x to equilibrium. It is the
+// allocation-free core shared by every Infer variant: the observation
+// pattern resolves to a compiled clamp plan (cache hit in the steady state)
+// whose System folds the constant clamp currents; the result is
+// bit-identical to annealNaive (see plan.go).
+func (d *DSPU) anneal(st *InferState, obs []Observation) (*Result, error) {
+	if err := st.applyObservations(obs); err != nil {
+		return nil, err
+	}
+	pl := d.planFor(st.clamped, packMask(st.clamped, st.keyBuf))
+	return d.annealLoop(st, st.planSystem(pl))
+}
+
+// annealNaive is the reference anneal: the raw circuit network integrated
+// with no clamp-aware folding. Kept callable (InferWithNaive) as the ground
+// truth for the plan-path bit-identity tests and benchmarks.
+func (d *DSPU) annealNaive(st *InferState, obs []Observation) (*Result, error) {
+	if err := st.applyObservations(obs); err != nil {
+		return nil, err
+	}
+	return d.annealLoop(st, d.Net)
+}
+
+// annealLoop is the integration loop proper, parameterized over the system
+// evaluated each step — the raw network (naive path) or its clamp-plan
+// compilation (planSys). Everything outside the Derivative evaluation is
+// shared, so the two paths can only differ through the derivative values,
+// which the plan construction makes bit-identical.
+func (d *DSPU) annealLoop(st *InferState, sys ode.System) (*Result, error) {
+	x := st.x
 	deriv := st.deriv
 	steps := int(d.cfg.MaxTimeNs / d.cfg.Dt)
 	if steps < 1 {
@@ -247,15 +340,15 @@ func (d *DSPU) anneal(st *InferState, obs []Observation) (*Result, error) {
 	settled := false
 	taken := 0
 	for s := 0; s < steps; s++ {
-		t = d.cfg.Integrator.Step(d.Net, t, d.cfg.Dt, x)
+		t = d.cfg.Integrator.Step(sys, t, d.cfg.Dt, x)
 		d.Net.ClampRails(x)
 		taken = s + 1
 		if st.observer != nil {
-			st.observer(StepInfo{Step: s, TimeNs: t, Energy: d.Net.Energy(x)})
+			st.observer(StepInfo{Step: s, TimeNs: t, EnergyFn: st.energyFn})
 		}
 		// Convergence check every few steps to keep the hot loop tight.
 		if s%8 == 7 {
-			d.Net.Derivative(t, x, deriv)
+			sys.Derivative(t, x, deriv)
 			if mat.NormInf(deriv) < d.cfg.SettleTol {
 				settled = true
 				break

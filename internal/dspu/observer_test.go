@@ -16,7 +16,8 @@ func TestObserverEnergyDescendsOnDensePath(t *testing.T) {
 			t.Fatalf("step sequence broken: got %d, want %d", si.Step, steps)
 		}
 		steps++
-		trace = append(trace, si.Energy)
+		// EnergyFn is only valid during the callback; evaluate it here.
+		trace = append(trace, si.EnergyFn())
 	})
 	res, err := d.InferWith(st, []Observation{{Index: 0, Value: 0.6}}, 3)
 	if err != nil {

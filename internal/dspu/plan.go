@@ -1,0 +1,195 @@
+// Clamp-aware compiled inference plans for the dense-path DSPU, mirroring
+// internal/scalable/plan.go. During clamped annealing the observed nodes
+// never move, so every coupling row whose stored columns are all observed is
+// one constant per inference. The plan folds those rows into a bias computed
+// once, keeps mixed rows whole (so per-step accumulation order — and every
+// rounding step — matches the naive network exactly), drops clamped rows
+// (their derivative is pinned to zero), and iterates free-node index lists
+// instead of scanning the clamp mask.
+//
+// The plan is exposed as an ode.System so the DSPU's configured integrator
+// (Euler or RK4) drives it exactly as it drives the raw circuit network:
+// annealLoop is shared between the paths, and planSys.Derivative reproduces
+// circuit.Network.Derivative bit for bit — including the noise draw order,
+// which visits free nodes in ascending index in both.
+package dspu
+
+import (
+	"math"
+
+	"dsgl/internal/circuit"
+	"dsgl/internal/lru"
+	"dsgl/internal/mat"
+)
+
+// planCacheCapacity bounds the per-DSPU clamp-plan LRU cache.
+const planCacheCapacity = 8
+
+// planMat is the coupling matrix compiled against a clamp pattern: static
+// holds the fully-clamped free rows (folded to a constant bias once per
+// inference), dyn the free rows with at least one free column, kept as FULL
+// original rows so nothing is reassociated.
+type planMat struct {
+	static *mat.CSR
+	dyn    *mat.CSR
+}
+
+// clampPlan is a compiled inference plan for one observation index pattern.
+// Immutable after compilation.
+type clampPlan struct {
+	freeIdx  []int
+	clampIdx []int
+	j        planMat
+}
+
+// packMask packs the clamp mask into buf as a little-endian bitmask — the
+// plan-cache key. buf must have (len(clamped)+7)/8 bytes.
+func packMask(clamped []bool, buf []byte) []byte {
+	for i := range buf {
+		buf[i] = 0
+	}
+	for i, c := range clamped {
+		if c {
+			buf[i>>3] |= 1 << (i & 7)
+		}
+	}
+	return buf
+}
+
+// planFor resolves the clamp pattern to a compiled plan through the bounded
+// LRU cache, compiling under the lock on a miss.
+func (d *DSPU) planFor(clamped []bool, key []byte) *clampPlan {
+	d.planMu.Lock()
+	defer d.planMu.Unlock()
+	if d.plans == nil {
+		d.plans = lru.New[*clampPlan](planCacheCapacity)
+	}
+	if pl, ok := d.plans.Get(key); ok {
+		d.planHits++
+		return pl
+	}
+	d.planMisses++
+	pl := &clampPlan{j: compilePlanMat(d.Net.J, clamped)}
+	for i, c := range clamped {
+		if c {
+			pl.clampIdx = append(pl.clampIdx, i)
+		} else {
+			pl.freeIdx = append(pl.freeIdx, i)
+		}
+	}
+	d.plans.Add(key, pl)
+	return pl
+}
+
+// compilePlanMat splits one coupling matrix into static (fully-clamped free
+// rows) and dyn (mixed free rows, kept whole) parts. SplitCols supplies the
+// per-row free-column census; a folding row's clamped-column part IS the
+// original row, order included.
+func compilePlanMat(s *mat.CSR, clamped []bool) planMat {
+	freePart, clampPart := s.SplitCols(clamped)
+	static := &mat.CSR{Rows: s.Rows, Cols: s.Cols, RowPtr: make([]int, s.Rows+1)}
+	dyn := &mat.CSR{Rows: s.Rows, Cols: s.Cols, RowPtr: make([]int, s.Rows+1)}
+	for i := 0; i < s.Rows; i++ {
+		lo, hi := s.RowPtr[i], s.RowPtr[i+1]
+		switch {
+		case clamped[i] || lo == hi:
+			// Clamped or empty rows are dropped.
+		case freePart.RowNNZ(i) == 0:
+			cl, ch := clampPart.RowPtr[i], clampPart.RowPtr[i+1]
+			static.ColIdx = append(static.ColIdx, clampPart.ColIdx[cl:ch]...)
+			static.Val = append(static.Val, clampPart.Val[cl:ch]...)
+		default:
+			dyn.ColIdx = append(dyn.ColIdx, s.ColIdx[lo:hi]...)
+			dyn.Val = append(dyn.Val, s.Val[lo:hi]...)
+		}
+		static.RowPtr[i+1] = len(static.Val)
+		dyn.RowPtr[i+1] = len(dyn.Val)
+	}
+	return planMat{static: static, dyn: dyn}
+}
+
+// planSys is a clamp plan bound to one inference's state buffers, exposed as
+// an ode.System so the configured integrator drives it exactly like the raw
+// network. Lives inside InferState so binding it allocates nothing.
+type planSys struct {
+	d             *DSPU
+	pl            *clampPlan
+	bias          []float64 // folded constant coupling currents, len N
+	buf           []float64 // per-evaluation coupling buffer, len N
+	noiseScale    float64
+	noiseScaleSet bool
+}
+
+// planSystem folds the constant clamp currents for the current inference
+// (st.x already carries the clamped values) and returns the state's plan
+// system bound to this plan.
+func (st *InferState) planSystem(pl *clampPlan) *planSys {
+	ps := &st.psys
+	ps.d = st.d
+	ps.pl = pl
+	ps.bias = st.bias
+	ps.buf = st.coupling
+	pl.j.static.MulVec(st.x, st.bias)
+	if st.d.Net.Noise.Enabled() && !ps.noiseScaleSet {
+		// Replicates circuit.Network.typicalCoupling so the coupler-noise
+		// scale — and with it the noise stream — matches the naive path
+		// bit for bit.
+		var sum float64
+		for _, v := range st.d.Net.J.Val {
+			sum += math.Abs(v)
+		}
+		if st.d.Net.N == 0 || len(st.d.Net.J.Val) == 0 {
+			ps.noiseScale = 1
+		} else {
+			ps.noiseScale = sum / float64(st.d.Net.N)
+		}
+		ps.noiseScaleSet = true
+	}
+	return ps
+}
+
+// Dim implements ode.System.
+func (ps *planSys) Dim() int { return ps.d.N }
+
+// Derivative implements ode.System: circuit.Network.Derivative with the
+// constant clamp currents re-emitted from the folded bias instead of
+// re-accumulated. Every floating-point operation on a free node's derivative
+// is the operation the raw network performs, in the same order.
+func (ps *planSys) Derivative(_ float64, x, dst []float64) {
+	nw := ps.d.Net
+	pl := ps.pl
+	pl.j.dyn.MulVecAdd(x, ps.bias, ps.buf)
+	noisy := nw.Noise.Enabled()
+	var cs, ns float64
+	if noisy {
+		cs = nw.Noise.CouplerSigma
+		ns = nw.Noise.NodeSigma
+	}
+	invC := 1 / nw.Capacitance
+	for _, i := range pl.clampIdx {
+		dst[i] = 0
+	}
+	for _, i := range pl.freeIdx {
+		coupling := ps.buf[i]
+		if noisy && cs > 0 {
+			coupling += nw.Noise.RNG.NormScaled(0, cs*ps.noiseScale)
+		}
+		var self float64
+		switch nw.Self {
+		case circuit.Linear:
+			self = nw.H[i]
+		case circuit.Quadratic: // the DSPU constructors always use this
+			self = nw.H[i] * x[i]
+		}
+		d := invC * (coupling + self)
+		if noisy && ns > 0 {
+			d += nw.Noise.RNG.NormScaled(0, ns)
+		}
+		if x[i] >= nw.VRail && d > 0 {
+			d = 0
+		} else if x[i] <= -nw.VRail && d < 0 {
+			d = 0
+		}
+		dst[i] = d
+	}
+}

@@ -1,0 +1,153 @@
+package dspu
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dsgl/internal/circuit"
+	"dsgl/internal/ode"
+	"dsgl/internal/rng"
+)
+
+// identicalResults asserts two dense-path Results carry the same IEEE-754
+// bit patterns everywhere — the dspu half of the plan-naive-identity
+// contract.
+func identicalResults(t *testing.T, label string, plan, naive *Result) {
+	t.Helper()
+	if len(plan.Voltage) != len(naive.Voltage) {
+		t.Fatalf("%s: voltage length %d vs %d", label, len(plan.Voltage), len(naive.Voltage))
+	}
+	for i := range plan.Voltage {
+		if math.Float64bits(plan.Voltage[i]) != math.Float64bits(naive.Voltage[i]) {
+			t.Fatalf("%s: voltage[%d] differs: plan %v naive %v", label, i, plan.Voltage[i], naive.Voltage[i])
+		}
+	}
+	if math.Float64bits(plan.LatencyNs) != math.Float64bits(naive.LatencyNs) {
+		t.Fatalf("%s: latency %v vs %v", label, plan.LatencyNs, naive.LatencyNs)
+	}
+	if math.Float64bits(plan.FinalEnergy) != math.Float64bits(naive.FinalEnergy) {
+		t.Fatalf("%s: energy %v vs %v", label, plan.FinalEnergy, naive.FinalEnergy)
+	}
+	if plan.Steps != naive.Steps || plan.Settled != naive.Settled {
+		t.Fatalf("%s: steps/settled (%d,%v) vs (%d,%v)", label, plan.Steps, plan.Settled, naive.Steps, naive.Settled)
+	}
+}
+
+// TestDSPUInferPlanBitIdentical: the plan path must reproduce the naive
+// network bit for bit under both integrators, for several seeds and clamp
+// patterns — including no clamps (all dyn) and all clamps (nothing free).
+func TestDSPUInferPlanBitIdentical(t *testing.T) {
+	for _, integ := range []struct {
+		name string
+		mk   func() ode.Integrator
+	}{
+		{"euler", func() ode.Integrator { return ode.NewEuler() }},
+		{"rk4", func() ode.Integrator { return ode.NewRK4() }},
+	} {
+		t.Run(integ.name, func(t *testing.T) {
+			d := chainDSPU(t, 8, 0.3, Config{MaxTimeNs: 200, Seed: 9, Integrator: integ.mk()})
+			for _, seed := range []uint64{1, 5, 99} {
+				for _, obs := range [][]Observation{
+					nil,
+					{{Index: 0, Value: 0.6}},
+					{{Index: 0, Value: 0.6}, {Index: 4, Value: -0.2}},
+					{{0, 0.1}, {1, 0.2}, {2, -0.3}, {3, 0.4}, {4, 0.5}, {5, -0.6}, {6, 0.7}, {7, -0.8}},
+				} {
+					plan, err := d.InferWith(d.NewInferState(), obs, seed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					plan = plan.detach()
+					naive, err := d.InferWithNaive(d.NewInferState(), obs, seed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					identicalResults(t, integ.name, plan, naive)
+				}
+			}
+		})
+	}
+}
+
+// TestDSPUInferPlanBitIdenticalNoisy extends the contract to the disturbed
+// network: the plan path replicates the coupler-noise scale and the
+// per-free-node draw order, so with a shared reseeded RNG the two paths see
+// the same noise stream and settle identically.
+func TestDSPUInferPlanBitIdenticalNoisy(t *testing.T) {
+	run := func(naive bool) *Result {
+		noiseRNG := rng.New(77)
+		d := chainDSPU(t, 8, 0.3, Config{
+			MaxTimeNs: 100, Seed: 9,
+			Noise: &circuit.NoiseModel{NodeSigma: 0.02, CouplerSigma: 0.02, RNG: noiseRNG},
+		})
+		obs := []Observation{{Index: 0, Value: 0.6}, {Index: 4, Value: -0.2}}
+		var res *Result
+		var err error
+		if naive {
+			res, err = d.InferWithNaive(d.NewInferState(), obs, 3)
+		} else {
+			res, err = d.InferWith(d.NewInferState(), obs, 3)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.detach()
+	}
+	identicalResults(t, "noisy", run(false), run(true))
+}
+
+// TestDSPUPlanCacheReuse: repeated inferences sharing a clamp pattern
+// compile once; a new pattern compiles again.
+func TestDSPUPlanCacheReuse(t *testing.T) {
+	d := chainDSPU(t, 8, 0.3, Config{MaxTimeNs: 100, Seed: 9})
+	st := d.NewInferState()
+	obs := []Observation{{Index: 0, Value: 0.6}}
+	for k := 0; k < 5; k++ {
+		if _, err := d.InferWith(st, obs, uint64(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := d.PlanCacheStats()
+	if misses != 1 || hits != 4 {
+		t.Fatalf("shared pattern: hits=%d misses=%d, want 4/1", hits, misses)
+	}
+	if _, err := d.InferWith(st, []Observation{{Index: 3, Value: 0.1}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses = d.PlanCacheStats(); misses != 2 {
+		t.Fatalf("new pattern did not compile: misses=%d", misses)
+	}
+}
+
+// TestDSPUDuplicateObservationRejected: the dense path rejects duplicate
+// observation indices on both the plan and naive entries.
+func TestDSPUDuplicateObservationRejected(t *testing.T) {
+	d := chainDSPU(t, 6, 0.3, Config{MaxTimeNs: 100, Seed: 9})
+	dup := []Observation{{Index: 2, Value: 0.1}, {Index: 2, Value: 0.1}}
+	if _, err := d.Infer(dup); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("Infer: got %v, want duplicate-observation error", err)
+	}
+	if _, err := d.InferWithNaive(d.NewInferState(), dup, 1); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("InferWithNaive: got %v, want duplicate-observation error", err)
+	}
+}
+
+// TestDSPUNaiveZeroAlloc keeps the naive reference loop allocation-free
+// after warm-up, like the plan path.
+func TestDSPUNaiveZeroAlloc(t *testing.T) {
+	d := chainDSPU(t, 6, 0.3, Config{MaxTimeNs: 100, Seed: 9})
+	st := d.NewInferState()
+	obs := []Observation{{Index: 0, Value: 0.6}}
+	if _, err := d.InferWithNaive(st, obs, 1); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := d.InferWithNaive(st, obs, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("InferWithNaive allocated %v per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,124 @@
+// Package lru provides a tiny bounded least-recently-used cache keyed by
+// byte strings. It exists for the clamp-plan caches: compiled inference
+// plans are keyed by the packed observation-index bitmask of a window
+// pattern, looked up on every inference, and bounded so that adversarial
+// pattern churn cannot grow the cache without limit.
+//
+// The cache is NOT goroutine-safe; callers guard it with their own mutex
+// (the plan caches share one lock with their hit/miss counters).
+//
+// Get takes the key as []byte so that the steady-state hit path performs no
+// heap allocation: the map index expression m[string(k)] is recognized by
+// the compiler and does not copy the key. Add converts the key to a string
+// once, on insertion.
+package lru
+
+// node is one doubly-linked cache entry; head is most recently used.
+type node[V any] struct {
+	key        string
+	val        V
+	prev, next *node[V]
+}
+
+// Cache is a bounded LRU cache from byte-string keys to values of type V.
+type Cache[V any] struct {
+	capacity   int
+	m          map[string]*node[V]
+	head, tail *node[V]
+}
+
+// New returns an empty cache holding at most capacity entries.
+// capacity < 1 is normalized to 1.
+func New[V any](capacity int) *Cache[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache[V]{capacity: capacity, m: make(map[string]*node[V], capacity)}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[V]) Len() int { return len(c.m) }
+
+// Cap returns the capacity bound.
+func (c *Cache[V]) Cap() int { return c.capacity }
+
+// Get looks key up and, on a hit, marks it most recently used.
+// The hit path performs no heap allocation.
+func (c *Cache[V]) Get(key []byte) (V, bool) {
+	n, ok := c.m[string(key)]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.moveToFront(n)
+	return n.val, true
+}
+
+// Add inserts (or overwrites) key -> val as the most recently used entry,
+// evicting the least recently used entry when the cache is full. It reports
+// whether an eviction happened.
+func (c *Cache[V]) Add(key []byte, val V) (evicted bool) {
+	if n, ok := c.m[string(key)]; ok {
+		n.val = val
+		c.moveToFront(n)
+		return false
+	}
+	n := &node[V]{key: string(key), val: val}
+	c.m[n.key] = n
+	c.pushFront(n)
+	if len(c.m) > c.capacity {
+		c.evictTail()
+		return true
+	}
+	return false
+}
+
+// Contains reports whether key is cached without touching recency.
+func (c *Cache[V]) Contains(key []byte) bool {
+	_, ok := c.m[string(key)]
+	return ok
+}
+
+func (c *Cache[V]) pushFront(n *node[V]) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *Cache[V]) moveToFront(n *node[V]) {
+	if c.head == n {
+		return
+	}
+	// Unlink.
+	if n.prev != nil {
+		n.prev.next = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	}
+	if c.tail == n {
+		c.tail = n.prev
+	}
+	c.pushFront(n)
+}
+
+func (c *Cache[V]) evictTail() {
+	t := c.tail
+	if t == nil {
+		return
+	}
+	delete(c.m, t.key)
+	c.tail = t.prev
+	if c.tail != nil {
+		c.tail.next = nil
+	} else {
+		c.head = nil
+	}
+	t.prev, t.next = nil, nil
+}

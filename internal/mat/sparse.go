@@ -87,6 +87,71 @@ func (s *CSR) MulVec(x, y []float64) []float64 {
 // RowNNZ returns the number of stored entries in row i.
 func (s *CSR) RowNNZ(i int) int { return s.RowPtr[i+1] - s.RowPtr[i] }
 
+// MulVecAdd computes the fused y = add + s*x: each output element starts
+// from add[i] and accumulates the row's stored entries in order. Because the
+// accumulation literally begins at add[i] (no extra +0 when a row is empty),
+// composing a precomputed partial sum with the remaining entries is
+// bit-identical to summing the full row from zero — the property the
+// clamp-plan compiler relies on when it folds constant clamp currents into a
+// per-row bias. y is reused when it has the right length and may alias add;
+// it must not alias x.
+func (s *CSR) MulVecAdd(x, add, y []float64) []float64 {
+	if len(x) != s.Cols {
+		panic(fmt.Sprintf("mat: CSR MulVecAdd dimension mismatch: %d cols vs %d vec", s.Cols, len(x)))
+	}
+	if len(add) != s.Rows {
+		panic(fmt.Sprintf("mat: CSR MulVecAdd bias mismatch: %d rows vs %d bias", s.Rows, len(add)))
+	}
+	if y == nil || len(y) != s.Rows {
+		y = make([]float64, s.Rows)
+	}
+	for i := 0; i < s.Rows; i++ {
+		sum := add[i]
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			sum += s.Val[p] * x[s.ColIdx[p]]
+		}
+		y[i] = sum
+	}
+	return y
+}
+
+// SplitCols partitions s by a column mask into two matrices of the same
+// shape: free holds the entries whose column is NOT marked, clamped holds
+// the entries whose column IS marked. Row structure and the within-row entry
+// order are both preserved, so for every row the concatenation of the two
+// parts' entries (in column order) is exactly the original row, and
+// free + clamped == s element-wise.
+//
+// The clamp-plan compiler uses the split to fold constant coupling currents:
+// during clamped inference the marked (observed) columns' voltages never
+// change, so clamped*x is a constant vector computable once per inference,
+// and only the free part needs re-evaluation inside the anneal loop. A row
+// whose free part is empty is entirely constant — its clamped part IS the
+// original row, so the folded sum carries the original accumulation order
+// bit for bit.
+func (s *CSR) SplitCols(mask []bool) (free, clamped *CSR) {
+	if len(mask) != s.Cols {
+		panic(fmt.Sprintf("mat: CSR SplitCols mask has %d entries, want %d cols", len(mask), s.Cols))
+	}
+	free = &CSR{Rows: s.Rows, Cols: s.Cols, RowPtr: make([]int, s.Rows+1)}
+	clamped = &CSR{Rows: s.Rows, Cols: s.Cols, RowPtr: make([]int, s.Rows+1)}
+	for i := 0; i < s.Rows; i++ {
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			j := s.ColIdx[p]
+			if mask[j] {
+				clamped.ColIdx = append(clamped.ColIdx, j)
+				clamped.Val = append(clamped.Val, s.Val[p])
+			} else {
+				free.ColIdx = append(free.ColIdx, j)
+				free.Val = append(free.Val, s.Val[p])
+			}
+		}
+		free.RowPtr[i+1] = len(free.Val)
+		clamped.RowPtr[i+1] = len(clamped.Val)
+	}
+	return free, clamped
+}
+
 // Builder accumulates (i, j, v) triplets and produces a CSR matrix.
 // Duplicate entries for the same (i, j) are summed.
 type Builder struct {

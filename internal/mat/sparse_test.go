@@ -114,6 +114,258 @@ func TestBuilderOutOfRangePanics(t *testing.T) {
 	NewBuilder(2, 2).Add(2, 0, 1)
 }
 
+// TestSplitCols is the table test of the column-partition kernel: empty
+// rows, all-clamped, none-clamped, and the 1×1 corner, plus a mixed case.
+func TestSplitCols(t *testing.T) {
+	for _, tc := range []struct {
+		name           string
+		rows, cols     int
+		data           []float64
+		mask           []bool
+		wantFreeNNZ    int
+		wantClampedNNZ int
+	}{
+		{
+			name: "mixed-rows",
+			rows: 3, cols: 4,
+			data: []float64{
+				1, 0, 2, 0,
+				0, 3, 0, 4,
+				5, 6, 0, 0,
+			},
+			mask:        []bool{true, false, true, false},
+			wantFreeNNZ: 3, wantClampedNNZ: 3,
+		},
+		{
+			name: "empty-rows",
+			rows: 4, cols: 3,
+			data: []float64{
+				0, 0, 0,
+				1, 0, 2,
+				0, 0, 0,
+				0, 3, 0,
+			},
+			mask:        []bool{false, true, false},
+			wantFreeNNZ: 2, wantClampedNNZ: 1,
+		},
+		{
+			name: "all-clamped",
+			rows: 2, cols: 2,
+			data: []float64{0, 1, 2, 0},
+			mask: []bool{true, true},
+			wantFreeNNZ: 0, wantClampedNNZ: 2,
+		},
+		{
+			name: "none-clamped",
+			rows: 2, cols: 2,
+			data: []float64{0, 1, 2, 0},
+			mask: []bool{false, false},
+			wantFreeNNZ: 2, wantClampedNNZ: 0,
+		},
+		{
+			name: "1x1-clamped",
+			rows: 1, cols: 1,
+			data: []float64{7},
+			mask: []bool{true},
+			wantFreeNNZ: 0, wantClampedNNZ: 1,
+		},
+		{
+			name: "1x1-free",
+			rows: 1, cols: 1,
+			data: []float64{7},
+			mask: []bool{false},
+			wantFreeNNZ: 1, wantClampedNNZ: 0,
+		},
+		{
+			name: "1x1-empty",
+			rows: 1, cols: 1,
+			data: []float64{0},
+			mask: []bool{true},
+			wantFreeNNZ: 0, wantClampedNNZ: 0,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			orig := NewDenseFrom(tc.rows, tc.cols, tc.data)
+			s := FromDense(orig, 0)
+			free, clamped := s.SplitCols(tc.mask)
+			if free.Rows != s.Rows || free.Cols != s.Cols ||
+				clamped.Rows != s.Rows || clamped.Cols != s.Cols {
+				t.Fatalf("shapes diverge: free %dx%d clamped %dx%d, want %dx%d",
+					free.Rows, free.Cols, clamped.Rows, clamped.Cols, s.Rows, s.Cols)
+			}
+			if free.NNZ() != tc.wantFreeNNZ || clamped.NNZ() != tc.wantClampedNNZ {
+				t.Fatalf("NNZ split = (%d free, %d clamped), want (%d, %d)",
+					free.NNZ(), clamped.NNZ(), tc.wantFreeNNZ, tc.wantClampedNNZ)
+			}
+			// Every free entry must sit on an unmasked column, every
+			// clamped entry on a masked one.
+			for _, j := range free.ColIdx {
+				if tc.mask[j] {
+					t.Fatalf("free part holds masked column %d", j)
+				}
+			}
+			for _, j := range clamped.ColIdx {
+				if !tc.mask[j] {
+					t.Fatalf("clamped part holds unmasked column %d", j)
+				}
+			}
+			// free + clamped must recompose the original element-wise.
+			sum := free.ToDense()
+			sum.AddM(clamped.ToDense())
+			if !sum.Equal(orig, 0) {
+				t.Fatalf("free+clamped != original: %v vs %v", sum.Data, orig.Data)
+			}
+			// Within-row order must be preserved (columns ascending, as
+			// FromDense stores them).
+			for _, part := range []*CSR{free, clamped} {
+				for i := 0; i < part.Rows; i++ {
+					for p := part.RowPtr[i] + 1; p < part.RowPtr[i+1]; p++ {
+						if part.ColIdx[p-1] >= part.ColIdx[p] {
+							t.Fatalf("row %d order broken: %v", i, part.ColIdx[part.RowPtr[i]:part.RowPtr[i+1]])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSplitColsMaskLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for short mask")
+		}
+	}()
+	FromDense(NewDense(2, 3), 0).SplitCols([]bool{true})
+}
+
+// TestMulVecAdd is the table test of the fused bias+matvec kernel.
+func TestMulVecAdd(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		rows, cols int
+		data       []float64
+		x, add     []float64
+		want       []float64
+	}{
+		{
+			name: "basic",
+			rows: 2, cols: 3,
+			data: []float64{1, 0, 2, 0, -1, 0},
+			x:    []float64{1, 2, 3},
+			add:  []float64{10, 20},
+			want: []float64{17, 18},
+		},
+		{
+			name: "empty-rows-pass-bias-through",
+			rows: 3, cols: 2,
+			data: []float64{0, 0, 1, 1, 0, 0},
+			x:    []float64{2, 3},
+			add:  []float64{-1, 0, 4},
+			want: []float64{-1, 5, 4},
+		},
+		{
+			name: "1x1",
+			rows: 1, cols: 1,
+			data: []float64{2},
+			x:    []float64{3},
+			add:  []float64{1},
+			want: []float64{7},
+		},
+		{
+			name: "all-empty",
+			rows: 2, cols: 2,
+			data: []float64{0, 0, 0, 0},
+			x:    []float64{9, 9},
+			add:  []float64{1, 2},
+			want: []float64{1, 2},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := FromDense(NewDenseFrom(tc.rows, tc.cols, tc.data), 0)
+			got := s.MulVecAdd(tc.x, tc.add, nil)
+			for i := range tc.want {
+				if got[i] != tc.want[i] {
+					t.Fatalf("y[%d] = %g, want %g", i, got[i], tc.want[i])
+				}
+			}
+			// Reuse: a correctly-sized y must be written in place.
+			buf := make([]float64, tc.rows)
+			if out := s.MulVecAdd(tc.x, tc.add, buf); &out[0] != &buf[0] {
+				t.Fatal("MulVecAdd did not reuse the provided buffer")
+			}
+			// Aliasing y == add is allowed.
+			aliased := append([]float64(nil), tc.add...)
+			s.MulVecAdd(tc.x, aliased, aliased)
+			for i := range tc.want {
+				if aliased[i] != tc.want[i] {
+					t.Fatalf("aliased y[%d] = %g, want %g", i, aliased[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestMulVecAddComposesWithSplitCols is the bit-identity property the clamp
+// plans rely on: for any matrix and mask, folding the masked columns into a
+// bias and fusing it back via MulVecAdd over rows whose free part is empty
+// reproduces MulVec's full-row sums exactly (not just approximately).
+func TestMulVecAddComposesWithSplitCols(t *testing.T) {
+	f := func(seed int64) bool {
+		r := newTestRand(seed)
+		n := 7
+		m := NewDense(n, n)
+		for i := range m.Data {
+			if r.next() < 0.4 {
+				m.Data[i] = r.next()*2 - 1
+			}
+		}
+		mask := make([]bool, n)
+		for j := range mask {
+			mask[j] = r.next() < 0.5
+		}
+		s := FromDense(m, 0)
+		free, clamp := s.SplitCols(mask)
+		x := randVec(r, n)
+		bias := clamp.MulVec(x, nil)
+		fused := free.MulVecAdd(x, bias, nil)
+		full := s.MulVec(x, nil)
+		for i := 0; i < n; i++ {
+			if free.RowNNZ(i) == 0 && fused[i] != full[i] {
+				// A fully-folded row must match bit for bit.
+				return false
+			}
+			if math.Abs(fused[i]-full[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulVecAddDimensionPanics(t *testing.T) {
+	s := FromDense(NewDense(2, 3), 0)
+	for _, tc := range []struct {
+		name   string
+		x, add []float64
+	}{
+		{"short-x", make([]float64, 2), make([]float64, 2)},
+		{"short-add", make([]float64, 3), make([]float64, 1)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			s.MulVecAdd(tc.x, tc.add, nil)
+		})
+	}
+}
+
 func TestBuilderMatchesFromDenseProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		r := newTestRand(seed)

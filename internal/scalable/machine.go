@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"dsgl/internal/community"
+	"dsgl/internal/lru"
 	"dsgl/internal/mat"
 	"dsgl/internal/pool"
 	"dsgl/internal/rng"
@@ -113,6 +115,10 @@ func (c *Config) fillDefaults() {
 	}
 }
 
+// errNoSteps rejects a configuration whose time budget cannot fit a single
+// integration step. Shared by the naive and planned loops.
+var errNoSteps = errors.New("scalable: MaxTimeNs shorter than one timestep")
+
 // settleResidualFactor relaxes SettleTol for the full-residual settle
 // check: the live-slice derivative must beat SettleTol itself, while the
 // true (all-couplings-fresh) residual — which carries sample-and-hold
@@ -140,6 +146,19 @@ type Machine struct {
 	intra  *mat.CSR   // intra-PE couplings (always live, always fresh)
 	phases []*mat.CSR // inter-PE couplings per temporal slice
 	stats  Stats
+
+	// Clamp-plan cache: compiled inference plans keyed by the packed
+	// observation-index bitmask. Plans depend only on WHICH nodes are
+	// clamped, never on the clamp values, so every window of a batch that
+	// shares an observation pattern reuses one compiled plan. The cache is
+	// bounded (planCacheCapacity, LRU) so pattern churn cannot grow it
+	// without limit, and guarded by planMu so InferBatch workers share it
+	// safely. Lazily initialized on first use: tests construct Machine
+	// literals.
+	planMu     sync.Mutex
+	plans      *lru.Cache[*clampPlan]
+	planHits   uint64
+	planMisses uint64
 }
 
 // Stats returns the compilation statistics.
@@ -165,15 +184,22 @@ type Result struct {
 }
 
 // StepInfo is the per-step telemetry handed to a StepObserver: the step
-// index, the simulated anneal time, the Hamiltonian of the full compiled
-// system at the post-step state (EnergyAt), the live mapping slice, the
-// live-system max |dσ/dt| that the convergence check saw, and the state
+// index, the simulated anneal time, a lazy evaluator for the Hamiltonian of
+// the full compiled system at the post-step state, the live mapping slice,
+// the live-system max |dσ/dt| that the convergence check saw, and the state
 // vector itself. X aliases the inference scratch buffer — read it during
 // the callback, copy it if it must outlive the step, never write it.
+//
+// EnergyFn computes EnergyAt(X) on demand. Evaluating the Hamiltonian walks
+// every stored coupling — O(nnz) per call — which used to tax every observed
+// step even when the observer never looked at the energy. The hot loop now
+// hands out a pre-bound closure and pays only when the observer actually
+// calls it. Like X, EnergyFn reads the live scratch buffers and is valid
+// only during the callback.
 type StepInfo struct {
 	Step     int
 	TimeNs   float64
-	Energy   float64
+	EnergyFn func() float64
 	MaxDeriv float64
 	Phase    int
 	X        []float64
@@ -209,6 +235,17 @@ type InferState struct {
 	rng      rng.RNG
 	res      Result
 	observer StepObserver
+
+	// Clamp-plan scratch. biasIntra and biasPhase hold the folded constant
+	// coupling currents of the current inference (one entry per row; only
+	// fully-clamped rows are non-zero), keyBuf is the packed clamp-mask
+	// cache key, and energyFn is the pre-bound lazy Hamiltonian closure
+	// handed to observers. All are sized once here so the plan path keeps
+	// the zero-allocation steady-state contract.
+	biasIntra []float64
+	biasPhase [][]float64
+	keyBuf    []byte
+	energyFn  func() float64
 }
 
 // SetObserver installs (or, with nil, removes) a per-step observer on this
@@ -234,6 +271,14 @@ func (m *Machine) NewInferState() *InferState {
 	for k := range st.contrib {
 		st.contrib[k] = flat[k*m.N : (k+1)*m.N : (k+1)*m.N]
 	}
+	st.biasIntra = make([]float64, m.N)
+	st.biasPhase = make([][]float64, len(m.phases))
+	biasFlat := make([]float64, len(m.phases)*m.N)
+	for k := range st.biasPhase {
+		st.biasPhase[k] = biasFlat[k*m.N : (k+1)*m.N : (k+1)*m.N]
+	}
+	st.keyBuf = make([]byte, (m.N+7)/8)
+	st.energyFn = func() float64 { return m.EnergyAt(st.x) }
 	return st
 }
 
@@ -341,10 +386,68 @@ func (m *Machine) InferBatch(obs [][]Observation, workers int) ([]*Result, error
 	return results, nil
 }
 
-// inferInto runs the co-annealing process on a prepared state (st.x holds
-// the initial voltages, st.rng the noise stream). It is the allocation-free
-// core shared by every Infer variant.
-func (m *Machine) inferInto(st *InferState, obs []Observation) (*Result, error) {
+// InferWithNaive is InferWith running the naive reference loop: no clamp
+// plan, every coupling matrix re-evaluated in full each step. The
+// plan-naive-identity invariant asserts InferWith and InferWithNaive return
+// bit-identical Results for every seed; benchmarks use this entry as the
+// pre-folding baseline.
+func (m *Machine) InferWithNaive(st *InferState, obs []Observation, seed uint64) (*Result, error) {
+	if st == nil || st.m != m {
+		return nil, errors.New("scalable: InferState belongs to a different machine")
+	}
+	st.rng.Reseed(seed)
+	st.rng.FillUniform(st.x, -0.1, 0.1)
+	if err := st.applyObservations(obs); err != nil {
+		return nil, err
+	}
+	return m.inferNaive(st)
+}
+
+// InferSeededNaive is InferSeeded running the naive reference loop.
+func (m *Machine) InferSeededNaive(obs []Observation, seed uint64) (*Result, error) {
+	res, err := m.InferWithNaive(m.NewInferState(), obs, seed)
+	if err != nil {
+		return nil, err
+	}
+	return res.detach(), nil
+}
+
+// EnsurePlan validates the observation set and compiles (or re-warms) the
+// clamp plan for its index pattern, so that a subsequent batch over windows
+// sharing the pattern starts with a cache hit on every worker. Evaluate and
+// EvaluateParallel call this once per run instead of compiling inside the
+// first window's inference.
+func (m *Machine) EnsurePlan(obs []Observation) error {
+	clamped := make([]bool, m.N)
+	for _, o := range obs {
+		if o.Index < 0 || o.Index >= m.N {
+			return fmt.Errorf("scalable: observation index %d out of range [0,%d)", o.Index, m.N)
+		}
+		if clamped[o.Index] {
+			return fmt.Errorf("scalable: duplicate observation for node %d", o.Index)
+		}
+		clamped[o.Index] = true
+	}
+	m.planFor(clamped, packMask(clamped, make([]byte, (m.N+7)/8)))
+	return nil
+}
+
+// PlanCacheStats reports the cumulative clamp-plan cache hit and miss
+// counts. A miss compiles a plan; the steady state of a batch whose windows
+// share one observation pattern is all hits.
+func (m *Machine) PlanCacheStats() (hits, misses uint64) {
+	m.planMu.Lock()
+	defer m.planMu.Unlock()
+	return m.planHits, m.planMisses
+}
+
+// applyObservations resets the clamp mask and clamps each observation onto
+// the state, validating index range, rail bound, and uniqueness. A duplicate
+// index is rejected rather than silently last-wins: two observations for one
+// node are almost always a windowing bug, and the clamp-plan key (which is a
+// set, not a list) would otherwise hide the difference.
+func (st *InferState) applyObservations(obs []Observation) error {
+	m := st.m
 	x := st.x
 	clamped := st.clamped
 	for i := range clamped {
@@ -352,17 +455,46 @@ func (m *Machine) inferInto(st *InferState, obs []Observation) (*Result, error) 
 	}
 	for _, o := range obs {
 		if o.Index < 0 || o.Index >= m.N {
-			return nil, fmt.Errorf("scalable: observation index %d out of range [0,%d)", o.Index, m.N)
+			return fmt.Errorf("scalable: observation index %d out of range [0,%d)", o.Index, m.N)
 		}
 		if math.Abs(o.Value) > m.cfg.VRail {
-			return nil, fmt.Errorf("scalable: observation value %g exceeds rail %g", o.Value, m.cfg.VRail)
+			return fmt.Errorf("scalable: observation value %g exceeds rail %g", o.Value, m.cfg.VRail)
+		}
+		if clamped[o.Index] {
+			return fmt.Errorf("scalable: duplicate observation for node %d", o.Index)
 		}
 		x[o.Index] = o.Value
 		clamped[o.Index] = true
 	}
+	return nil
+}
+
+// inferInto runs the co-annealing process on a prepared state (st.x holds
+// the initial voltages, st.rng the noise stream). It is the allocation-free
+// core shared by every Infer variant: the observation pattern is resolved to
+// a compiled clamp plan (cache hit in the steady state) and the planned hot
+// loop runs. The result is bit-identical to inferNaive — the plan only
+// reorganizes which floating-point operations are hoisted, never their
+// order (see plan.go).
+func (m *Machine) inferInto(st *InferState, obs []Observation) (*Result, error) {
+	if err := st.applyObservations(obs); err != nil {
+		return nil, err
+	}
+	pl := m.planFor(st.clamped, packMask(st.clamped, st.keyBuf))
+	return m.inferPlanned(st, pl)
+}
+
+// inferNaive is the reference co-annealing loop: every coupling matrix is
+// re-evaluated in full every step, with no clamp-aware folding. It is kept
+// callable (InferWithNaive, InferSeededNaive) as the ground truth the
+// plan-path bit-identity invariant verifies against, and as the baseline
+// BenchmarkInferNaive measures.
+func (m *Machine) inferNaive(st *InferState) (*Result, error) {
+	x := st.x
+	clamped := st.clamped
 	steps := int(m.cfg.MaxTimeNs / m.cfg.Dt)
 	if steps < 1 {
-		return nil, errors.New("scalable: MaxTimeNs shorter than one timestep")
+		return nil, errNoSteps
 	}
 
 	intraCur := st.intraCur
@@ -443,7 +575,7 @@ func (m *Machine) inferInto(st *InferState, obs []Observation) (*Result, error) 
 			st.observer(StepInfo{
 				Step:     s,
 				TimeNs:   annealT,
-				Energy:   m.EnergyAt(x),
+				EnergyFn: st.energyFn,
 				MaxDeriv: maxD,
 				Phase:    phase,
 				X:        x,

@@ -50,10 +50,13 @@ func TestObserverReceivesEveryStep(t *testing.T) {
 	m := batchMachine(t, Config{Lanes: 30, MaxTimeNs: 200, Seed: 3})
 	st := m.NewInferState()
 	var infos []StepInfo
+	var lastEnergy float64
 	st.SetObserver(func(si StepInfo) {
 		if si.X == nil || len(si.X) != m.N {
 			t.Fatalf("step %d: X has %d entries, want %d", si.Step, len(si.X), m.N)
 		}
+		// EnergyFn is only valid during the callback; sample it here.
+		lastEnergy = si.EnergyFn()
 		infos = append(infos, si)
 	})
 	res, err := m.InferWith(st, []Observation{{0, 0.4}}, 1)
@@ -72,8 +75,8 @@ func TestObserverReceivesEveryStep(t *testing.T) {
 	if last.TimeNs != res.AnnealNs {
 		t.Fatalf("last observed time %g != anneal time %g", last.TimeNs, res.AnnealNs)
 	}
-	if last.Energy != m.EnergyAt(res.Voltage) {
-		t.Fatalf("last observed energy %g != EnergyAt(final) %g", last.Energy, m.EnergyAt(res.Voltage))
+	if got := lastEnergy; got != m.EnergyAt(res.Voltage) {
+		t.Fatalf("last observed energy %g != EnergyAt(final) %g", got, m.EnergyAt(res.Voltage))
 	}
 	// Removing the observer stops the callbacks.
 	st.SetObserver(nil)

@@ -1,0 +1,348 @@
+// Clamp-aware compiled inference plans.
+//
+// During clamped inference the observed nodes' voltages never change, so
+// every coupling-matrix row whose stored columns are all observed evaluates
+// to the same number on every integration step. A clampPlan is the
+// compilation of that observation — of the observation INDEX pattern, never
+// the values — into a form the anneal hot loop can exploit:
+//
+//   - rows of each coupling matrix are classified once: a row whose columns
+//     are all clamped becomes part of the "static" matrix and is folded into
+//     a per-row constant bias computed once per inference; a row with at
+//     least one free column stays in the "dyn" matrix and is re-evaluated
+//     each step; a clamped row is dropped entirely (its output feeds a node
+//     whose derivative is pinned to zero);
+//   - the derivative, integration, and settle loops iterate a free-node
+//     index list instead of scanning and skipping the clamp mask.
+//
+// Bit-exactness is the design constraint, not an accident. The plan path
+// must return Results bit-identical to the naive loop (the sixth
+// verification invariant), which IEEE-754 non-associativity makes a strict
+// discipline:
+//
+//   - a "dyn" row keeps the FULL original row — including its clamped
+//     columns — so its per-step accumulation order is exactly the naive
+//     order. Partial folding of a mixed row would reassociate the sum.
+//   - a "static" row's folded bias is computed by the same
+//     start-at-zero, in-row-order accumulation the naive loop runs, so the
+//     hoisted value is the bit pattern the naive loop recomputes each step.
+//   - mat.CSR.MulVecAdd starts each row's accumulation literally at the
+//     bias (no spurious +0 terms), and the bias is exactly +0 for dyn rows,
+//     so the fused kernel reproduces both row classes' naive bit patterns.
+//   - the sample-and-hold interSum update keeps the naive two-op
+//     subtract-then-add sequence per refresh: skipping a "constant"
+//     refresh would be observable, since a-c+c need not round-trip to a.
+//   - noise draws happen per free node in ascending order in both paths,
+//     so the RNG streams stay aligned.
+package scalable
+
+import (
+	"math"
+
+	"dsgl/internal/lru"
+	"dsgl/internal/mat"
+)
+
+// planCacheCapacity bounds the per-machine clamp-plan LRU cache. Eight
+// patterns cover the realistic mix (one pattern per dataset windowing, a few
+// for ad-hoc probes) while keeping the worst-case memory at eight sparsified
+// copies of the coupling matrices.
+const planCacheCapacity = 8
+
+// planMat is one coupling matrix compiled against a clamp pattern.
+type planMat struct {
+	// static holds the free rows whose stored columns are all clamped:
+	// each is a constant for the whole inference, folded into a bias by
+	// MulVec once per inference.
+	static *mat.CSR
+	// dyn holds the free rows with at least one free column, each kept as
+	// the FULL original row so per-step accumulation order — and therefore
+	// every rounding step — matches the naive loop exactly.
+	dyn *mat.CSR
+}
+
+// clampPlan is a compiled inference plan for one observation index pattern.
+// A plan is immutable after compilation and shared freely across InferBatch
+// workers; all per-inference mutable state (the folded biases) lives in the
+// InferState.
+type clampPlan struct {
+	freeIdx  []int // unclamped node indices, ascending
+	clampIdx []int // clamped node indices, ascending
+	intra    planMat
+	phases   []planMat
+}
+
+// packMask packs the clamp mask into buf as a little-endian bitmask — the
+// plan-cache key. buf must have (len(clamped)+7)/8 bytes.
+func packMask(clamped []bool, buf []byte) []byte {
+	for i := range buf {
+		buf[i] = 0
+	}
+	for i, c := range clamped {
+		if c {
+			buf[i>>3] |= 1 << (i & 7)
+		}
+	}
+	return buf
+}
+
+// planFor resolves the clamp pattern to a compiled plan, consulting the
+// bounded LRU cache first. Compilation happens under the cache lock: plans
+// for one pattern are only ever compiled once per residency, which keeps the
+// hit/miss counters deterministic for a batch of identical patterns
+// regardless of worker interleaving.
+func (m *Machine) planFor(clamped []bool, key []byte) *clampPlan {
+	m.planMu.Lock()
+	defer m.planMu.Unlock()
+	if m.plans == nil {
+		// Lazy: tests build Machine literals that never infer.
+		m.plans = lru.New[*clampPlan](planCacheCapacity)
+	}
+	if pl, ok := m.plans.Get(key); ok {
+		m.planHits++
+		return pl
+	}
+	m.planMisses++
+	pl := m.compilePlan(clamped)
+	m.plans.Add(key, pl)
+	return pl
+}
+
+// compilePlan classifies every coupling matrix row against the clamp
+// pattern and builds the free/clamped index lists.
+func (m *Machine) compilePlan(clamped []bool) *clampPlan {
+	pl := &clampPlan{
+		intra:  compilePlanMat(m.intra, clamped),
+		phases: make([]planMat, len(m.phases)),
+	}
+	for k, ph := range m.phases {
+		pl.phases[k] = compilePlanMat(ph, clamped)
+	}
+	for i, c := range clamped {
+		if c {
+			pl.clampIdx = append(pl.clampIdx, i)
+		} else {
+			pl.freeIdx = append(pl.freeIdx, i)
+		}
+	}
+	return pl
+}
+
+// compilePlanMat splits one coupling matrix into its static (fully-clamped
+// free rows) and dyn (mixed free rows, kept whole) parts. SplitCols supplies
+// the per-row free-column census; for a row that folds, its clamped-column
+// part IS the original row (SplitCols preserves row structure and in-row
+// order), so the static matrix carries the exact accumulation order the
+// naive loop would use.
+func compilePlanMat(s *mat.CSR, clamped []bool) planMat {
+	freePart, clampPart := s.SplitCols(clamped)
+	static := &mat.CSR{Rows: s.Rows, Cols: s.Cols, RowPtr: make([]int, s.Rows+1)}
+	dyn := &mat.CSR{Rows: s.Rows, Cols: s.Cols, RowPtr: make([]int, s.Rows+1)}
+	for i := 0; i < s.Rows; i++ {
+		lo, hi := s.RowPtr[i], s.RowPtr[i+1]
+		switch {
+		case clamped[i] || lo == hi:
+			// Clamped rows feed nodes whose derivative is pinned to
+			// zero; empty rows contribute nothing. Neither is stored.
+		case freePart.RowNNZ(i) == 0:
+			// Every stored column is observed: the row is one constant
+			// per inference. clampPart's row equals the original row
+			// here, order included.
+			cl, ch := clampPart.RowPtr[i], clampPart.RowPtr[i+1]
+			static.ColIdx = append(static.ColIdx, clampPart.ColIdx[cl:ch]...)
+			static.Val = append(static.Val, clampPart.Val[cl:ch]...)
+		default:
+			// At least one live column: keep the whole original row so
+			// the per-step sum reassociates nothing.
+			dyn.ColIdx = append(dyn.ColIdx, s.ColIdx[lo:hi]...)
+			dyn.Val = append(dyn.Val, s.Val[lo:hi]...)
+		}
+		static.RowPtr[i+1] = len(static.Val)
+		dyn.RowPtr[i+1] = len(dyn.Val)
+	}
+	return planMat{static: static, dyn: dyn}
+}
+
+// refreshPhasePlanned is refreshPhase on the plan path: slice k's held
+// contribution is re-derived from the fresh state, but only the dyn rows are
+// actually re-accumulated — static rows re-emit their folded bias, which is
+// the bit pattern a full recompute would produce. The subtract/recompute/add
+// sequence on interSum is kept per free node because a-c+c need not
+// round-trip even when c is unchanged.
+func (st *InferState) refreshPhasePlanned(pl *clampPlan, k int) {
+	contrib := st.contrib[k]
+	interSum := st.interSum
+	for _, i := range pl.freeIdx {
+		interSum[i] -= contrib[i]
+	}
+	pl.phases[k].dyn.MulVecAdd(st.x, st.biasPhase[k], contrib)
+	for _, i := range pl.freeIdx {
+		interSum[i] += contrib[i]
+	}
+}
+
+// inferPlanned is the clamp-plan hot loop: inferNaive with the constant
+// clamp currents folded out and every per-node loop walking the free index
+// list. Each floating-point operation it performs on a free node's state is
+// the operation inferNaive performs, in the same order — see the package
+// comment for the discipline — so the Result is bit-identical.
+func (m *Machine) inferPlanned(st *InferState, pl *clampPlan) (*Result, error) {
+	x := st.x
+	steps := int(m.cfg.MaxTimeNs / m.cfg.Dt)
+	if steps < 1 {
+		return nil, errNoSteps
+	}
+
+	// Fold the constant clamp currents: one number per fully-clamped row,
+	// computed here once instead of once per step. Free columns are never
+	// read (static rows have none), so the uninitialized free voltages
+	// cannot leak in.
+	pl.intra.static.MulVec(x, st.biasIntra)
+	for k := range pl.phases {
+		pl.phases[k].static.MulVec(x, st.biasPhase[k])
+	}
+
+	intraCur := st.intraCur
+	deriv := st.deriv
+	interSum := st.interSum
+	for i := range interSum {
+		interSum[i] = 0
+	}
+	for k := range st.contrib {
+		c := st.contrib[k]
+		for i := range c {
+			c[i] = 0
+		}
+	}
+	free := pl.freeIdx
+	pl.phases[0].dyn.MulVecAdd(x, st.biasPhase[0], st.contrib[0])
+	for _, i := range free {
+		interSum[i] += st.contrib[0][i]
+	}
+
+	noisy := m.cfg.NodeNoise > 0 || m.cfg.CouplerNoise > 0
+	var couplerScale float64
+	if noisy {
+		couplerScale = m.typicalCoupling()
+	}
+	r := &st.rng
+
+	phase := 0
+	nextSwitch := m.cfg.SwitchIntervalNs
+	annealT := 0.0
+	switches := 0
+	settled := false
+	checkEvery := int(m.cfg.SwitchIntervalNs*float64(len(m.phases))/m.cfg.Dt) + 1
+	if checkEvery < 32 {
+		checkEvery = 32
+	}
+
+	for s := 0; s < steps; s++ {
+		pl.intra.dyn.MulVecAdd(x, st.biasIntra, intraCur)
+		st.refreshPhasePlanned(pl, phase)
+		maxD := 0.0
+		for _, i := range free {
+			cur := intraCur[i] + interSum[i]
+			if noisy && m.cfg.CouplerNoise > 0 {
+				cur += r.NormScaled(0, m.cfg.CouplerNoise*couplerScale)
+			}
+			d := cur + m.params.H[i]*x[i]
+			if noisy && m.cfg.NodeNoise > 0 {
+				d += r.NormScaled(0, m.cfg.NodeNoise)
+			}
+			if x[i] >= m.cfg.VRail && d > 0 {
+				d = 0
+			} else if x[i] <= -m.cfg.VRail && d < 0 {
+				d = 0
+			}
+			deriv[i] = d
+			if a := math.Abs(d); a > maxD {
+				maxD = a
+			}
+		}
+		// Fused update+rail-clamp per free node; i-local, so identical to
+		// the naive full-vector update followed by mat.Clamp. Clamped
+		// nodes never move (their observation already respects the rail).
+		for _, i := range free {
+			xi := x[i] + m.cfg.Dt*deriv[i]
+			if xi < -m.cfg.VRail {
+				xi = -m.cfg.VRail
+			} else if xi > m.cfg.VRail {
+				xi = m.cfg.VRail
+			}
+			x[i] = xi
+		}
+		annealT += m.cfg.Dt
+		if st.observer != nil {
+			st.observer(StepInfo{
+				Step:     s,
+				TimeNs:   annealT,
+				EnergyFn: st.energyFn,
+				MaxDeriv: maxD,
+				Phase:    phase,
+				X:        x,
+			})
+		}
+
+		if len(m.phases) == 1 {
+			if maxD < m.cfg.SettleTol && m.planResidual(pl, st, x, st.resBuf) < m.cfg.SettleTol*settleResidualFactor {
+				settled = true
+				break
+			}
+		} else if s%checkEvery == checkEvery-1 {
+			if m.planResidual(pl, st, x, st.resBuf) < m.cfg.SettleTol*settleResidualFactor {
+				settled = true
+				break
+			}
+		}
+		if len(m.phases) > 1 && annealT >= nextSwitch {
+			phase = (phase + 1) % len(m.phases)
+			switches++
+			nextSwitch += m.cfg.SwitchIntervalNs
+		}
+	}
+	st.res = Result{
+		Voltage:   x,
+		AnnealNs:  annealT,
+		LatencyNs: annealT + float64(switches)*m.cfg.SwitchOverheadNs,
+		Settled:   settled,
+		Switches:  switches,
+		Energy:    m.EnergyAt(x),
+	}
+	return &st.res, nil
+}
+
+// planResidual is fullResidual on the plan path: the true max |dσ/dt| with
+// every coupling fresh, accumulated per free row with static rows re-emitted
+// from their folded bias. Mirrors fullResidual's order exactly — intra row
+// first, then each slice's row sum added in slice order, each slice's
+// contribution accumulated from zero (the bias for dyn rows) and added to
+// the buffer in one operation (empty rows included: naive adds their zero
+// sum too, which rounds -0 to +0).
+func (m *Machine) planResidual(pl *clampPlan, st *InferState, x, buf []float64) float64 {
+	pl.intra.dyn.MulVecAdd(x, st.biasIntra, buf)
+	for k := range pl.phases {
+		dyn := pl.phases[k].dyn
+		bias := st.biasPhase[k]
+		for _, i := range pl.freeIdx {
+			sum := bias[i]
+			for p := dyn.RowPtr[i]; p < dyn.RowPtr[i+1]; p++ {
+				sum += dyn.Val[p] * x[dyn.ColIdx[p]]
+			}
+			buf[i] += sum
+		}
+	}
+	maxD := 0.0
+	for _, i := range pl.freeIdx {
+		d := buf[i] + m.params.H[i]*x[i]
+		if x[i] >= m.cfg.VRail && d > 0 {
+			d = 0
+		} else if x[i] <= -m.cfg.VRail && d < 0 {
+			d = 0
+		}
+		if a := math.Abs(d); a > maxD {
+			maxD = a
+		}
+	}
+	return maxD
+}

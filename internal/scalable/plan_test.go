@@ -1,0 +1,248 @@
+package scalable
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// identicalResults compares two Results bit-for-bit: every float field and
+// every voltage must carry the same IEEE-754 bit pattern, not merely compare
+// equal. This is the strongest form of the plan-naive-identity contract.
+func identicalResults(t *testing.T, label string, plan, naive *Result) {
+	t.Helper()
+	if len(plan.Voltage) != len(naive.Voltage) {
+		t.Fatalf("%s: voltage length %d vs %d", label, len(plan.Voltage), len(naive.Voltage))
+	}
+	for i := range plan.Voltage {
+		if math.Float64bits(plan.Voltage[i]) != math.Float64bits(naive.Voltage[i]) {
+			t.Fatalf("%s: voltage[%d] differs: plan %v (%#x) naive %v (%#x)",
+				label, i, plan.Voltage[i], math.Float64bits(plan.Voltage[i]),
+				naive.Voltage[i], math.Float64bits(naive.Voltage[i]))
+		}
+	}
+	if math.Float64bits(plan.LatencyNs) != math.Float64bits(naive.LatencyNs) {
+		t.Fatalf("%s: latency %v vs %v", label, plan.LatencyNs, naive.LatencyNs)
+	}
+	if math.Float64bits(plan.AnnealNs) != math.Float64bits(naive.AnnealNs) {
+		t.Fatalf("%s: anneal time %v vs %v", label, plan.AnnealNs, naive.AnnealNs)
+	}
+	if math.Float64bits(plan.Energy) != math.Float64bits(naive.Energy) {
+		t.Fatalf("%s: energy %v vs %v", label, plan.Energy, naive.Energy)
+	}
+	if plan.Settled != naive.Settled {
+		t.Fatalf("%s: settled %v vs %v", label, plan.Settled, naive.Settled)
+	}
+	if plan.Switches != naive.Switches {
+		t.Fatalf("%s: switches %d vs %d", label, plan.Switches, naive.Switches)
+	}
+}
+
+// TestInferPlanBitIdentical is the tentpole acceptance test: the clamp-plan
+// path must return Results bit-identical to the naive reference loop for
+// every mode, seed, and worker count — constant folding reorganizes which
+// operations are hoisted out of the loop, never their order or rounding.
+func TestInferPlanBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"spatial", Config{Lanes: 30, MaxTimeNs: 2000, Seed: 11}},
+		{"temporal", Config{Lanes: 3, MaxTimeNs: 2000, Seed: 11}},
+		{"noisy", Config{Lanes: 3, MaxTimeNs: 1000, Seed: 11, NodeNoise: 0.05, CouplerNoise: 0.05}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := batchMachine(t, tc.cfg)
+			for _, seed := range []uint64{1, 7, 42, 1 << 40} {
+				for _, obs := range [][]Observation{
+					{{0, 0.4}},
+					{{0, 0.4}, {5, -0.3}, {11, 0.9}},
+					{{3, -0.2}, {4, 0.1}, {8, 0.6}, {15, -0.7}, {20, 0.25}},
+					{}, // no clamps: everything is dyn
+				} {
+					plan, err := m.InferSeeded(obs, seed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					naive, err := m.InferSeededNaive(obs, seed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					identicalResults(t, tc.name, plan, naive)
+				}
+			}
+		})
+	}
+}
+
+// TestInferPlanBatchBitIdentical pins the same contract through the batch
+// engine: any worker count must reproduce the sequential naive loop bit for
+// bit (window w runs with seed Config.Seed + w in both).
+func TestInferPlanBatchBitIdentical(t *testing.T) {
+	m := batchMachine(t, Config{Lanes: 3, MaxTimeNs: 1500, Seed: 9})
+	obs := batchObservations(16, m.N)
+	for _, workers := range []int{1, 3, 8} {
+		batch, err := m.InferBatch(obs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range obs {
+			naive, err := m.InferSeededNaive(obs[i], m.Config().Seed+uint64(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			identicalResults(t, "batch", batch[i], naive)
+		}
+	}
+}
+
+// TestPlanAllClampedAndFullyFree covers the plan compiler's edge patterns:
+// every node observed (no free rows at all: the anneal loop has nothing to
+// integrate) and, via the empty-observation case above, no node observed.
+func TestPlanAllClampedAndFullyFree(t *testing.T) {
+	m := batchMachine(t, Config{Lanes: 30, MaxTimeNs: 200, Seed: 5})
+	obs := make([]Observation, m.N)
+	for i := range obs {
+		obs[i] = Observation{Index: i, Value: 0.3 - 0.01*float64(i)}
+	}
+	plan, err := m.InferSeeded(obs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := m.InferSeededNaive(obs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identicalResults(t, "all-clamped", plan, naive)
+	for i, o := range obs {
+		if plan.Voltage[i] != o.Value {
+			t.Fatalf("clamped node %d moved: %v != %v", i, plan.Voltage[i], o.Value)
+		}
+	}
+}
+
+// TestPlanCacheHitsAcrossBatch proves the point of keying plans by index
+// pattern: a batch whose windows share one observation pattern (different
+// values!) compiles exactly one plan and hits the cache for every other
+// window, across all workers.
+func TestPlanCacheHitsAcrossBatch(t *testing.T) {
+	m := batchMachine(t, Config{Lanes: 30, MaxTimeNs: 500, Seed: 3})
+	const windows = 24
+	obs := make([][]Observation, windows)
+	for w := range obs {
+		obs[w] = []Observation{
+			{Index: 2, Value: 0.5 - 0.02*float64(w)},
+			{Index: 9, Value: -0.4 + 0.03*float64(w%5)},
+			{Index: 17, Value: 0.1 * float64(w%7)},
+		}
+	}
+	if _, err := m.InferBatch(obs, 8); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := m.PlanCacheStats()
+	if misses != 1 {
+		t.Fatalf("shared-pattern batch compiled %d plans, want 1", misses)
+	}
+	if hits != windows-1 {
+		t.Fatalf("shared-pattern batch hit %d times, want %d", hits, windows-1)
+	}
+}
+
+// TestEnsurePlanWarmsCache: pre-compiling via EnsurePlan makes the whole
+// batch hit the cache.
+func TestEnsurePlanWarmsCache(t *testing.T) {
+	m := batchMachine(t, Config{Lanes: 30, MaxTimeNs: 500, Seed: 3})
+	obs := []Observation{{Index: 1, Value: 0.2}, {Index: 6, Value: -0.1}}
+	if err := m.EnsurePlan(obs); err != nil {
+		t.Fatal(err)
+	}
+	batch := [][]Observation{obs, obs, obs, obs}
+	if _, err := m.InferBatch(batch, 2); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := m.PlanCacheStats()
+	if misses != 1 || hits != uint64(len(batch)) {
+		t.Fatalf("after EnsurePlan: hits=%d misses=%d, want hits=%d misses=1", hits, misses, len(batch))
+	}
+	if err := m.EnsurePlan([]Observation{{Index: -1}}); err == nil {
+		t.Fatal("EnsurePlan accepted out-of-range index")
+	}
+	if err := m.EnsurePlan([]Observation{{Index: 1}, {Index: 1}}); err == nil {
+		t.Fatal("EnsurePlan accepted duplicate index")
+	}
+}
+
+// TestPlanCacheLRUEviction: the cache is bounded, so walking more patterns
+// than its capacity evicts the oldest — re-running the first pattern is a
+// fresh miss, and the cache never exceeds its bound.
+func TestPlanCacheLRUEviction(t *testing.T) {
+	m := batchMachine(t, Config{Lanes: 30, MaxTimeNs: 200, Seed: 3})
+	pat := func(k int) []Observation {
+		return []Observation{{Index: k % m.N, Value: 0.2}, {Index: (k + 7) % m.N, Value: -0.2}}
+	}
+	// planCacheCapacity+1 distinct patterns: pattern 0 gets evicted.
+	for k := 0; k <= planCacheCapacity; k++ {
+		if _, err := m.InferSeeded(pat(k), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, misses := m.PlanCacheStats()
+	if want := uint64(planCacheCapacity + 1); misses != want {
+		t.Fatalf("distinct patterns: misses=%d, want %d", misses, want)
+	}
+	if got := m.plans.Len(); got != planCacheCapacity {
+		t.Fatalf("cache holds %d plans, cap %d", got, planCacheCapacity)
+	}
+	if _, err := m.InferSeeded(pat(0), 1); err != nil {
+		t.Fatal(err)
+	}
+	_, misses = m.PlanCacheStats()
+	if want := uint64(planCacheCapacity + 2); misses != want {
+		t.Fatalf("evicted pattern did not recompile: misses=%d, want %d", misses, want)
+	}
+	// The survivor set still hits.
+	hitsBefore, _ := m.PlanCacheStats()
+	if _, err := m.InferSeeded(pat(planCacheCapacity), 1); err != nil {
+		t.Fatal(err)
+	}
+	hits, _ := m.PlanCacheStats()
+	if hits != hitsBefore+1 {
+		t.Fatalf("recent pattern missed: hits %d -> %d", hitsBefore, hits)
+	}
+}
+
+// TestDuplicateObservationRejected: clamping one node twice is a windowing
+// bug, not a tie-break — every inference entry point must reject it.
+func TestDuplicateObservationRejected(t *testing.T) {
+	m := batchMachine(t, Config{Lanes: 30, MaxTimeNs: 200, Seed: 3})
+	dup := []Observation{{Index: 4, Value: 0.2}, {Index: 4, Value: 0.2}}
+	if _, err := m.Infer(dup); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("Infer: got %v, want duplicate-observation error", err)
+	}
+	if _, err := m.InferSeededNaive(dup, 1); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("InferSeededNaive: got %v, want duplicate-observation error", err)
+	}
+	if _, err := m.InferBatch([][]Observation{{{0, 0.1}}, dup}, 2); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("InferBatch: got %v, want duplicate-observation error", err)
+	}
+}
+
+// TestInferNaiveZeroAlloc keeps the reference loop honest too: after state
+// warm-up the naive path must also run allocation-free, so benchmark deltas
+// against it measure arithmetic, not allocator traffic.
+func TestInferNaiveZeroAlloc(t *testing.T) {
+	m := batchMachine(t, Config{Lanes: 30, MaxTimeNs: 500, Seed: 3})
+	st := m.NewInferState()
+	obs := []Observation{{0, 0.4}, {5, -0.3}}
+	if _, err := m.InferWithNaive(st, obs, 1); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := m.InferWithNaive(st, obs, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("InferWithNaive allocated %v per op, want 0", allocs)
+	}
+}

@@ -1,9 +1,9 @@
 // Package verify is the invariant-verification layer of the DS-GL
-// reproduction: small, composable checkers for the five contracts the
+// reproduction: small, composable checkers for the six contracts the
 // system claims (paper Sec. III, Eqs. 6-8), plus the structured report
 // they feed.
 //
-// The five invariants, as checked by dsgl.(*Model).Verify and the
+// The six invariants, as checked by dsgl.(*Model).Verify and the
 // `dsgl verify` CLI subcommand:
 //
 //  1. energy-descent      — the Lyapunov-designed dynamics anneal with
@@ -17,7 +17,10 @@
 //  4. seq-par-identity    — Evaluate and EvaluateParallel (and InferBatch
 //     vs sequential InferSeeded) are bit-identical for any worker count;
 //  5. lossless-compile    — when no coupling is dropped, the compiled
-//     machine realizes exactly the tuned J (EffectiveJ == Tuned.J).
+//     machine realizes exactly the tuned J (EffectiveJ == Tuned.J);
+//  6. plan-naive-identity — the clamp-plan compiled inference path (constant
+//     clamp currents folded, free-row kernels) returns Results bit-identical
+//     to the naive re-evaluate-everything reference loop.
 //
 // The package deliberately contains no pipeline logic: it consumes
 // machines, results, and energy traces produced by the caller, so the same
@@ -40,6 +43,7 @@ const (
 	InvSnapshotRoundTrip = "snapshot-round-trip"
 	InvSeqParIdentity    = "seq-par-identity"
 	InvLosslessCompile   = "lossless-compile"
+	InvPlanNaiveIdentity = "plan-naive-identity"
 )
 
 // maxViolationsPerCheck caps the per-check violation list; overflow is

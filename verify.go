@@ -61,7 +61,7 @@ const (
 	descentNetRel    = 0 // every trace must end no higher than it began
 )
 
-// Verify checks the five runtime contracts of the DS-GL system (paper
+// Verify checks the six runtime contracts of the DS-GL system (paper
 // Sec. III, Eqs. 6-8) against the trained model:
 //
 //  1. monotone energy descent while annealing probe windows;
@@ -71,7 +71,9 @@ const (
 //     inference all bit-identical);
 //  4. Evaluate/EvaluateParallel bit-identity on the probe windows;
 //  5. lossless compilation (EffectiveJ == Tuned.J when nothing is
-//     dropped).
+//     dropped);
+//  6. clamp-plan/naive bit-identity (the compiled constant-folding
+//     inference path returns exactly the naive reference loop's Results).
 //
 // The returned report is structured: rep.Ok() is the overall verdict,
 // rep.Fprint renders it for terminals, and rep.Violations() flattens every
@@ -125,6 +127,11 @@ func Verify(m *Model, opts VerifyOptions) (*VerifyReport, error) {
 	}
 	rep.Add(seqPar)
 	rep.Add(m.checkLosslessCompile())
+	planNaive, err := m.checkPlanNaiveIdentity(obsList, seq, seed)
+	if err != nil {
+		return nil, err
+	}
+	rep.Add(planNaive)
 	return rep, nil
 }
 
@@ -157,9 +164,9 @@ func (m *Model) checkEnergyDescent(obsList [][]scalable.Observation, seed uint64
 		}
 	}
 	// The descending quantity is the conditional Hamiltonian given the
-	// clamps (see scalable.ClampedEnergyAt): the raw Hamiltonian in
-	// StepInfo.Energy weights clamp couplings by 1/2 and is not a Lyapunov
-	// function of the clamped dynamics.
+	// clamps (see scalable.ClampedEnergyAt): the raw Hamiltonian that
+	// StepInfo.EnergyFn evaluates weights clamp couplings by 1/2 and is not
+	// a Lyapunov function of the clamped dynamics.
 	clamped := make([]bool, m.Tuned.Dim())
 	copy(clamped, m.observed)
 	st := m.Machine.NewInferState()
@@ -304,6 +311,28 @@ func (m *Model) checkSeqParIdentity(probes []datasets.Window, obsList [][]scalab
 		})
 	}
 	c.Detail = fmt.Sprintf("%d windows, %d workers", len(probes), workers)
+	return c, nil
+}
+
+// checkPlanNaiveIdentity verifies the clamp-plan compiled inference path
+// against the naive reference loop: for every probe window the plan-path
+// Result (which the sequential reference pass seq already carries — the
+// default Infer entry points run the plan) must be bit-identical to
+// InferSeededNaive with the same seed. This is the contract that makes the
+// constant-current folding a pure optimization: it may hoist work out of
+// the anneal loop, never change a rounding.
+func (m *Model) checkPlanNaiveIdentity(obsList [][]scalable.Observation, seq []*scalable.Result, seed uint64) (VerifyCheck, error) {
+	c := VerifyCheck{Invariant: verify.InvPlanNaiveIdentity, Name: "clamp-plan/naive bit-identity"}
+	for i, obs := range obsList {
+		naive, err := m.Machine.InferSeededNaive(obs, seed+uint64(i))
+		if err != nil {
+			return c, fmt.Errorf("dsgl: verify naive probe %d: %w", i, err)
+		}
+		c.Violations = append(c.Violations,
+			verify.ResultsEqual(verify.InvPlanNaiveIdentity, fmt.Sprintf("probe %d", i), naive, seq[i])...)
+	}
+	hits, misses := m.Machine.PlanCacheStats()
+	c.Detail = fmt.Sprintf("%d probe windows re-inferred naively; plan cache %d hits / %d misses", len(obsList), hits, misses)
 	return c, nil
 }
 

@@ -55,8 +55,13 @@ func TestVerifyAllInvariantsGreen(t *testing.T) {
 				rep.Fprint(&sb)
 				t.Fatalf("verification failed on a healthy model:\n%s", sb.String())
 			}
-			if len(rep.Checks) != 5 {
-				t.Fatalf("report has %d checks, want all 5 invariants", len(rep.Checks))
+			if len(rep.Checks) != 6 {
+				t.Fatalf("report has %d checks, want all 6 invariants", len(rep.Checks))
+			}
+			// The plan/naive identity must hold in every regime, noise
+			// included (the plan path replicates the noise stream).
+			if c := findCheck(t, rep, verify.InvPlanNaiveIdentity); c.Skipped || !c.Passed() {
+				t.Fatalf("plan-naive-identity not green: %+v", c)
 			}
 			mustSkip := make(map[string]bool, len(tc.skipped))
 			for _, inv := range tc.skipped {
