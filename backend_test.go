@@ -1,0 +1,145 @@
+package dsgl
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"dsgl/internal/verify"
+)
+
+func denseOptions() Options {
+	o := tinyOptions()
+	o.Backend = BackendDense
+	return o
+}
+
+func TestTrainRejectsUnknownBackend(t *testing.T) {
+	ds := tinyDataset(t, "traffic")
+	opts := tinyOptions()
+	opts.Backend = "quantum"
+	_, err := Train(ds, opts)
+	if err == nil {
+		t.Fatal("expected an error for an unknown backend")
+	}
+	for _, want := range []string{"quantum", BackendScalable, BackendDense} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestDenseBackendEndToEnd(t *testing.T) {
+	ds := tinyDataset(t, "traffic")
+	model, err := Train(ds, denseOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Machine != nil {
+		t.Fatal("dense backend must not compile a scalable machine")
+	}
+	if model.Dspu == nil {
+		t.Fatal("dense backend did not build a DSPU")
+	}
+	if model.Assignment != nil {
+		t.Fatal("dense backend must skip decomposition")
+	}
+	if model.Tuned != model.Dense {
+		t.Fatal("dense backend: Tuned must alias the dense parameter set")
+	}
+	_, test := ds.Split()
+	rep, err := model.Evaluate(test[:8])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(rep.RMSE) || rep.RMSE <= 0 || rep.RMSE > 2 {
+		t.Fatalf("dense RMSE %g out of plausible range", rep.RMSE)
+	}
+	if rep.Mode != "dense" {
+		t.Fatalf("mode %q, want dense", rep.Mode)
+	}
+	if rep.MeanLatencyUs <= 0 {
+		t.Fatalf("latency %g not positive", rep.MeanLatencyUs)
+	}
+	p, err := model.Predict(test[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Mode != "dense" || len(p.Values) != len(ds.UnknownIndices()) {
+		t.Fatalf("prediction mode %q with %d values", p.Mode, len(p.Values))
+	}
+}
+
+// TestDenseBackendSeqParIdentity pins the engine contract on the dense
+// backend: EvaluateParallel is bit-identical to Evaluate for any worker
+// count, exactly as on the scalable backend.
+func TestDenseBackendSeqParIdentity(t *testing.T) {
+	ds := tinyDataset(t, "traffic")
+	model, err := Train(ds, denseOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, test := ds.Split()
+	seq, err := model.Evaluate(test[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3} {
+		par, err := model.EvaluateParallel(test[:10], workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.RMSE != par.RMSE || seq.MAE != par.MAE || seq.MeanLatencyUs != par.MeanLatencyUs {
+			t.Fatalf("workers=%d: parallel report diverges: %+v vs %+v", workers, par, seq)
+		}
+	}
+}
+
+// TestDenseBackendVerify runs the invariant harness against a dense model:
+// the two scalable-only checks (snapshot round-trip, lossless compilation)
+// skip with an explanation, the other four run and hold.
+func TestDenseBackendVerify(t *testing.T) {
+	ds := tinyDataset(t, "traffic")
+	model, err := Train(ds, denseOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := model.Verify(VerifyOptions{Windows: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		for _, v := range rep.Violations() {
+			t.Logf("violation [%s]: %s", v.Invariant, v.Detail)
+		}
+		t.Fatal("dense model violates invariants")
+	}
+	skipped := map[string]bool{}
+	ran := 0
+	for _, c := range rep.Checks {
+		if c.Skipped {
+			skipped[c.Invariant] = true
+		} else {
+			ran++
+		}
+	}
+	if !skipped[verify.InvSnapshotRoundTrip] || !skipped[verify.InvLosslessCompile] {
+		t.Fatalf("scalable-only checks not skipped on dense backend: %v", skipped)
+	}
+	if ran < 3 {
+		t.Fatalf("only %d checks ran on the dense backend", ran)
+	}
+}
+
+func TestDenseBackendSaveRejected(t *testing.T) {
+	ds := tinyDataset(t, "traffic")
+	model, err := Train(ds, denseOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err == nil || !strings.Contains(err.Error(), BackendScalable) {
+		t.Fatalf("Save on a dense model: got %v, want scalable-only error", err)
+	}
+}

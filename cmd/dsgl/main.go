@@ -7,6 +7,7 @@
 //	dsgl fig4                 # circuit-level validation (Fig. 4)
 //	dsgl fig10 -n 32 -eval 30 # accuracy vs density (Fig. 10)
 //	dsgl table2               # RMSE vs SOTA GNNs (Table II)
+//	dsgl eval -backend dense  # train + evaluate one dataset end to end
 //	dsgl verify               # check the six runtime invariants
 //	dsgl all                  # run the full suite in paper order
 package main
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"dsgl"
@@ -29,9 +31,9 @@ func main() {
 	}
 	cmd := os.Args[1]
 	rest := os.Args[2:]
-	// "inspect" takes an optional dataset name before the flags.
+	// "inspect" and "eval" take an optional dataset name before the flags.
 	inspectName := "traffic"
-	if cmd == "inspect" && len(rest) > 0 && len(rest[0]) > 0 && rest[0][0] != '-' {
+	if (cmd == "inspect" || cmd == "eval") && len(rest) > 0 && len(rest[0]) > 0 && rest[0][0] != '-' {
 		inspectName = rest[0]
 		rest = rest[1:]
 	}
@@ -51,7 +53,14 @@ func main() {
 	gnnEpochs := fs.Int("gnn-epochs", 12, "training epochs for the GNN baselines")
 	seed := fs.Uint64("seed", 7, "suite seed")
 	workers := fs.Int("workers", 0, "worker-pool size for batch inference and parameter sweeps (0 = GOMAXPROCS)")
+	backend := fs.String("backend", dsgl.BackendScalable,
+		fmt.Sprintf("inference backend for eval/verify/inspect: %q (full pipeline) or %q (single-PE phase-1 model)",
+			dsgl.BackendScalable, dsgl.BackendDense))
 	if err := fs.Parse(rest); err != nil {
+		os.Exit(2)
+	}
+	if !validBackend(*backend) {
+		fmt.Fprintf(os.Stderr, "dsgl: unknown backend %q (valid: %s)\n", *backend, strings.Join(dsgl.Backends(), ", "))
 		os.Exit(2)
 	}
 	cfg := experiments.Config{
@@ -67,12 +76,17 @@ func main() {
 	registry := experiments.Registry()
 	switch cmd {
 	case "inspect":
-		if err := inspect(inspectName, cfg); err != nil {
+		if err := inspect(inspectName, cfg, *backend); err != nil {
 			fmt.Fprintf(os.Stderr, "dsgl inspect: %v\n", err)
 			os.Exit(1)
 		}
+	case "eval":
+		if err := eval(inspectName, cfg, *backend); err != nil {
+			fmt.Fprintf(os.Stderr, "dsgl eval: %v\n", err)
+			os.Exit(1)
+		}
 	case "verify":
-		if err := verify(verifyNames, cfg); err != nil {
+		if err := verify(verifyNames, cfg, *backend); err != nil {
 			fmt.Fprintf(os.Stderr, "dsgl verify: %v\n", err)
 			os.Exit(1)
 		}
@@ -111,15 +125,51 @@ func run(registry map[string]experiments.Runner, id string, cfg experiments.Conf
 	return nil
 }
 
+// validBackend reports whether name is a recognized Options.Backend value.
+func validBackend(name string) bool {
+	for _, b := range dsgl.Backends() {
+		if name == b {
+			return true
+		}
+	}
+	return false
+}
+
 // inspect trains the standard pipeline on one dataset and dumps the
 // compiled hardware mapping (PE occupancy, slices, inter-PE traffic).
-func inspect(name string, cfg experiments.Config) error {
+func inspect(name string, cfg experiments.Config, backend string) error {
+	if backend == dsgl.BackendDense {
+		return fmt.Errorf("the %q backend has no compiled PE mapping to inspect; use -backend %s",
+			dsgl.BackendDense, dsgl.BackendScalable)
+	}
 	ds := dsgl.GenerateDataset(name, dsgl.DatasetConfig{N: cfg.N, T: cfg.T, Seed: cfg.Seed})
-	model, err := dsgl.Train(ds, dsgl.Options{Seed: cfg.Seed, Workers: cfg.Workers})
+	model, err := dsgl.Train(ds, dsgl.Options{Backend: backend, Seed: cfg.Seed, Workers: cfg.Workers})
 	if err != nil {
 		return err
 	}
 	model.Machine.Describe(os.Stdout)
+	return nil
+}
+
+// eval trains one dataset end to end on the selected backend and reports
+// aggregate accuracy and latency over the test split — the quickest way to
+// compare the dense Sec. III model against the full scalable pipeline.
+func eval(name string, cfg experiments.Config, backend string) error {
+	ds := dsgl.GenerateDataset(name, dsgl.DatasetConfig{N: cfg.N, T: cfg.T, Seed: cfg.Seed})
+	model, err := dsgl.Train(ds, dsgl.Options{Backend: backend, Seed: cfg.Seed, Workers: cfg.Workers})
+	if err != nil {
+		return err
+	}
+	_, test := ds.Split()
+	if cfg.EvalWindows > 0 && len(test) > cfg.EvalWindows {
+		test = test[:cfg.EvalWindows]
+	}
+	rep, err := model.EvaluateParallel(test, cfg.Workers)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s (%s backend): RMSE %.4g  MAE %.4g  %.3g µs/inference  (%d windows, mode %s)\n",
+		name, backend, rep.RMSE, rep.MAE, rep.MeanLatencyUs, rep.Windows, rep.Mode)
 	return nil
 }
 
@@ -129,14 +179,14 @@ func inspect(name string, cfg experiments.Config) error {
 // residual at settle, Save/Load round-trip equivalence, sequential vs
 // parallel bit-identity, and lossless compilation. Any violation makes
 // the command exit nonzero.
-func verify(names []string, cfg experiments.Config) error {
+func verify(names []string, cfg experiments.Config, backend string) error {
 	if len(names) == 0 {
 		names = append(dsgl.DatasetNames(), dsgl.MultiDatasetNames()...)
 	}
 	failed := 0
 	for _, name := range names {
 		ds := dsgl.GenerateDataset(name, dsgl.DatasetConfig{N: cfg.N, T: cfg.T, Seed: cfg.Seed})
-		model, err := dsgl.Train(ds, dsgl.Options{Seed: cfg.Seed, Workers: cfg.Workers})
+		model, err := dsgl.Train(ds, dsgl.Options{Backend: backend, Seed: cfg.Seed, Workers: cfg.Workers})
 		if err != nil {
 			return fmt.Errorf("%s: train: %w", name, err)
 		}
@@ -174,9 +224,12 @@ experiments:
   table4   multi-dimensional datasets (housing, climate)
   all      everything above, in paper order
   inspect  train one dataset and dump the compiled PE/CU mapping
+  eval     train one dataset and report test-split RMSE/MAE/latency
+           (honors -backend: compare dense vs scalable end to end)
   verify   train on the named (default: all) datasets and check the
            six runtime invariants; nonzero exit on any violation
   list     print experiment ids
 
-flags: -n, -t, -eval, -gnn-epochs, -seed, -workers (see 'dsgl <exp> -h')`)
+flags: -n, -t, -eval, -gnn-epochs, -seed, -workers, -backend
+       (see 'dsgl <exp> -h'; -backend accepts "scalable" or "dense")`)
 }

@@ -31,6 +31,7 @@ import (
 	"dsgl/internal/community"
 	"dsgl/internal/datasets"
 	"dsgl/internal/dspu"
+	"dsgl/internal/engine"
 	"dsgl/internal/mat"
 	"dsgl/internal/metrics"
 	"dsgl/internal/pattern"
@@ -71,6 +72,23 @@ func DatasetNames() []string { return datasets.Names() }
 // MultiDatasetNames lists the two multi-feature workloads (Table IV).
 func MultiDatasetNames() []string { return datasets.MultiNames() }
 
+// Inference backends selectable via Options.Backend. Both run the shared
+// engine core (internal/engine); they differ in the dynamical system the
+// engine drives.
+const (
+	// BackendScalable is the default: the full pipeline (decomposition,
+	// interconnect patterns, temporal multiplexing) compiled onto the
+	// Scalable DSPU simulator.
+	BackendScalable = "scalable"
+	// BackendDense runs the phase-1 dense parameter set on a single-PE
+	// Real-Valued DSPU — the Sec. III configuration — skipping
+	// decomposition and hardware compilation entirely.
+	BackendDense = "dense"
+)
+
+// Backends lists the valid Options.Backend values.
+func Backends() []string { return []string{BackendScalable, BackendDense} }
+
 // Options configures the DS-GL pipeline.
 //
 // Zero-value convention: for every numeric field, 0 means "use the
@@ -79,6 +97,13 @@ func MultiDatasetNames() []string { return datasets.MultiNames() }
 // a negative value as the explicit "off"/minimum sentinel, as noted on the
 // field.
 type Options struct {
+	// Backend selects the inference backend: BackendScalable (the default;
+	// empty string means scalable) or BackendDense. Train rejects any other
+	// value. With BackendDense the pipeline stops after phase 1 and the
+	// Model runs the dense parameter set on a single dense DSPU; the
+	// decomposition options (Pattern, Density, Wormholes, PECapacity,
+	// Lanes, TemporalDisabled, SyncIntervalNs, FineTuneEpochs) are unused.
+	Backend string
 	// Pattern is the inter-PE interconnect. The zero value is Chain (the
 	// cheapest); the paper's richest pattern is DMesh.
 	Pattern Pattern
@@ -134,6 +159,9 @@ type Options struct {
 }
 
 func (o *Options) fillDefaults() {
+	if o.Backend == "" {
+		o.Backend = BackendScalable
+	}
 	if o.Density == 0 {
 		o.Density = 0.10
 	}
@@ -173,10 +201,12 @@ type Model struct {
 	// Tuned is the pattern-confined fine-tuned parameter set the hardware
 	// runs.
 	Tuned *train.Params
-	// Assignment maps window-vector nodes to PEs.
+	// Assignment maps window-vector nodes to PEs. Nil for BackendDense.
 	Assignment *community.Assignment
-	// Machine is the compiled Scalable DSPU.
+	// Machine is the compiled Scalable DSPU. Nil for BackendDense.
 	Machine *scalable.Machine
+	// Dspu is the single-PE dense DSPU. Nil for BackendScalable.
+	Dspu *dspu.DSPU
 
 	// mask is the interconnect coupling mask the machine was compiled
 	// under (pattern-legal ∩ density budget). It is retained verbatim so
@@ -188,9 +218,18 @@ type Model struct {
 	observed []bool
 }
 
+// errUnknownBackend formats the rejection for an unrecognized
+// Options.Backend value, listing the valid choices.
+func errUnknownBackend(name string) error {
+	return fmt.Errorf("dsgl: unknown backend %q (valid: %q, %q)", name, BackendScalable, BackendDense)
+}
+
 // Train runs the full DS-GL pipeline on the dataset's training windows.
 func Train(ds *Dataset, opts Options) (*Model, error) {
 	opts.fillDefaults()
+	if opts.Backend != BackendScalable && opts.Backend != BackendDense {
+		return nil, errUnknownBackend(opts.Backend)
+	}
 	if err := ds.Validate(); err != nil {
 		return nil, err
 	}
@@ -226,6 +265,29 @@ func Train(ds *Dataset, opts Options) (*Model, error) {
 		}
 	} else if dense.Dim() != ds.WindowLen() {
 		return nil, fmt.Errorf("dsgl: DenseInit dim %d, want %d", dense.Dim(), ds.WindowLen())
+	}
+
+	// The dense backend stops here: phase 1's parameter set runs directly
+	// on a single-PE dense DSPU (Sec. III), with no decomposition and no
+	// hardware compilation. Tuned aliases Dense so metrics/report code that
+	// consults the "running" parameter set works unchanged.
+	if opts.Backend == BackendDense {
+		d, err := dspu.New(dense.J, dense.H, dspu.Config{
+			Seed:      opts.Seed + 2, // same anneal-seed slot the scalable machine uses
+			MaxTimeNs: denseMaxInferNs,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("dsgl: dense DSPU: %w", err)
+		}
+		return &Model{
+			Dataset:  ds,
+			Opts:     opts,
+			Dense:    dense,
+			Tuned:    dense,
+			Dspu:     d,
+			unknown:  ds.UnknownIndices(),
+			observed: ds.ObservedMask(),
+		}, nil
 	}
 
 	// Phase 2: decomposition (Sec. IV.B).
@@ -297,6 +359,30 @@ func Train(ds *Dataset, opts Options) (*Model, error) {
 	}, nil
 }
 
+// denseMaxInferNs is the anneal budget of the single-PE dense DSPU (used by
+// BackendDense models and DenseInfer alike): dense systems have no slice
+// switching, so they settle well within 2 µs.
+const denseMaxInferNs = 2000
+
+// engine returns the inference engine of the model's backend. Both
+// backends expose the identical engine surface (InferSeeded, InferBatch,
+// EnsurePlan, plan-cache stats), so everything downstream of Train is
+// backend-agnostic.
+func (m *Model) engine() *engine.Engine {
+	if m.Machine != nil {
+		return m.Machine.Engine()
+	}
+	return m.Dspu.Engine()
+}
+
+// mode names the co-annealing method for predictions and reports.
+func (m *Model) mode() string {
+	if m.Machine != nil {
+		return m.Machine.Stats().Mode.String()
+	}
+	return "dense"
+}
+
 // Prediction is the outcome of one window inference.
 type Prediction struct {
 	// Values are the predicted entries, aligned with UnknownIndices.
@@ -312,18 +398,18 @@ type Prediction struct {
 // Predict clamps the window's observed entries and anneals the unknown
 // ones.
 func (m *Model) Predict(w datasets.Window) (*Prediction, error) {
-	return m.predictSeeded(w, m.Machine.Config().Seed)
+	return m.predictSeeded(w, m.engine().BaseSeed())
 }
 
 // predictSeeded is Predict with an explicit anneal seed. Evaluate and
-// EvaluateParallel both give window i the seed machineSeed + i, which is
+// EvaluateParallel both give window i the seed baseSeed + i, which is
 // what makes the parallel path bit-identical to the sequential one.
 func (m *Model) predictSeeded(w datasets.Window, seed uint64) (*Prediction, error) {
 	obs, err := m.windowObservations(w)
 	if err != nil {
 		return nil, err
 	}
-	res, err := m.Machine.InferSeeded(obs, seed)
+	res, err := m.engine().InferSeeded(obs, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -331,26 +417,26 @@ func (m *Model) predictSeeded(w datasets.Window, seed uint64) (*Prediction, erro
 }
 
 // windowObservations builds the clamp list for one window.
-func (m *Model) windowObservations(w datasets.Window) ([]scalable.Observation, error) {
+func (m *Model) windowObservations(w datasets.Window) ([]engine.Observation, error) {
 	if len(w.Full) != m.Tuned.Dim() {
 		return nil, fmt.Errorf("dsgl: window has %d entries, model expects %d", len(w.Full), m.Tuned.Dim())
 	}
-	obs := make([]scalable.Observation, 0, len(w.Full)-len(m.unknown))
+	obs := make([]engine.Observation, 0, len(w.Full)-len(m.unknown))
 	for i, isObs := range m.observed {
 		if isObs {
-			obs = append(obs, scalable.Observation{Index: i, Value: w.Full[i]})
+			obs = append(obs, engine.Observation{Index: i, Value: w.Full[i]})
 		}
 	}
 	return obs, nil
 }
 
 // predictionFrom extracts the unknown entries of an inference result.
-func (m *Model) predictionFrom(w datasets.Window, res *scalable.Result) *Prediction {
+func (m *Model) predictionFrom(w datasets.Window, res *engine.Result) *Prediction {
 	p := &Prediction{
 		Values:    make([]float64, len(m.unknown)),
 		Truth:     make([]float64, len(m.unknown)),
 		LatencyUs: res.LatencyNs / 1000,
-		Mode:      m.Machine.Stats().Mode.String(),
+		Mode:      m.mode(),
 	}
 	for k, idx := range m.unknown {
 		p.Values[k] = res.Voltage[idx]
@@ -383,7 +469,7 @@ func (m *Model) Evaluate(windows []datasets.Window) (*Report, error) {
 	if err := m.ensurePlan(); err != nil {
 		return nil, err
 	}
-	seed := m.Machine.Config().Seed
+	seed := m.engine().BaseSeed()
 	// One accumulator carries both the squared and absolute error sums.
 	var acc metrics.Accumulator
 	var lat float64
@@ -417,7 +503,7 @@ func (m *Model) EvaluateParallel(windows []datasets.Window, workers int) (*Repor
 	if err := m.ensurePlan(); err != nil {
 		return nil, err
 	}
-	obsList := make([][]scalable.Observation, len(windows))
+	obsList := make([][]engine.Observation, len(windows))
 	for i, w := range windows {
 		obs, err := m.windowObservations(w)
 		if err != nil {
@@ -425,7 +511,7 @@ func (m *Model) EvaluateParallel(windows []datasets.Window, workers int) (*Repor
 		}
 		obsList[i] = obs
 	}
-	results, err := m.Machine.InferBatch(obsList, workers)
+	results, err := m.engine().InferBatch(obsList, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -447,25 +533,29 @@ func (m *Model) EvaluateParallel(windows []datasets.Window, workers int) (*Repor
 // inference. Plans depend on observation indices only; the zero values in
 // the probe observations are never read.
 func (m *Model) ensurePlan() error {
-	obs := make([]scalable.Observation, 0, m.Machine.N)
+	obs := make([]engine.Observation, 0, len(m.observed))
 	for i, isObs := range m.observed {
 		if isObs {
-			obs = append(obs, scalable.Observation{Index: i})
+			obs = append(obs, engine.Observation{Index: i})
 		}
 	}
-	return m.Machine.EnsurePlan(obs)
+	return m.engine().EnsurePlan(obs)
 }
 
-// report assembles the aggregate evaluation report.
+// report assembles the aggregate evaluation report. A dense-backend model
+// has no compiled machine, so its Stats stay zero and Mode reads "dense".
 func (m *Model) report(acc metrics.Accumulator, latUs float64, windows int) *Report {
-	return &Report{
+	rep := &Report{
 		RMSE:          acc.RMSE(),
 		MAE:           acc.MAE(),
 		MeanLatencyUs: latUs / float64(windows),
 		Windows:       windows,
-		Mode:          m.Machine.Stats().Mode.String(),
-		Stats:         m.Machine.Stats(),
+		Mode:          m.mode(),
 	}
+	if m.Machine != nil {
+		rep.Stats = m.Machine.Stats()
+	}
+	return rep
 }
 
 // lambdaCandidates is the grid searched when Options.RidgeLambda is zero.
@@ -576,7 +666,7 @@ func TrainDense(ds *Dataset, opts Options) (*train.Params, error) {
 // DenseInfer runs one window inference on a dense (single-PE) Real-Valued
 // DSPU built from params.
 func DenseInfer(ds *Dataset, params *train.Params, w datasets.Window, seed uint64) (*Prediction, error) {
-	d, err := dspu.New(params.J, params.H, dspu.Config{Seed: seed, MaxTimeNs: 2000})
+	d, err := dspu.New(params.J, params.H, dspu.Config{Seed: seed, MaxTimeNs: denseMaxInferNs})
 	if err != nil {
 		return nil, err
 	}

@@ -331,7 +331,8 @@ func TestOptionsFillDefaults(t *testing.T) {
 			name: "all-defaults",
 			in:   Options{},
 			want: Options{
-				Pattern: Chain, Density: 0.10, Wormholes: 4, PECapacity: 48,
+				Backend: BackendScalable, Pattern: Chain, Density: 0.10,
+				Wormholes: 4, PECapacity: 48,
 				Lanes: 30, TrainEpochs: -1, SyncIntervalNs: 200,
 				MaxInferNs: 10000, Workers: maxProcs,
 			},
@@ -346,7 +347,8 @@ func TestOptionsFillDefaults(t *testing.T) {
 				Workers: 3, Seed: 11,
 			},
 			want: Options{
-				Pattern: DMesh, Density: 0.25, Wormholes: 2, PECapacity: 16,
+				Backend: BackendScalable, Pattern: DMesh, Density: 0.25,
+				Wormholes: 2, PECapacity: 16,
 				Lanes: 6, TemporalDisabled: true, RidgeLambda: 0.3,
 				TrainEpochs: 5, FineTuneEpochs: 3, SyncIntervalNs: 50,
 				MaxInferNs: 500, NodeNoise: 0.1, CouplerNoise: 0.2,
@@ -357,7 +359,8 @@ func TestOptionsFillDefaults(t *testing.T) {
 			name: "negative-sentinels",
 			in:   Options{Wormholes: -1, TrainEpochs: -7, Workers: -1},
 			want: Options{
-				Pattern: Chain, Density: 0.10, Wormholes: -1, PECapacity: 48,
+				Backend: BackendScalable, Pattern: Chain, Density: 0.10,
+				Wormholes: -1, PECapacity: 48,
 				Lanes: 30, TrainEpochs: -7, SyncIntervalNs: 200,
 				MaxInferNs: 10000, Workers: 1,
 			},

@@ -131,7 +131,7 @@ func NewNetwork(j *mat.Dense, h []float64, cfg Config) (*Network, error) {
 	if cfg.Noise.Enabled() && cfg.Noise.RNG == nil {
 		return nil, fmt.Errorf("circuit: noise model enabled but RNG is nil")
 	}
-	return &Network{
+	nw := &Network{
 		N:           n,
 		Self:        cfg.Self,
 		Capacitance: cfg.Capacitance,
@@ -140,7 +140,12 @@ func NewNetwork(j *mat.Dense, h []float64, cfg Config) (*Network, error) {
 		H:           mat.CopyVec(h),
 		Clamped:     make([]bool, n),
 		Noise:       cfg.Noise,
-	}, nil
+	}
+	// Precompute the coupler-noise scale so concurrent derivative
+	// evaluations never write network state lazily.
+	nw.noiseScaleJ = nw.typicalCoupling()
+	nw.noiseScaleJn = true
+	return nw, nil
 }
 
 // NewNetworkCSR is NewNetwork for a pre-built sparse coupling matrix.
@@ -168,7 +173,7 @@ func NewNetworkCSR(j *mat.CSR, h []float64, cfg Config) (*Network, error) {
 	if cfg.Noise.Enabled() && cfg.Noise.RNG == nil {
 		return nil, fmt.Errorf("circuit: noise model enabled but RNG is nil")
 	}
-	return &Network{
+	nw := &Network{
 		N:           j.Rows,
 		Self:        cfg.Self,
 		Capacitance: cfg.Capacitance,
@@ -177,7 +182,10 @@ func NewNetworkCSR(j *mat.CSR, h []float64, cfg Config) (*Network, error) {
 		H:           mat.CopyVec(h),
 		Clamped:     make([]bool, j.Rows),
 		Noise:       cfg.Noise,
-	}, nil
+	}
+	nw.noiseScaleJ = nw.typicalCoupling()
+	nw.noiseScaleJn = true
+	return nw, nil
 }
 
 // Clamp marks node i as an observed input whose voltage is held constant.
@@ -199,29 +207,46 @@ func (nw *Network) ClampSet(nodes []int) {
 // Dim implements ode.System.
 func (nw *Network) Dim() int { return nw.N }
 
-// Derivative implements ode.System: the node current balance of Eq. 8.
-func (nw *Network) Derivative(_ float64, x, dst []float64) {
+// Derivative implements ode.System: the node current balance of Eq. 8,
+// using the network's own clamp set and internal coupling buffer. Not safe
+// for concurrent use — concurrent inference goes through DerivativeMasked
+// with caller-owned mask and scratch (how internal/dspu's per-state systems
+// drive it).
+func (nw *Network) Derivative(t float64, x, dst []float64) {
 	if len(nw.couplingBuf) != nw.N {
 		nw.couplingBuf = make([]float64, nw.N)
 	}
-	nw.J.MulVec(x, nw.couplingBuf)
+	nw.DerivativeMasked(t, x, dst, nw.Clamped, nw.couplingBuf)
+}
+
+// DerivativeMasked is Derivative with a caller-provided clamp mask and
+// coupling scratch buffer (length N). It writes no network state — provided
+// the noise scale was precomputed (the constructors do) — so distinct
+// callers with private masks and buffers may evaluate it concurrently on a
+// shared network. The one remaining shared mutable resource is the noise
+// RNG: a network with a noise model must not be evaluated concurrently.
+func (nw *Network) DerivativeMasked(_ float64, x, dst []float64, clamped []bool, buf []float64) {
+	nw.J.MulVec(x, buf)
 	noisy := nw.Noise.Enabled()
 	var cs, ns float64
 	if noisy {
 		cs = nw.Noise.CouplerSigma
 		ns = nw.Noise.NodeSigma
 		if !nw.noiseScaleJn {
+			// Lazy fallback for literal-constructed networks; the
+			// constructors precompute this so the concurrent path never
+			// writes here.
 			nw.noiseScaleJ = nw.typicalCoupling()
 			nw.noiseScaleJn = true
 		}
 	}
 	invC := 1 / nw.Capacitance
 	for i := 0; i < nw.N; i++ {
-		if nw.Clamped[i] {
+		if clamped[i] {
 			dst[i] = 0
 			continue
 		}
-		coupling := nw.couplingBuf[i]
+		coupling := buf[i]
 		if noisy && cs > 0 {
 			coupling += nw.Noise.RNG.NormScaled(0, cs*nw.noiseScaleJ)
 		}
@@ -244,6 +269,38 @@ func (nw *Network) Derivative(_ float64, x, dst []float64) {
 		}
 		dst[i] = d
 	}
+}
+
+// Residual evaluates the noise-free equilibrium residual max |dσ/dt| at x,
+// skipping nodes marked in clamped. buf is caller-provided scratch of
+// length N. This is the deterministic settle condition: disturbances are
+// excluded so the quantity is reproducible from outside an anneal.
+func (nw *Network) Residual(x []float64, clamped []bool, buf []float64) float64 {
+	nw.J.MulVec(x, buf)
+	invC := 1 / nw.Capacitance
+	maxD := 0.0
+	for i := 0; i < nw.N; i++ {
+		if clamped[i] {
+			continue
+		}
+		var self float64
+		switch nw.Self {
+		case Linear:
+			self = nw.H[i]
+		case Quadratic:
+			self = nw.H[i] * x[i]
+		}
+		d := invC * (buf[i] + self)
+		if x[i] >= nw.VRail && d > 0 {
+			d = 0
+		} else if x[i] <= -nw.VRail && d < 0 {
+			d = 0
+		}
+		if a := math.Abs(d); a > maxD {
+			maxD = a
+		}
+	}
+	return maxD
 }
 
 // typicalCoupling estimates the nominal coupling-current magnitude, used to

@@ -6,16 +6,21 @@
 // A DSPU performs graph-learning inference by natural annealing: observed
 // node voltages are clamped, unknown nodes evolve under the coupling
 // currents, and the settled voltages are the predictions (Sec. III.C).
+//
+// The DSPU is the dense Backend of the shared inference engine
+// (internal/engine): observation validation, clamp-plan caching, seeding,
+// and batch fan-out live in the engine; this package supplies the node
+// dynamics (the circuit network, its clamp-plan compilation, and the
+// integration loop).
 package dspu
 
 import (
 	"errors"
 	"fmt"
-	"math"
 	"sync"
 
 	"dsgl/internal/circuit"
-	"dsgl/internal/lru"
+	"dsgl/internal/engine"
 	"dsgl/internal/mat"
 	"dsgl/internal/ode"
 	"dsgl/internal/rng"
@@ -65,21 +70,31 @@ func (c *Config) fillDefaults() {
 
 // DSPU is a single real-valued dynamical-system processing unit holding a
 // trained parameter set (J, h).
+//
+// Concurrency: inference entry points taking an InferState are safe to call
+// from multiple goroutines with distinct states — each state carries its own
+// clamp mask, coupling scratch, and integrator clone, and the network is
+// only read. The exception is a configured noise model, whose RNG is shared:
+// noisy inference must stay single-threaded. Infer (which advances the
+// DSPU's internal RNG) and TraceRun (which sets the network clamp set) are
+// also single-threaded by design.
 type DSPU struct {
 	N   int
 	Net *circuit.Network
 	cfg Config
 	rng *rng.RNG
 
-	// Clamp-plan cache, mirroring scalable.Machine: compiled plans keyed
-	// by the packed observation-index bitmask, bounded LRU, lazily
-	// initialized. The DSPU itself is not goroutine-safe, but the cache is
-	// still guarded for symmetry with the scalable path (and because it is
-	// cheap).
-	planMu     sync.Mutex
-	plans      *lru.Cache[*clampPlan]
-	planHits   uint64
-	planMisses uint64
+	// The engine is created lazily on first use, mirroring
+	// scalable.Machine: tests may construct literals that never infer.
+	engOnce sync.Once
+	eng     *engine.Engine
+}
+
+// Engine returns the inference engine driving this DSPU, creating it on
+// first use.
+func (d *DSPU) Engine() *engine.Engine {
+	d.engOnce.Do(func() { d.eng = engine.New(d) })
+	return d.eng
 }
 
 // New builds a DSPU from trained parameters. j must be square with zero
@@ -114,112 +129,165 @@ func NewCSR(j *mat.CSR, h []float64, cfg Config) (*DSPU, error) {
 	return &DSPU{N: j.Rows, Net: net, cfg: cfg, rng: rng.New(cfg.Seed)}, nil
 }
 
-// Result is the outcome of one inference (annealing) run.
-type Result struct {
-	// Voltage is the full settled state vector.
-	Voltage []float64
-	// LatencyNs is the simulated time until settling (or MaxTimeNs).
-	LatencyNs float64
-	// Steps is the number of integration steps taken.
-	Steps int
-	// Settled reports whether the settle tolerance was reached.
-	Settled bool
-	// FinalEnergy is H_RV at the settled state.
-	FinalEnergy float64
-}
+// Result is the outcome of one inference (annealing) run; Energy is H_RV at
+// the settled state.
+type Result = engine.Result
 
 // Observation fixes node Index at Value during inference.
-type Observation struct {
-	Index int
-	Value float64
-}
+type Observation = engine.Observation
 
-// StepInfo is the per-step telemetry handed to a StepObserver: the step
-// index, the simulated time, and a lazy evaluator for the Hamiltonian H_RV
-// at the post-step state. EnergyFn is a pre-bound closure over the live
-// state buffer — evaluating H_RV walks every stored coupling (O(nnz)), so
-// the anneal loop only pays for it when the observer actually calls it.
-// EnergyFn is valid only during the callback.
-type StepInfo struct {
-	Step     int
-	TimeNs   float64
-	EnergyFn func() float64
-}
+// StepInfo is the per-step telemetry handed to a StepObserver; see
+// engine.StepInfo. The dense path populates Step, TimeNs, the lazy H_RV
+// EnergyFn, and X.
+type StepInfo = engine.StepInfo
 
 // StepObserver receives StepInfo after every integration step of an
-// inference — the dense-path twin of scalable.StepObserver, used by the
-// invariant-verification harness to watch monotone energy descent. A nil
-// observer costs one branch per step.
-type StepObserver func(StepInfo)
+// inference; see engine.StepObserver.
+type StepObserver = engine.StepObserver
 
-// InferState is a reusable scratch arena for DSPU inference, mirroring
-// scalable.InferState: it holds the working voltages, the derivative
-// buffer, the clamp index list, and a by-value RNG so that repeated
-// inferences on one state run allocation-free after warm-up (the first call
-// also warms the integrator's and network's internal buffers).
-//
-// A state belongs to the DSPU that created it. Note that the DSPU itself is
-// not safe for concurrent use — the circuit network and integrator carry
-// shared scratch — so parallel batches build one DSPU per worker; the state
-// removes the per-call allocations within each worker.
-type InferState struct {
-	d        *DSPU
-	x        []float64
+// InferState is a reusable scratch arena for DSPU inference; see
+// engine.InferState. The dense-path buffers (derivative, folded bias,
+// coupling scratch, per-state ODE systems, integrator clone) hang off the
+// state's Scratch field, which is what makes concurrent inference on
+// distinct states of one DSPU race-free.
+type InferState = engine.InferState
+
+// dscratch is the DSPU's backend arena inside an engine.InferState.
+type dscratch struct {
 	deriv    []float64
-	clampIdx []int
-	rng      rng.RNG
-	res      Result
-	observer StepObserver
-
-	// Clamp-plan scratch, mirroring scalable.InferState: clamp mask (also
-	// the duplicate-observation detector), packed cache key, folded
-	// constant-coupling bias, the plan system's coupling buffer, the plan
-	// ode.System wrapper itself, and the pre-bound lazy energy closure.
-	clamped  []bool
-	keyBuf   []byte
-	bias     []float64
-	coupling []float64
-	psys     planSys
-	energyFn func() float64
+	bias     []float64 // folded constant coupling currents (plan path)
+	coupling []float64 // per-evaluation coupling buffer, shared by both systems
+	psys     planSys   // plan-path ode.System, bound per inference
+	naive    naiveSys  // naive-path ode.System over the state's clamp mask
+	integ    ode.Integrator
 }
 
-// SetObserver installs (or, with nil, removes) a per-step observer on this
-// state. The observer applies to every subsequent inference run on the
-// state.
-func (st *InferState) SetObserver(fn StepObserver) { st.observer = fn }
+// naiveSys is the per-state naive reference system: the raw circuit network
+// evaluated with the state's own clamp mask and coupling buffer, so two
+// states of one DSPU never contend on network scratch (the historical
+// ClampSet-on-the-shared-network race).
+type naiveSys struct {
+	nw      *circuit.Network
+	clamped []bool
+	buf     []float64
+}
 
-// NewInferState allocates a scratch arena sized for this DSPU.
-func (d *DSPU) NewInferState() *InferState {
-	st := &InferState{
-		d:        d,
-		x:        make([]float64, d.N),
+// Dim implements ode.System.
+func (s *naiveSys) Dim() int { return s.nw.N }
+
+// Derivative implements ode.System.
+func (s *naiveSys) Derivative(t float64, x, dst []float64) {
+	s.nw.DerivativeMasked(t, x, dst, s.clamped, s.buf)
+}
+
+// AttachState allocates the DSPU's scratch arena onto an engine state.
+// Called once per InferState by engine.NewInferState.
+func (d *DSPU) AttachState(st *InferState) {
+	sc := &dscratch{
 		deriv:    make([]float64, d.N),
-		clampIdx: make([]int, 0, d.N),
-		clamped:  make([]bool, d.N),
-		keyBuf:   make([]byte, (d.N+7)/8),
 		bias:     make([]float64, d.N),
 		coupling: make([]float64, d.N),
+		integ:    ode.Clone(d.cfg.Integrator),
 	}
-	st.energyFn = func() float64 { return d.Net.Energy(st.x) }
-	return st
+	sc.naive = naiveSys{nw: d.Net, clamped: st.Clamped, buf: sc.coupling}
+	st.Scratch = sc
 }
 
-// Result returns the outcome of the last inference run on this state. The
-// Voltage slice aliases the state's internal buffer and is overwritten by
-// the next inference; copy it if it must outlive the state.
-func (st *InferState) Result() *Result { return &st.res }
+// Backend contract (engine.Backend): identity and bounds.
 
-// detach deep-copies a Result so it no longer aliases scratch buffers.
-func (r *Result) detach() *Result {
-	c := *r
-	c.Voltage = mat.CopyVec(r.Voltage)
-	return &c
+// Name prefixes error messages and names the backend in CLIs and reports.
+func (d *DSPU) Name() string { return "dspu" }
+
+// Dim is the state dimension.
+func (d *DSPU) Dim() int { return d.N }
+
+// Rails is the voltage rail bound observations must respect.
+func (d *DSPU) Rails() float64 { return d.cfg.VRail }
+
+// BaseSeed is the configured seed; window i of a batch runs with BaseSeed+i.
+func (d *DSPU) BaseSeed() uint64 { return d.cfg.Seed }
+
+// CompilePlan compiles the clamp pattern into a *clampPlan (see plan.go).
+func (d *DSPU) CompilePlan(clamped []bool) any { return d.compilePlan(clamped) }
+
+// RunPlanned runs the integration loop over the clamp-plan system.
+func (d *DSPU) RunPlanned(st *InferState, plan any) (*Result, error) {
+	sc := st.Scratch.(*dscratch)
+	return d.annealLoop(st, sc, d.planSystem(st, sc, plan.(*clampPlan)))
 }
+
+// RunNaive runs the integration loop over the raw network (per-state mask).
+func (d *DSPU) RunNaive(st *InferState) (*Result, error) {
+	sc := st.Scratch.(*dscratch)
+	return d.annealLoop(st, sc, &sc.naive)
+}
+
+// EnergyAt evaluates the real-valued Hamiltonian H_RV at state x.
+func (d *DSPU) EnergyAt(x []float64) float64 { return d.Net.Energy(x) }
+
+// ClampedEnergyAt evaluates the conditional Hamiltonian of the free
+// subsystem given the clamped nodes (the Lyapunov function of clamped
+// annealing, mirroring scalable.Machine.ClampedEnergyAt): free-free
+// couplings weigh 1/2, free-clamp couplings full weight (the clamped node
+// is a boundary condition, not a co-descending coordinate), clamped rows
+// dropped.
+func (d *DSPU) ClampedEnergyAt(x []float64, clamped []bool) float64 {
+	var e float64
+	s := d.Net.J
+	for i := 0; i < s.Rows; i++ {
+		if clamped[i] {
+			continue
+		}
+		xi := x[i]
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			w := 0.5
+			if clamped[s.ColIdx[p]] {
+				w = 1
+			}
+			e -= w * s.Val[p] * xi * x[s.ColIdx[p]]
+		}
+	}
+	for i, h := range d.Net.H {
+		if clamped[i] {
+			continue
+		}
+		switch d.Net.Self {
+		case circuit.Linear:
+			e -= h * x[i]
+		case circuit.Quadratic:
+			e -= 0.5 * h * x[i] * x[i]
+		}
+	}
+	return e
+}
+
+// ResidualAt evaluates the noise-free equilibrium residual max |dσ/dt| at
+// state x, skipping nodes marked in clamped (nil = no node clamped).
+func (d *DSPU) ResidualAt(x []float64, clamped []bool) (float64, error) {
+	if len(x) != d.N {
+		return 0, fmt.Errorf("dspu: state has %d entries, want %d", len(x), d.N)
+	}
+	if clamped == nil {
+		clamped = make([]bool, d.N)
+	} else if len(clamped) != d.N {
+		return 0, fmt.Errorf("dspu: clamp mask has %d entries, want %d", len(clamped), d.N)
+	}
+	return d.Net.Residual(x, clamped, make([]float64, d.N)), nil
+}
+
+// SettleResidualTol is the residual bound a Settled result guarantees: the
+// settle check stops the loop the moment the (deterministic) derivative
+// norm falls below SettleTol, at the reported state.
+func (d *DSPU) SettleResidualTol() float64 { return d.cfg.SettleTol }
+
+// NewInferState allocates a scratch arena sized for this DSPU.
+func (d *DSPU) NewInferState() *InferState { return d.Engine().NewInferState() }
 
 // Infer clamps the observations, randomly initializes the free nodes, and
 // anneals to equilibrium. It returns the settled state. Successive calls
 // advance the DSPU's internal RNG, so repeated inferences explore different
-// initializations; use InferWith for explicit per-call seeding.
+// initializations; use InferWith / InferSeeded for explicit per-call
+// seeding.
 func (d *DSPU) Infer(obs []Observation) (*Result, error) {
 	x := make([]float64, d.N)
 	d.rng.FillUniform(x, -0.1, 0.1)
@@ -228,16 +296,13 @@ func (d *DSPU) Infer(obs []Observation) (*Result, error) {
 
 // InferFrom is Infer with an explicit initial state for the free nodes.
 func (d *DSPU) InferFrom(x0 []float64, obs []Observation) (*Result, error) {
-	if len(x0) != d.N {
-		return nil, fmt.Errorf("dspu: initial state has %d entries, want %d", len(x0), d.N)
-	}
-	st := d.NewInferState()
-	copy(st.x, x0)
-	res, err := d.anneal(st, obs)
-	if err != nil {
-		return nil, err
-	}
-	return res.detach(), nil
+	return d.Engine().InferFrom(x0, obs)
+}
+
+// InferSeeded anneals with an explicit seed for free-node initialization,
+// allocating a fresh state per call.
+func (d *DSPU) InferSeeded(obs []Observation, seed uint64) (*Result, error) {
+	return d.Engine().InferSeeded(obs, seed)
 }
 
 // InferWith runs one inference on a reusable scratch state, seeding the
@@ -245,93 +310,48 @@ func (d *DSPU) InferFrom(x0 []float64, obs []Observation) (*Result, error) {
 // RNG stream). After the state's first use the call performs zero heap
 // allocations; the returned Result aliases the state's buffers.
 func (d *DSPU) InferWith(st *InferState, obs []Observation, seed uint64) (*Result, error) {
-	if st == nil || st.d != d {
-		return nil, errors.New("dspu: InferState belongs to a different DSPU")
-	}
-	st.rng.Reseed(seed)
-	st.rng.FillUniform(st.x, -0.1, 0.1)
-	return d.anneal(st, obs)
+	return d.Engine().InferWith(st, obs, seed)
 }
 
 // InferWithNaive is InferWith running the naive reference anneal: the raw
 // network, no clamp plan. The plan path must match it bit for bit.
 func (d *DSPU) InferWithNaive(st *InferState, obs []Observation, seed uint64) (*Result, error) {
-	if st == nil || st.d != d {
-		return nil, errors.New("dspu: InferState belongs to a different DSPU")
-	}
-	st.rng.Reseed(seed)
-	st.rng.FillUniform(st.x, -0.1, 0.1)
-	return d.annealNaive(st, obs)
+	return d.Engine().InferWithNaive(st, obs, seed)
+}
+
+// InferSeededNaive is InferSeeded running the naive reference anneal.
+func (d *DSPU) InferSeededNaive(obs []Observation, seed uint64) (*Result, error) {
+	return d.Engine().InferSeededNaive(obs, seed)
+}
+
+// InferBatch anneals every observation set across a worker pool, one private
+// InferState per worker; window i is seeded Config.Seed + i, bit-identical
+// to a sequential loop for any worker count. Requires a noise-free
+// configuration (the noise RNG is shared across states).
+func (d *DSPU) InferBatch(obs [][]Observation, workers int) ([]*Result, error) {
+	return d.Engine().InferBatch(obs, workers)
+}
+
+// EnsurePlan validates the observation set and pre-compiles (or re-warms)
+// the clamp plan for its index pattern.
+func (d *DSPU) EnsurePlan(obs []Observation) error {
+	return d.Engine().EnsurePlan(obs)
 }
 
 // PlanCacheStats reports the cumulative clamp-plan cache hit and miss
 // counts.
 func (d *DSPU) PlanCacheStats() (hits, misses uint64) {
-	d.planMu.Lock()
-	defer d.planMu.Unlock()
-	return d.planHits, d.planMisses
-}
-
-// applyObservations resets the clamp state and clamps each observation onto
-// st.x, validating index range, rail bound, and uniqueness (a duplicate
-// index is a windowing bug, not a tie-break, and is rejected). It updates
-// both the state's mask (the plan-cache key) and the network's clamp set.
-func (st *InferState) applyObservations(obs []Observation) error {
-	d := st.d
-	x := st.x
-	st.clampIdx = st.clampIdx[:0]
-	for i := range st.clamped {
-		st.clamped[i] = false
-	}
-	for _, o := range obs {
-		if o.Index < 0 || o.Index >= d.N {
-			return fmt.Errorf("dspu: observation index %d out of range [0,%d)", o.Index, d.N)
-		}
-		if math.Abs(o.Value) > d.cfg.VRail {
-			return fmt.Errorf("dspu: observation value %g exceeds rail %g", o.Value, d.cfg.VRail)
-		}
-		if st.clamped[o.Index] {
-			return fmt.Errorf("dspu: duplicate observation for node %d", o.Index)
-		}
-		x[o.Index] = o.Value
-		st.clamped[o.Index] = true
-		st.clampIdx = append(st.clampIdx, o.Index)
-	}
-	d.Net.ClampSet(st.clampIdx)
-	return nil
-}
-
-// anneal integrates the network from st.x to equilibrium. It is the
-// allocation-free core shared by every Infer variant: the observation
-// pattern resolves to a compiled clamp plan (cache hit in the steady state)
-// whose System folds the constant clamp currents; the result is
-// bit-identical to annealNaive (see plan.go).
-func (d *DSPU) anneal(st *InferState, obs []Observation) (*Result, error) {
-	if err := st.applyObservations(obs); err != nil {
-		return nil, err
-	}
-	pl := d.planFor(st.clamped, packMask(st.clamped, st.keyBuf))
-	return d.annealLoop(st, st.planSystem(pl))
-}
-
-// annealNaive is the reference anneal: the raw circuit network integrated
-// with no clamp-aware folding. Kept callable (InferWithNaive) as the ground
-// truth for the plan-path bit-identity tests and benchmarks.
-func (d *DSPU) annealNaive(st *InferState, obs []Observation) (*Result, error) {
-	if err := st.applyObservations(obs); err != nil {
-		return nil, err
-	}
-	return d.annealLoop(st, d.Net)
+	return d.Engine().PlanCacheStats()
 }
 
 // annealLoop is the integration loop proper, parameterized over the system
-// evaluated each step — the raw network (naive path) or its clamp-plan
-// compilation (planSys). Everything outside the Derivative evaluation is
-// shared, so the two paths can only differ through the derivative values,
-// which the plan construction makes bit-identical.
-func (d *DSPU) annealLoop(st *InferState, sys ode.System) (*Result, error) {
-	x := st.x
-	deriv := st.deriv
+// evaluated each step — the per-state naive network view (naive path) or
+// its clamp-plan compilation (planSys). Everything outside the Derivative
+// evaluation is shared, so the two paths can only differ through the
+// derivative values, which the plan construction makes bit-identical.
+func (d *DSPU) annealLoop(st *InferState, sc *dscratch, sys ode.System) (*Result, error) {
+	x := st.X
+	deriv := sc.deriv
 	steps := int(d.cfg.MaxTimeNs / d.cfg.Dt)
 	if steps < 1 {
 		return nil, errors.New("dspu: MaxTimeNs shorter than one timestep")
@@ -340,11 +360,11 @@ func (d *DSPU) annealLoop(st *InferState, sys ode.System) (*Result, error) {
 	settled := false
 	taken := 0
 	for s := 0; s < steps; s++ {
-		t = d.cfg.Integrator.Step(sys, t, d.cfg.Dt, x)
+		t = sc.integ.Step(sys, t, d.cfg.Dt, x)
 		d.Net.ClampRails(x)
 		taken = s + 1
-		if st.observer != nil {
-			st.observer(StepInfo{Step: s, TimeNs: t, EnergyFn: st.energyFn})
+		if st.Observer != nil {
+			st.Observer(StepInfo{Step: s, TimeNs: t, EnergyFn: st.EnergyFn, X: x})
 		}
 		// Convergence check every few steps to keep the hot loop tight.
 		if s%8 == 7 {
@@ -355,14 +375,15 @@ func (d *DSPU) annealLoop(st *InferState, sys ode.System) (*Result, error) {
 			}
 		}
 	}
-	st.res = Result{
-		Voltage:     x,
-		LatencyNs:   t,
-		Steps:       taken,
-		Settled:     settled,
-		FinalEnergy: d.Net.Energy(x),
+	st.Res = Result{
+		Voltage:   x,
+		LatencyNs: t,
+		AnnealNs:  t,
+		Steps:     taken,
+		Settled:   settled,
+		Energy:    d.Net.Energy(x),
 	}
-	return &st.res, nil
+	return &st.Res, nil
 }
 
 // Trace records a voltage trajectory: one sample of the full state per
@@ -373,7 +394,8 @@ type Trace struct {
 }
 
 // TraceRun integrates for durationNs from x0 with the given observations
-// clamped, sampling the state every sampleEveryNs.
+// clamped, sampling the state every sampleEveryNs. TraceRun drives the
+// network directly (it sets the shared clamp set) and is single-threaded.
 func (d *DSPU) TraceRun(x0 []float64, obs []Observation, durationNs, sampleEveryNs float64) (*Trace, error) {
 	if len(x0) != d.N {
 		return nil, fmt.Errorf("dspu: initial state has %d entries, want %d", len(x0), d.N)

@@ -76,14 +76,17 @@ func TestInferMatchesGaussSeidelEquilibrium(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	obs := []Observation{{0, 0.3}, {1, -0.4}, {2, 0.1}}
+	obs := []Observation{{Index: 0, Value: 0.3}, {Index: 1, Value: -0.4}, {Index: 2, Value: 0.1}}
 	res, err := d.Infer(obs)
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Inference no longer mutates the shared network's clamp mask, so the
+	// reference Gauss-Seidel solve must pin the observed nodes itself.
 	x := make([]float64, n)
 	for _, o := range obs {
 		x[o.Index] = o.Value
+		d.Net.Clamp(o.Index)
 	}
 	eq := d.Net.Equilibrium(x, 500)
 	for i := 0; i < n; i++ {
@@ -109,7 +112,7 @@ func TestInferValidation(t *testing.T) {
 func TestInferDeterministicWithSeed(t *testing.T) {
 	mk := func() float64 {
 		d := chainDSPU(t, 8, 0.3, Config{Seed: 77})
-		res, err := d.Infer([]Observation{{0, 0.5}})
+		res, err := d.Infer([]Observation{{Index: 0, Value: 0.5}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -122,7 +125,7 @@ func TestInferDeterministicWithSeed(t *testing.T) {
 
 func TestLatencyReported(t *testing.T) {
 	d := chainDSPU(t, 4, 0.5, Config{MaxTimeNs: 50})
-	res, err := d.Infer([]Observation{{0, 0.5}})
+	res, err := d.Infer([]Observation{{Index: 0, Value: 0.5}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,15 +146,15 @@ func TestEnergyDecreasesDuringInference(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.FinalEnergy > e0 {
-		t.Fatalf("energy rose: %g -> %g", e0, res.FinalEnergy)
+	if res.Energy > e0 {
+		t.Fatalf("energy rose: %g -> %g", e0, res.Energy)
 	}
 }
 
 func TestTraceRunSampling(t *testing.T) {
 	d := chainDSPU(t, 3, 0.5, Config{})
 	x0 := make([]float64, 3)
-	tr, err := d.TraceRun(x0, []Observation{{0, 0.5}}, 10, 1)
+	tr, err := d.TraceRun(x0, []Observation{{Index: 0, Value: 0.5}}, 10, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +180,7 @@ func TestRK4IntegratorOption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := d.Infer([]Observation{{0, 0.5}})
+	res, err := d.Infer([]Observation{{Index: 0, Value: 0.5}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +199,7 @@ func TestNoisyInferenceStaysClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := d.Infer([]Observation{{0, 0.5}})
+	res, err := d.Infer([]Observation{{Index: 0, Value: 0.5}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +231,7 @@ func TestSparseDSPUMatchesDense(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	obs := []Observation{{0, 0.4}}
+	obs := []Observation{{Index: 0, Value: 0.4}}
 	rd, err := dd.Infer(obs)
 	if err != nil {
 		t.Fatal(err)

@@ -26,8 +26,8 @@ func TestObserverEnergyDescendsOnDensePath(t *testing.T) {
 	if steps != res.Steps {
 		t.Fatalf("observer saw %d steps, result reports %d", steps, res.Steps)
 	}
-	if trace[len(trace)-1] != res.FinalEnergy {
-		t.Fatalf("last observed energy %g != FinalEnergy %g", trace[len(trace)-1], res.FinalEnergy)
+	if trace[len(trace)-1] != res.Energy {
+		t.Fatalf("last observed energy %g != FinalEnergy %g", trace[len(trace)-1], res.Energy)
 	}
 	for k := 1; k < len(trace); k++ {
 		if trace[k] > trace[k-1]+1e-9 {

@@ -7,9 +7,11 @@
 // (their derivative is pinned to zero), and iterates free-node index lists
 // instead of scanning the clamp mask.
 //
-// The plan is exposed as an ode.System so the DSPU's configured integrator
-// (Euler or RK4) drives it exactly as it drives the raw circuit network:
-// annealLoop is shared between the paths, and planSys.Derivative reproduces
+// Plan caching and keying live in internal/engine; this file only supplies
+// the backend's CompilePlan product and its runtime binding. The plan is
+// exposed as an ode.System so the DSPU's configured integrator (Euler or
+// RK4) drives it exactly as it drives the raw circuit network: annealLoop is
+// shared between the paths, and planSys.Derivative reproduces
 // circuit.Network.Derivative bit for bit — including the noise draw order,
 // which visits free nodes in ascending index in both.
 package dspu
@@ -18,12 +20,8 @@ import (
 	"math"
 
 	"dsgl/internal/circuit"
-	"dsgl/internal/lru"
 	"dsgl/internal/mat"
 )
-
-// planCacheCapacity bounds the per-DSPU clamp-plan LRU cache.
-const planCacheCapacity = 8
 
 // planMat is the coupling matrix compiled against a clamp pattern: static
 // holds the fully-clamped free rows (folded to a constant bias once per
@@ -42,33 +40,9 @@ type clampPlan struct {
 	j        planMat
 }
 
-// packMask packs the clamp mask into buf as a little-endian bitmask — the
-// plan-cache key. buf must have (len(clamped)+7)/8 bytes.
-func packMask(clamped []bool, buf []byte) []byte {
-	for i := range buf {
-		buf[i] = 0
-	}
-	for i, c := range clamped {
-		if c {
-			buf[i>>3] |= 1 << (i & 7)
-		}
-	}
-	return buf
-}
-
-// planFor resolves the clamp pattern to a compiled plan through the bounded
-// LRU cache, compiling under the lock on a miss.
-func (d *DSPU) planFor(clamped []bool, key []byte) *clampPlan {
-	d.planMu.Lock()
-	defer d.planMu.Unlock()
-	if d.plans == nil {
-		d.plans = lru.New[*clampPlan](planCacheCapacity)
-	}
-	if pl, ok := d.plans.Get(key); ok {
-		d.planHits++
-		return pl
-	}
-	d.planMisses++
+// compilePlan builds the clamp plan for one observation pattern. Called by
+// the engine's plan cache on a miss; the product is immutable and shared.
+func (d *DSPU) compilePlan(clamped []bool) *clampPlan {
 	pl := &clampPlan{j: compilePlanMat(d.Net.J, clamped)}
 	for i, c := range clamped {
 		if c {
@@ -77,7 +51,6 @@ func (d *DSPU) planFor(clamped []bool, key []byte) *clampPlan {
 			pl.freeIdx = append(pl.freeIdx, i)
 		}
 	}
-	d.plans.Add(key, pl)
 	return pl
 }
 
@@ -110,7 +83,7 @@ func compilePlanMat(s *mat.CSR, clamped []bool) planMat {
 
 // planSys is a clamp plan bound to one inference's state buffers, exposed as
 // an ode.System so the configured integrator drives it exactly like the raw
-// network. Lives inside InferState so binding it allocates nothing.
+// network. Lives inside the state's dscratch so binding it allocates nothing.
 type planSys struct {
 	d             *DSPU
 	pl            *clampPlan
@@ -121,27 +94,27 @@ type planSys struct {
 }
 
 // planSystem folds the constant clamp currents for the current inference
-// (st.x already carries the clamped values) and returns the state's plan
+// (st.X already carries the clamped values) and returns the state's plan
 // system bound to this plan.
-func (st *InferState) planSystem(pl *clampPlan) *planSys {
-	ps := &st.psys
-	ps.d = st.d
+func (d *DSPU) planSystem(st *InferState, sc *dscratch, pl *clampPlan) *planSys {
+	ps := &sc.psys
+	ps.d = d
 	ps.pl = pl
-	ps.bias = st.bias
-	ps.buf = st.coupling
-	pl.j.static.MulVec(st.x, st.bias)
-	if st.d.Net.Noise.Enabled() && !ps.noiseScaleSet {
+	ps.bias = sc.bias
+	ps.buf = sc.coupling
+	pl.j.static.MulVec(st.X, sc.bias)
+	if d.Net.Noise.Enabled() && !ps.noiseScaleSet {
 		// Replicates circuit.Network.typicalCoupling so the coupler-noise
 		// scale — and with it the noise stream — matches the naive path
 		// bit for bit.
 		var sum float64
-		for _, v := range st.d.Net.J.Val {
+		for _, v := range d.Net.J.Val {
 			sum += math.Abs(v)
 		}
-		if st.d.Net.N == 0 || len(st.d.Net.J.Val) == 0 {
+		if d.Net.N == 0 || len(d.Net.J.Val) == 0 {
 			ps.noiseScale = 1
 		} else {
-			ps.noiseScale = sum / float64(st.d.Net.N)
+			ps.noiseScale = sum / float64(d.Net.N)
 		}
 		ps.noiseScaleSet = true
 	}

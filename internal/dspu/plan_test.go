@@ -26,8 +26,8 @@ func identicalResults(t *testing.T, label string, plan, naive *Result) {
 	if math.Float64bits(plan.LatencyNs) != math.Float64bits(naive.LatencyNs) {
 		t.Fatalf("%s: latency %v vs %v", label, plan.LatencyNs, naive.LatencyNs)
 	}
-	if math.Float64bits(plan.FinalEnergy) != math.Float64bits(naive.FinalEnergy) {
-		t.Fatalf("%s: energy %v vs %v", label, plan.FinalEnergy, naive.FinalEnergy)
+	if math.Float64bits(plan.Energy) != math.Float64bits(naive.Energy) {
+		t.Fatalf("%s: energy %v vs %v", label, plan.Energy, naive.Energy)
 	}
 	if plan.Steps != naive.Steps || plan.Settled != naive.Settled {
 		t.Fatalf("%s: steps/settled (%d,%v) vs (%d,%v)", label, plan.Steps, plan.Settled, naive.Steps, naive.Settled)
@@ -52,13 +52,13 @@ func TestDSPUInferPlanBitIdentical(t *testing.T) {
 					nil,
 					{{Index: 0, Value: 0.6}},
 					{{Index: 0, Value: 0.6}, {Index: 4, Value: -0.2}},
-					{{0, 0.1}, {1, 0.2}, {2, -0.3}, {3, 0.4}, {4, 0.5}, {5, -0.6}, {6, 0.7}, {7, -0.8}},
+					{{Index: 0, Value: 0.1}, {Index: 1, Value: 0.2}, {Index: 2, Value: -0.3}, {Index: 3, Value: 0.4}, {Index: 4, Value: 0.5}, {Index: 5, Value: -0.6}, {Index: 6, Value: 0.7}, {Index: 7, Value: -0.8}},
 				} {
 					plan, err := d.InferWith(d.NewInferState(), obs, seed)
 					if err != nil {
 						t.Fatal(err)
 					}
-					plan = plan.detach()
+					plan = plan.Detach()
 					naive, err := d.InferWithNaive(d.NewInferState(), obs, seed)
 					if err != nil {
 						t.Fatal(err)
@@ -92,7 +92,7 @@ func TestDSPUInferPlanBitIdenticalNoisy(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return res.detach()
+		return res.Detach()
 	}
 	identicalResults(t, "noisy", run(false), run(true))
 }

@@ -1,0 +1,336 @@
+// Package engine is the shared inference core of the DS-GL reproduction.
+//
+// PR 3 mirrored the whole clamp-plan inference stack — InferState arenas,
+// observation validation, plan compilation + LRU caching, observer plumbing,
+// batch fan-out, result detachment — into both internal/scalable and
+// internal/dspu, and the two copies had to be kept bit-for-bit in sync by
+// hand. This package extracts that machinery once: a Backend supplies the
+// node dynamics (dimension, rails, clamp-plan compilation, the anneal loops
+// themselves, energy/residual hooks) and the Engine owns everything around
+// them:
+//
+//   - the InferState lifecycle (per-worker scratch arenas, reusable across
+//     inferences, allocation-free in the steady state);
+//   - observation validation — index range, rail bound, duplicate rejection
+//     — one implementation shared by every entry point including EnsurePlan;
+//   - the clamp-plan cache: compiled plans keyed by the packed
+//     observation-index bitmask, bounded LRU (internal/lru), compile under
+//     the cache lock so hit/miss counters stay deterministic across worker
+//     interleavings;
+//   - the seeding convention: window i of a batch anneals with seed
+//     BaseSeed()+i, which is what makes InferBatch bit-identical to a
+//     sequential loop for any worker count;
+//   - observer dispatch types (StepInfo with a lazy EnergyFn) and Result
+//     detachment.
+//
+// The related-work lineage (BRIM's bistable CMOS nodes, oscillator-based
+// Ising machines) runs the same clamp-anneal-readout loop over very
+// different node dynamics; a new backend implements the Backend contract
+// and inherits the whole engine layer — validation, caching, batching,
+// verification hooks — without copying any of it.
+//
+// Bit-exactness discipline: the Engine never touches the floating-point
+// path of an anneal. It seeds the state RNG, fills the initial voltages
+// (uniform in [-0.1, 0.1), exactly the pre-extraction convention), writes
+// the clamp values, and hands off to the backend's RunPlanned/RunNaive. A
+// backend extracted onto this engine therefore produces bit-identical
+// results to its pre-extraction form — enforced for the scalable backend by
+// the golden-voltage regression fixture and the six verify invariants.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"dsgl/internal/lru"
+	"dsgl/internal/pool"
+)
+
+// PlanCacheCapacity bounds the per-engine clamp-plan LRU cache. Eight
+// patterns cover the realistic mix (one pattern per dataset windowing, a
+// few for ad-hoc probes) while keeping the worst-case memory at eight
+// sparsified copies of the coupling matrices.
+const PlanCacheCapacity = 8
+
+// Backend is the contract a dynamical-system simulator implements to be
+// driven by the engine. All methods except RunPlanned and RunNaive must be
+// safe for concurrent use; the Run* methods are called with a per-worker
+// InferState and may only mutate that state (plus backend-owned immutable
+// data), which is what makes InferBatch race-free.
+type Backend interface {
+	// Name prefixes error messages ("scalable", "dspu") and names the
+	// backend in CLIs and reports.
+	Name() string
+	// Dim is the state dimension (node count).
+	Dim() int
+	// Rails is the voltage rail bound: observations with |value| beyond it
+	// are rejected before the anneal starts.
+	Rails() float64
+	// BaseSeed is the backend's configured seed; window i of a batch runs
+	// with BaseSeed()+i.
+	BaseSeed() uint64
+	// CompilePlan compiles the clamp-index pattern into a backend-specific
+	// inference plan. Plans depend only on WHICH nodes are clamped, never
+	// on the clamp values, must be immutable after compilation, and are
+	// shared freely across workers. The engine caches them by packed mask.
+	CompilePlan(clamped []bool) any
+	// AttachState allocates the backend's scratch arena into st.Scratch
+	// (and may rebind st.EnergyFn). Called once per InferState, from
+	// NewInferState.
+	AttachState(st *InferState)
+	// RunPlanned runs one anneal on a prepared state (st.X holds initial
+	// voltages with observations clamped, st.Clamped/ClampIdx the clamp
+	// pattern, st.RNG the seeded noise stream) under a plan previously
+	// returned by CompilePlan. It writes st.Res and returns &st.Res.
+	RunPlanned(st *InferState, plan any) (*Result, error)
+	// RunNaive is the naive reference anneal: no clamp plan, every coupling
+	// re-evaluated in full. It is the ground truth the plan-naive-identity
+	// invariant verifies RunPlanned against.
+	RunNaive(st *InferState) (*Result, error)
+	// EnergyAt evaluates the backend's Hamiltonian at state x; the engine
+	// binds it into the lazy StepInfo.EnergyFn handed to observers.
+	EnergyAt(x []float64) float64
+	// ResidualAt evaluates the true (noise-free, all-couplings-fresh)
+	// equilibrium residual max |dσ/dt| at x, skipping clamped nodes.
+	ResidualAt(x []float64, clamped []bool) (float64, error)
+	// SettleResidualTol is the residual bound a Settled result guarantees.
+	SettleResidualTol() float64
+}
+
+// Engine drives inference for one Backend: validation, plan caching,
+// seeding, and batch fan-out. Safe for concurrent use.
+type Engine struct {
+	b Backend
+
+	// Clamp-plan cache: compiled inference plans keyed by the packed
+	// observation-index bitmask, bounded LRU so pattern churn cannot grow
+	// it without limit, guarded by planMu so batch workers share it safely.
+	// Compilation happens under the lock: a pattern is compiled at most
+	// once per residency, keeping the hit/miss counters deterministic for
+	// a batch of identical patterns regardless of worker interleaving.
+	planMu     sync.Mutex
+	plans      *lru.Cache[any]
+	planHits   uint64
+	planMisses uint64
+
+	// EnsurePlan scratch: validating a probe pattern must not allocate a
+	// fresh mask and key per call (EnsurePlan runs once per evaluation,
+	// but sweeps call it per configuration).
+	ensureMu      sync.Mutex
+	ensureClamped []bool
+	ensureKey     []byte
+}
+
+// New binds an engine to its backend.
+func New(b Backend) *Engine { return &Engine{b: b} }
+
+// Backend returns the backend this engine drives.
+func (e *Engine) Backend() Backend { return e.b }
+
+// BaseSeed returns the backend's configured base seed (window i of a batch
+// anneals with BaseSeed()+i).
+func (e *Engine) BaseSeed() uint64 { return e.b.BaseSeed() }
+
+// Infer clamps the observations, initializes free nodes near zero, and
+// anneals to equilibrium with the backend's base seed. A fresh scratch
+// state is allocated per call; use InferWith for the allocation-free path.
+func (e *Engine) Infer(obs []Observation) (*Result, error) {
+	return e.InferSeeded(obs, e.b.BaseSeed())
+}
+
+// InferSeeded is Infer with an explicit seed for free-node initialization
+// and noise. The batch engine gives window w the seed BaseSeed()+w so a
+// parallel batch is bit-identical to a sequential loop over the windows.
+func (e *Engine) InferSeeded(obs []Observation, seed uint64) (*Result, error) {
+	res, err := e.InferWith(e.NewInferState(), obs, seed)
+	if err != nil {
+		return nil, err
+	}
+	return res.Detach(), nil
+}
+
+// InferFrom runs inference from an explicit initial state.
+func (e *Engine) InferFrom(x0 []float64, obs []Observation) (*Result, error) {
+	if len(x0) != e.b.Dim() {
+		return nil, fmt.Errorf("%s: initial state has %d entries, want %d", e.b.Name(), len(x0), e.b.Dim())
+	}
+	st := e.NewInferState()
+	copy(st.X, x0)
+	st.RNG.Reseed(e.b.BaseSeed())
+	res, err := e.inferInto(st, obs)
+	if err != nil {
+		return nil, err
+	}
+	return res.Detach(), nil
+}
+
+// InferWith runs one inference on a reusable scratch state with an explicit
+// seed. After the state's first use the whole call — initialization, anneal
+// loop, residual checks, result — performs zero heap allocations. The
+// returned Result aliases the state's buffers (see InferState.Result).
+func (e *Engine) InferWith(st *InferState, obs []Observation, seed uint64) (*Result, error) {
+	if err := e.checkState(st); err != nil {
+		return nil, err
+	}
+	st.RNG.Reseed(seed)
+	st.RNG.FillUniform(st.X, -0.1, 0.1)
+	return e.inferInto(st, obs)
+}
+
+// InferWithNaive is InferWith running the backend's naive reference loop:
+// no clamp plan, every coupling re-evaluated in full each step. The
+// plan-naive-identity invariant asserts InferWith and InferWithNaive return
+// bit-identical Results for every seed; benchmarks use this entry as the
+// pre-folding baseline.
+func (e *Engine) InferWithNaive(st *InferState, obs []Observation, seed uint64) (*Result, error) {
+	if err := e.checkState(st); err != nil {
+		return nil, err
+	}
+	st.RNG.Reseed(seed)
+	st.RNG.FillUniform(st.X, -0.1, 0.1)
+	if err := st.applyObservations(obs); err != nil {
+		return nil, err
+	}
+	return e.b.RunNaive(st)
+}
+
+// InferSeededNaive is InferSeeded running the naive reference loop.
+func (e *Engine) InferSeededNaive(obs []Observation, seed uint64) (*Result, error) {
+	res, err := e.InferWithNaive(e.NewInferState(), obs, seed)
+	if err != nil {
+		return nil, err
+	}
+	return res.Detach(), nil
+}
+
+// InferBatch anneals every observation set of a batch across a pool of
+// workers (workers <= 0 selects runtime.GOMAXPROCS(0)) and returns one
+// Result per entry, in order. Each worker owns a private InferState, so the
+// per-window steady state allocates nothing; window i is seeded
+// BaseSeed()+i, making the output bit-identical to calling
+// InferSeeded(obs[i], BaseSeed()+i) sequentially — regardless of worker
+// count or scheduling.
+func (e *Engine) InferBatch(obs [][]Observation, workers int) ([]*Result, error) {
+	n := len(obs)
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	w := pool.Clamp(workers, n)
+	states := make([]*InferState, w)
+	for i := range states {
+		states[i] = e.NewInferState()
+	}
+	base := e.b.BaseSeed()
+	pool.RunWorkers(w, n, func(worker, i int) {
+		res, err := e.InferWith(states[worker], obs[i], base+uint64(i))
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		results[i] = res.Detach()
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// EnsurePlan validates the observation set (the same range / rail /
+// duplicate checks every inference entry point runs) and compiles (or
+// re-warms) the clamp plan for its index pattern, so that a subsequent
+// batch over windows sharing the pattern starts with a cache hit on every
+// worker. Values are validated but never stored — plans depend on indices
+// only.
+func (e *Engine) EnsurePlan(obs []Observation) error {
+	e.ensureMu.Lock()
+	defer e.ensureMu.Unlock()
+	n := e.b.Dim()
+	if e.ensureClamped == nil {
+		e.ensureClamped = make([]bool, n)
+		e.ensureKey = make([]byte, maskBytes(n))
+	}
+	if err := validateObservations(e.b.Name(), obs, n, e.b.Rails(), nil, e.ensureClamped, nil); err != nil {
+		return err
+	}
+	e.planFor(e.ensureClamped, packMask(e.ensureClamped, e.ensureKey))
+	return nil
+}
+
+// PlanCacheStats reports the cumulative clamp-plan cache hit and miss
+// counts. A miss compiles a plan; the steady state of a batch whose windows
+// share one observation pattern is all hits.
+func (e *Engine) PlanCacheStats() (hits, misses uint64) {
+	e.planMu.Lock()
+	defer e.planMu.Unlock()
+	return e.planHits, e.planMisses
+}
+
+// PlanCacheLen reports how many compiled plans are currently resident
+// (bounded by PlanCacheCapacity).
+func (e *Engine) PlanCacheLen() int {
+	e.planMu.Lock()
+	defer e.planMu.Unlock()
+	if e.plans == nil {
+		return 0
+	}
+	return e.plans.Len()
+}
+
+// checkState guards the reusable-state entry points against nil or foreign
+// states.
+func (e *Engine) checkState(st *InferState) error {
+	if st == nil || st.eng != e {
+		return fmt.Errorf("%s: InferState belongs to a different engine", e.b.Name())
+	}
+	return nil
+}
+
+// inferInto resolves the observation pattern to a compiled clamp plan
+// (cache hit in the steady state) and runs the backend's planned anneal on
+// the prepared state. The result is bit-identical to the naive path — the
+// plan only reorganizes which floating-point operations are hoisted, never
+// their order (the backends' compilation discipline).
+func (e *Engine) inferInto(st *InferState, obs []Observation) (*Result, error) {
+	if err := st.applyObservations(obs); err != nil {
+		return nil, err
+	}
+	pl := e.planFor(st.Clamped, packMask(st.Clamped, st.KeyBuf))
+	return e.b.RunPlanned(st, pl)
+}
+
+// planFor resolves the clamp pattern to a compiled plan, consulting the
+// bounded LRU cache first.
+func (e *Engine) planFor(clamped []bool, key []byte) any {
+	e.planMu.Lock()
+	defer e.planMu.Unlock()
+	if e.plans == nil {
+		// Lazy: backends built as bare literals in tests never populate it.
+		e.plans = lru.New[any](PlanCacheCapacity)
+	}
+	if pl, ok := e.plans.Get(key); ok {
+		e.planHits++
+		return pl
+	}
+	e.planMisses++
+	pl := e.b.CompilePlan(clamped)
+	e.plans.Add(key, pl)
+	return pl
+}
+
+// maskBytes is the packed-bitmask length for n nodes.
+func maskBytes(n int) int { return (n + 7) / 8 }
+
+// packMask packs the clamp mask into buf as a little-endian bitmask — the
+// plan-cache key. buf must have maskBytes(len(clamped)) bytes.
+func packMask(clamped []bool, buf []byte) []byte {
+	for i := range buf {
+		buf[i] = 0
+	}
+	for i, c := range clamped {
+		if c {
+			buf[i>>3] |= 1 << (i & 7)
+		}
+	}
+	return buf
+}

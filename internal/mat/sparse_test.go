@@ -151,36 +151,36 @@ func TestSplitCols(t *testing.T) {
 		{
 			name: "all-clamped",
 			rows: 2, cols: 2,
-			data: []float64{0, 1, 2, 0},
-			mask: []bool{true, true},
+			data:        []float64{0, 1, 2, 0},
+			mask:        []bool{true, true},
 			wantFreeNNZ: 0, wantClampedNNZ: 2,
 		},
 		{
 			name: "none-clamped",
 			rows: 2, cols: 2,
-			data: []float64{0, 1, 2, 0},
-			mask: []bool{false, false},
+			data:        []float64{0, 1, 2, 0},
+			mask:        []bool{false, false},
 			wantFreeNNZ: 2, wantClampedNNZ: 0,
 		},
 		{
 			name: "1x1-clamped",
 			rows: 1, cols: 1,
-			data: []float64{7},
-			mask: []bool{true},
+			data:        []float64{7},
+			mask:        []bool{true},
 			wantFreeNNZ: 0, wantClampedNNZ: 1,
 		},
 		{
 			name: "1x1-free",
 			rows: 1, cols: 1,
-			data: []float64{7},
-			mask: []bool{false},
+			data:        []float64{7},
+			mask:        []bool{false},
 			wantFreeNNZ: 1, wantClampedNNZ: 0,
 		},
 		{
 			name: "1x1-empty",
 			rows: 1, cols: 1,
-			data: []float64{0},
-			mask: []bool{true},
+			data:        []float64{0},
+			mask:        []bool{true},
 			wantFreeNNZ: 0, wantClampedNNZ: 0,
 		},
 	} {

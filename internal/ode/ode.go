@@ -23,6 +23,24 @@ type Integrator interface {
 	Name() string
 }
 
+// Cloner is implemented by integrators that carry internal scratch buffers
+// (Euler, RK4). CloneIntegrator returns a fresh integrator of the same
+// method with private scratch, so concurrent workers can step distinct
+// states without sharing buffers.
+type Cloner interface {
+	CloneIntegrator() Integrator
+}
+
+// Clone returns a private copy of ig when it implements Cloner and ig
+// itself otherwise. Integrators that do not implement Cloner must be
+// stateless to be shared across goroutines.
+func Clone(ig Integrator) Integrator {
+	if c, ok := ig.(Cloner); ok {
+		return c.CloneIntegrator()
+	}
+	return ig
+}
+
 // Euler is the forward Euler method. It is what an explicit circuit
 // simulator with a small timestep effectively computes, and is the default
 // integrator for annealing runs (the dynamics are strongly contractive, so
@@ -36,6 +54,9 @@ func NewEuler() *Euler { return &Euler{} }
 
 // Name implements Integrator.
 func (e *Euler) Name() string { return "euler" }
+
+// CloneIntegrator implements Cloner.
+func (e *Euler) CloneIntegrator() Integrator { return &Euler{} }
 
 // Step implements Integrator.
 func (e *Euler) Step(sys System, t, dt float64, x []float64) float64 {
@@ -60,6 +81,9 @@ func NewRK4() *RK4 { return &RK4{} }
 
 // Name implements Integrator.
 func (r *RK4) Name() string { return "rk4" }
+
+// CloneIntegrator implements Cloner.
+func (r *RK4) CloneIntegrator() Integrator { return &RK4{} }
 
 // Step implements Integrator.
 func (r *RK4) Step(sys System, t, dt float64, x []float64) float64 {

@@ -115,7 +115,7 @@ func TestInferBatchPropagatesError(t *testing.T) {
 
 func TestInferSeededBaseSeedMatchesInfer(t *testing.T) {
 	m := batchMachine(t, Config{Lanes: 30, MaxTimeNs: 500, Seed: 21})
-	obs := []Observation{{0, 0.4}, {5, -0.3}}
+	obs := []Observation{{Index: 0, Value: 0.4}, {Index: 5, Value: -0.3}}
 	a, err := m.Infer(obs)
 	if err != nil {
 		t.Fatal(err)
@@ -147,7 +147,7 @@ func TestInferWithZeroAlloc(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			m := batchMachine(t, tc.cfg)
 			st := m.NewInferState()
-			obs := []Observation{{0, 0.4}, {5, -0.3}}
+			obs := []Observation{{Index: 0, Value: 0.4}, {Index: 5, Value: -0.3}}
 			if _, err := m.InferWith(st, obs, 1); err != nil { // warm-up
 				t.Fatal(err)
 			}
@@ -181,7 +181,7 @@ func TestInferWithRejectsForeignState(t *testing.T) {
 func TestInferStateResultAliasing(t *testing.T) {
 	m := batchMachine(t, Config{Lanes: 30, MaxTimeNs: 500, Seed: 9})
 	st := m.NewInferState()
-	r1, err := m.InferWith(st, []Observation{{0, 0.4}}, 1)
+	r1, err := m.InferWith(st, []Observation{{Index: 0, Value: 0.4}}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,18 +189,18 @@ func TestInferStateResultAliasing(t *testing.T) {
 	if st.Result() != r1 {
 		t.Fatal("InferState.Result must return the last inference's result")
 	}
-	if _, err := m.InferWith(st, []Observation{{0, -0.4}}, 2); err != nil {
+	if _, err := m.InferWith(st, []Observation{{Index: 0, Value: -0.4}}, 2); err != nil {
 		t.Fatal(err)
 	}
 	if r1.Voltage[m.N-1] == v0 {
 		t.Fatal("aliased voltage should have been overwritten by the second inference")
 	}
-	detached, err := m.InferSeeded([]Observation{{0, 0.4}}, 1)
+	detached, err := m.InferSeeded([]Observation{{Index: 0, Value: 0.4}}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	vd := detached.Voltage[m.N-1]
-	if _, err := m.InferSeeded([]Observation{{0, -0.4}}, 2); err != nil {
+	if _, err := m.InferSeeded([]Observation{{Index: 0, Value: -0.4}}, 2); err != nil {
 		t.Fatal(err)
 	}
 	if detached.Voltage[m.N-1] != vd {

@@ -7,10 +7,8 @@ import (
 	"sync"
 
 	"dsgl/internal/community"
-	"dsgl/internal/lru"
+	"dsgl/internal/engine"
 	"dsgl/internal/mat"
-	"dsgl/internal/pool"
-	"dsgl/internal/rng"
 	"dsgl/internal/train"
 )
 
@@ -137,7 +135,10 @@ type Stats struct {
 	DroppedCouplings  int // only non-zero for TemporalDisabled overflows
 }
 
-// Machine is a compiled Scalable DSPU mapping ready for inference.
+// Machine is a compiled Scalable DSPU mapping ready for inference. It is
+// the scalable Backend of the shared inference engine (internal/engine):
+// the engine owns observation validation, the clamp-plan cache, seeding,
+// and batch fan-out; the Machine supplies the co-annealing dynamics.
 type Machine struct {
 	N      int
 	cfg    Config
@@ -147,18 +148,17 @@ type Machine struct {
 	phases []*mat.CSR // inter-PE couplings per temporal slice
 	stats  Stats
 
-	// Clamp-plan cache: compiled inference plans keyed by the packed
-	// observation-index bitmask. Plans depend only on WHICH nodes are
-	// clamped, never on the clamp values, so every window of a batch that
-	// shares an observation pattern reuses one compiled plan. The cache is
-	// bounded (planCacheCapacity, LRU) so pattern churn cannot grow it
-	// without limit, and guarded by planMu so InferBatch workers share it
-	// safely. Lazily initialized on first use: tests construct Machine
-	// literals.
-	planMu     sync.Mutex
-	plans      *lru.Cache[*clampPlan]
-	planHits   uint64
-	planMisses uint64
+	// The engine is created lazily on first use: tests construct bare
+	// Machine literals (&Machine{N: ..., intra: ...}) that never infer.
+	engOnce sync.Once
+	eng     *engine.Engine
+}
+
+// Engine returns the inference engine driving this machine, creating it on
+// first use.
+func (m *Machine) Engine() *engine.Engine {
+	m.engOnce.Do(func() { m.eng = engine.New(m) })
+	return m.eng
 }
 
 // Stats returns the compilation statistics.
@@ -168,97 +168,48 @@ func (m *Machine) Stats() Stats { return m.stats }
 func (m *Machine) Config() Config { return m.cfg }
 
 // Observation clamps node Index to Value during inference.
-type Observation struct {
-	Index int
-	Value float64
-}
+type Observation = engine.Observation
 
 // Result is the outcome of one Scalable DSPU inference.
-type Result struct {
-	Voltage   []float64
-	LatencyNs float64 // annealing time + slice-switch overhead
-	AnnealNs  float64 // annealing time only
-	Settled   bool
-	Switches  int // mapping switches (= synchronization events) performed
-	Energy    float64
-}
+type Result = engine.Result
 
-// StepInfo is the per-step telemetry handed to a StepObserver: the step
-// index, the simulated anneal time, a lazy evaluator for the Hamiltonian of
-// the full compiled system at the post-step state, the live mapping slice,
-// the live-system max |dσ/dt| that the convergence check saw, and the state
-// vector itself. X aliases the inference scratch buffer — read it during
-// the callback, copy it if it must outlive the step, never write it.
-//
-// EnergyFn computes EnergyAt(X) on demand. Evaluating the Hamiltonian walks
-// every stored coupling — O(nnz) per call — which used to tax every observed
-// step even when the observer never looked at the energy. The hot loop now
-// hands out a pre-bound closure and pays only when the observer actually
-// calls it. Like X, EnergyFn reads the live scratch buffers and is valid
-// only during the callback.
-type StepInfo struct {
-	Step     int
-	TimeNs   float64
-	EnergyFn func() float64
-	MaxDeriv float64
-	Phase    int
-	X        []float64
-}
+// StepInfo is the per-step telemetry handed to a StepObserver; see
+// engine.StepInfo.
+type StepInfo = engine.StepInfo
 
 // StepObserver receives StepInfo after every integration step of an
-// inference. Observers are the hook the invariant-verification harness uses
-// to watch monotone energy descent (paper Eqs. 6-8); they run inline in the
-// anneal loop, so an installed observer trades speed for visibility. A nil
-// observer costs one branch per step and keeps the hot loop allocation-free.
-type StepObserver func(StepInfo)
+// inference; see engine.StepObserver.
+type StepObserver = engine.StepObserver
 
-// InferState is a reusable per-worker scratch arena for Machine inference.
-// One state holds every buffer the anneal hot loop touches — the working
-// voltages, the clamp mask, the intra-PE current, the derivative, the
-// per-slice sample-and-hold contributions, their running sum, and the
-// full-residual check buffer — so that after the state's first use an
-// inference runs allocation-free (enforced by TestInferWithZeroAlloc and
-// reported by the BenchmarkInferBatch allocs/op column).
-//
-// A state belongs to the machine that created it and must not be shared
-// between goroutines; concurrent inference uses one state per worker
-// (InferBatch arranges this automatically).
-type InferState struct {
-	m        *Machine
-	x        []float64
-	clamped  []bool
+// InferState is a reusable per-worker scratch arena for Machine inference;
+// see engine.InferState. The machine-specific buffers (intra-PE current,
+// derivative, sample-and-hold contributions, folded biases) hang off the
+// state's Scratch field.
+type InferState = engine.InferState
+
+// scratch is the Machine's backend arena inside an engine.InferState: every
+// buffer the anneal hot loop touches beyond the engine-owned voltage vector
+// and clamp mask, so that after the state's first use an inference runs
+// allocation-free (enforced by TestInferWithZeroAlloc and reported by the
+// BenchmarkInferBatch allocs/op column).
+type scratch struct {
 	intraCur []float64
 	deriv    []float64
 	interSum []float64
 	resBuf   []float64
 	contrib  [][]float64
-	rng      rng.RNG
-	res      Result
-	observer StepObserver
 
-	// Clamp-plan scratch. biasIntra and biasPhase hold the folded constant
+	// Clamp-plan scratch: biasIntra and biasPhase hold the folded constant
 	// coupling currents of the current inference (one entry per row; only
-	// fully-clamped rows are non-zero), keyBuf is the packed clamp-mask
-	// cache key, and energyFn is the pre-bound lazy Hamiltonian closure
-	// handed to observers. All are sized once here so the plan path keeps
-	// the zero-allocation steady-state contract.
+	// fully-clamped rows are non-zero).
 	biasIntra []float64
 	biasPhase [][]float64
-	keyBuf    []byte
-	energyFn  func() float64
 }
 
-// SetObserver installs (or, with nil, removes) a per-step observer on this
-// state. The observer applies to every subsequent inference run on the
-// state.
-func (st *InferState) SetObserver(fn StepObserver) { st.observer = fn }
-
-// NewInferState allocates a scratch arena sized for this machine.
-func (m *Machine) NewInferState() *InferState {
-	st := &InferState{
-		m:        m,
-		x:        make([]float64, m.N),
-		clamped:  make([]bool, m.N),
+// AttachState allocates the machine's scratch arena onto an engine state.
+// Called once per InferState by engine.NewInferState.
+func (m *Machine) AttachState(st *InferState) {
+	sc := &scratch{
 		intraCur: make([]float64, m.N),
 		deriv:    make([]float64, m.N),
 		interSum: make([]float64, m.N),
@@ -268,122 +219,95 @@ func (m *Machine) NewInferState() *InferState {
 	// One backing array for all slices keeps the sample-and-hold buffers
 	// contiguous in memory (the refresh loop walks them back to back).
 	flat := make([]float64, len(m.phases)*m.N)
-	for k := range st.contrib {
-		st.contrib[k] = flat[k*m.N : (k+1)*m.N : (k+1)*m.N]
+	for k := range sc.contrib {
+		sc.contrib[k] = flat[k*m.N : (k+1)*m.N : (k+1)*m.N]
 	}
-	st.biasIntra = make([]float64, m.N)
-	st.biasPhase = make([][]float64, len(m.phases))
+	sc.biasIntra = make([]float64, m.N)
+	sc.biasPhase = make([][]float64, len(m.phases))
 	biasFlat := make([]float64, len(m.phases)*m.N)
-	for k := range st.biasPhase {
-		st.biasPhase[k] = biasFlat[k*m.N : (k+1)*m.N : (k+1)*m.N]
+	for k := range sc.biasPhase {
+		sc.biasPhase[k] = biasFlat[k*m.N : (k+1)*m.N : (k+1)*m.N]
 	}
-	st.keyBuf = make([]byte, (m.N+7)/8)
-	st.energyFn = func() float64 { return m.EnergyAt(st.x) }
-	return st
+	st.Scratch = sc
 }
 
-// Result returns the outcome of the last inference run on this state. The
-// Voltage slice aliases the state's internal buffer and is overwritten by
-// the next inference; copy it if it must outlive the state.
-func (st *InferState) Result() *Result { return &st.res }
+// Backend contract (engine.Backend): identity and bounds.
+
+// Name prefixes error messages and names the backend in CLIs and reports.
+func (m *Machine) Name() string { return "scalable" }
+
+// Dim is the state dimension.
+func (m *Machine) Dim() int { return m.N }
+
+// Rails is the voltage rail bound observations must respect.
+func (m *Machine) Rails() float64 { return m.cfg.VRail }
+
+// BaseSeed is the configured seed; window i of a batch runs with BaseSeed+i.
+func (m *Machine) BaseSeed() uint64 { return m.cfg.Seed }
+
+// CompilePlan compiles the clamp pattern into a *clampPlan (see plan.go).
+func (m *Machine) CompilePlan(clamped []bool) any { return m.compilePlan(clamped) }
+
+// RunPlanned runs the clamp-plan hot loop on a prepared state.
+func (m *Machine) RunPlanned(st *InferState, plan any) (*Result, error) {
+	return m.inferPlanned(st, plan.(*clampPlan))
+}
+
+// RunNaive runs the naive reference loop on a prepared state.
+func (m *Machine) RunNaive(st *InferState) (*Result, error) {
+	return m.inferNaive(st)
+}
+
+// NewInferState allocates a scratch arena sized for this machine.
+func (m *Machine) NewInferState() *InferState { return m.Engine().NewInferState() }
 
 // refreshPhase re-evaluates slice k's held contribution from the fresh
 // state: subtract the stale current, recompute, add the fresh one.
-func (st *InferState) refreshPhase(k int) {
-	contrib := st.contrib[k]
-	interSum := st.interSum
+func (m *Machine) refreshPhase(st *InferState, sc *scratch, k int) {
+	contrib := sc.contrib[k]
+	interSum := sc.interSum
 	for i, v := range contrib {
 		interSum[i] -= v
 	}
-	st.m.phases[k].MulVec(st.x, contrib)
+	m.phases[k].MulVec(st.X, contrib)
 	for i, v := range contrib {
 		interSum[i] += v
 	}
-}
-
-// detach deep-copies a Result so it no longer aliases scratch buffers.
-func (r *Result) detach() *Result {
-	c := *r
-	c.Voltage = mat.CopyVec(r.Voltage)
-	return &c
 }
 
 // Infer clamps the observations, initializes free nodes near zero, and runs
 // the co-annealing process to equilibrium. It is the convenience wrapper
 // around InferWith: a fresh scratch state is allocated per call.
 func (m *Machine) Infer(obs []Observation) (*Result, error) {
-	return m.InferSeeded(obs, m.cfg.Seed)
+	return m.Engine().Infer(obs)
 }
 
 // InferSeeded is Infer with an explicit seed for free-node initialization
 // and noise. The batch engine gives window w the seed Config.Seed + w so a
 // parallel batch is bit-identical to a sequential loop over the windows.
 func (m *Machine) InferSeeded(obs []Observation, seed uint64) (*Result, error) {
-	res, err := m.InferWith(m.NewInferState(), obs, seed)
-	if err != nil {
-		return nil, err
-	}
-	return res.detach(), nil
+	return m.Engine().InferSeeded(obs, seed)
 }
 
 // InferFrom runs inference from an explicit initial state.
 func (m *Machine) InferFrom(x0 []float64, obs []Observation) (*Result, error) {
-	if len(x0) != m.N {
-		return nil, fmt.Errorf("scalable: initial state has %d entries, want %d", len(x0), m.N)
-	}
-	st := m.NewInferState()
-	copy(st.x, x0)
-	st.rng.Reseed(m.cfg.Seed)
-	res, err := m.inferInto(st, obs)
-	if err != nil {
-		return nil, err
-	}
-	return res.detach(), nil
+	return m.Engine().InferFrom(x0, obs)
 }
 
 // InferWith runs one inference on a reusable scratch state with an explicit
 // seed. After the state's first use the whole call — initialization, anneal
 // loop, residual checks, result — performs zero heap allocations. The
-// returned Result aliases the state's buffers (see InferState.Result).
+// returned Result aliases the state's buffers (see engine.InferState).
 func (m *Machine) InferWith(st *InferState, obs []Observation, seed uint64) (*Result, error) {
-	if st == nil || st.m != m {
-		return nil, errors.New("scalable: InferState belongs to a different machine")
-	}
-	st.rng.Reseed(seed)
-	st.rng.FillUniform(st.x, -0.1, 0.1)
-	return m.inferInto(st, obs)
+	return m.Engine().InferWith(st, obs, seed)
 }
 
 // InferBatch anneals every observation set of a batch across a pool of
 // workers (workers <= 0 selects runtime.GOMAXPROCS(0)) and returns one
-// Result per entry, in order. Each worker owns a private InferState, so the
-// per-window steady state allocates nothing; window i is seeded
-// Config.Seed + i, making the output bit-identical to calling
-// InferSeeded(obs[i], Config.Seed + i) sequentially — regardless of worker
-// count or scheduling.
+// Result per entry, in order; window i is seeded Config.Seed + i, making
+// the output bit-identical to a sequential loop regardless of worker count.
 func (m *Machine) InferBatch(obs [][]Observation, workers int) ([]*Result, error) {
-	n := len(obs)
-	results := make([]*Result, n)
-	errs := make([]error, n)
-	w := pool.Clamp(workers, n)
-	states := make([]*InferState, w)
-	for i := range states {
-		states[i] = m.NewInferState()
-	}
-	pool.RunWorkers(w, n, func(worker, i int) {
-		res, err := m.InferWith(states[worker], obs[i], m.cfg.Seed+uint64(i))
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		results[i] = res.detach()
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
+	return m.Engine().InferBatch(obs, workers)
 }
 
 // InferWithNaive is InferWith running the naive reference loop: no clamp
@@ -392,96 +316,29 @@ func (m *Machine) InferBatch(obs [][]Observation, workers int) ([]*Result, error
 // bit-identical Results for every seed; benchmarks use this entry as the
 // pre-folding baseline.
 func (m *Machine) InferWithNaive(st *InferState, obs []Observation, seed uint64) (*Result, error) {
-	if st == nil || st.m != m {
-		return nil, errors.New("scalable: InferState belongs to a different machine")
-	}
-	st.rng.Reseed(seed)
-	st.rng.FillUniform(st.x, -0.1, 0.1)
-	if err := st.applyObservations(obs); err != nil {
-		return nil, err
-	}
-	return m.inferNaive(st)
+	return m.Engine().InferWithNaive(st, obs, seed)
 }
 
 // InferSeededNaive is InferSeeded running the naive reference loop.
 func (m *Machine) InferSeededNaive(obs []Observation, seed uint64) (*Result, error) {
-	res, err := m.InferWithNaive(m.NewInferState(), obs, seed)
-	if err != nil {
-		return nil, err
-	}
-	return res.detach(), nil
+	return m.Engine().InferSeededNaive(obs, seed)
 }
 
-// EnsurePlan validates the observation set and compiles (or re-warms) the
-// clamp plan for its index pattern, so that a subsequent batch over windows
-// sharing the pattern starts with a cache hit on every worker. Evaluate and
-// EvaluateParallel call this once per run instead of compiling inside the
-// first window's inference.
+// EnsurePlan validates the observation set (the full range / rail /
+// duplicate checks every inference entry point runs) and compiles (or
+// re-warms) the clamp plan for its index pattern, so that a subsequent
+// batch over windows sharing the pattern starts with a cache hit on every
+// worker. Evaluate and EvaluateParallel call this once per run instead of
+// compiling inside the first window's inference.
 func (m *Machine) EnsurePlan(obs []Observation) error {
-	clamped := make([]bool, m.N)
-	for _, o := range obs {
-		if o.Index < 0 || o.Index >= m.N {
-			return fmt.Errorf("scalable: observation index %d out of range [0,%d)", o.Index, m.N)
-		}
-		if clamped[o.Index] {
-			return fmt.Errorf("scalable: duplicate observation for node %d", o.Index)
-		}
-		clamped[o.Index] = true
-	}
-	m.planFor(clamped, packMask(clamped, make([]byte, (m.N+7)/8)))
-	return nil
+	return m.Engine().EnsurePlan(obs)
 }
 
 // PlanCacheStats reports the cumulative clamp-plan cache hit and miss
 // counts. A miss compiles a plan; the steady state of a batch whose windows
 // share one observation pattern is all hits.
 func (m *Machine) PlanCacheStats() (hits, misses uint64) {
-	m.planMu.Lock()
-	defer m.planMu.Unlock()
-	return m.planHits, m.planMisses
-}
-
-// applyObservations resets the clamp mask and clamps each observation onto
-// the state, validating index range, rail bound, and uniqueness. A duplicate
-// index is rejected rather than silently last-wins: two observations for one
-// node are almost always a windowing bug, and the clamp-plan key (which is a
-// set, not a list) would otherwise hide the difference.
-func (st *InferState) applyObservations(obs []Observation) error {
-	m := st.m
-	x := st.x
-	clamped := st.clamped
-	for i := range clamped {
-		clamped[i] = false
-	}
-	for _, o := range obs {
-		if o.Index < 0 || o.Index >= m.N {
-			return fmt.Errorf("scalable: observation index %d out of range [0,%d)", o.Index, m.N)
-		}
-		if math.Abs(o.Value) > m.cfg.VRail {
-			return fmt.Errorf("scalable: observation value %g exceeds rail %g", o.Value, m.cfg.VRail)
-		}
-		if clamped[o.Index] {
-			return fmt.Errorf("scalable: duplicate observation for node %d", o.Index)
-		}
-		x[o.Index] = o.Value
-		clamped[o.Index] = true
-	}
-	return nil
-}
-
-// inferInto runs the co-annealing process on a prepared state (st.x holds
-// the initial voltages, st.rng the noise stream). It is the allocation-free
-// core shared by every Infer variant: the observation pattern is resolved to
-// a compiled clamp plan (cache hit in the steady state) and the planned hot
-// loop runs. The result is bit-identical to inferNaive — the plan only
-// reorganizes which floating-point operations are hoisted, never their
-// order (see plan.go).
-func (m *Machine) inferInto(st *InferState, obs []Observation) (*Result, error) {
-	if err := st.applyObservations(obs); err != nil {
-		return nil, err
-	}
-	pl := m.planFor(st.clamped, packMask(st.clamped, st.keyBuf))
-	return m.inferPlanned(st, pl)
+	return m.Engine().PlanCacheStats()
 }
 
 // inferNaive is the reference co-annealing loop: every coupling matrix is
@@ -490,15 +347,16 @@ func (m *Machine) inferInto(st *InferState, obs []Observation) (*Result, error) 
 // plan-path bit-identity invariant verifies against, and as the baseline
 // BenchmarkInferNaive measures.
 func (m *Machine) inferNaive(st *InferState) (*Result, error) {
-	x := st.x
-	clamped := st.clamped
+	sc := st.Scratch.(*scratch)
+	x := st.X
+	clamped := st.Clamped
 	steps := int(m.cfg.MaxTimeNs / m.cfg.Dt)
 	if steps < 1 {
 		return nil, errNoSteps
 	}
 
-	intraCur := st.intraCur
-	deriv := st.deriv
+	intraCur := sc.intraCur
+	deriv := sc.deriv
 	// contrib[k] is the coupling current of slice k ("mapping" k). The
 	// live mapping is a real analog connection and refreshes from the
 	// fresh state every step; an inactive mapping's CU sample-and-hold
@@ -506,18 +364,18 @@ func (m *Machine) inferNaive(st *InferState) (*Result, error) {
 	// never been live contribute nothing yet — cross-mapping information
 	// only propagates as the Switch Controller rotates through them, one
 	// synchronization interval at a time.
-	interSum := st.interSum
+	interSum := sc.interSum
 	for i := range interSum {
 		interSum[i] = 0
 	}
-	for k := range st.contrib {
-		c := st.contrib[k]
+	for k := range sc.contrib {
+		c := sc.contrib[k]
 		for i := range c {
 			c[i] = 0
 		}
 	}
-	m.phases[0].MulVec(x, st.contrib[0])
-	for i, v := range st.contrib[0] {
+	m.phases[0].MulVec(x, sc.contrib[0])
+	for i, v := range sc.contrib[0] {
 		interSum[i] += v
 	}
 
@@ -526,13 +384,14 @@ func (m *Machine) inferNaive(st *InferState) (*Result, error) {
 	if noisy {
 		couplerScale = m.typicalCoupling()
 	}
-	r := &st.rng
+	r := &st.RNG
 
 	phase := 0
 	nextSwitch := m.cfg.SwitchIntervalNs
 	annealT := 0.0
 	switches := 0
 	settled := false
+	taken := 0
 	// Steps per full slice cycle, for the temporal-mode convergence check.
 	checkEvery := int(m.cfg.SwitchIntervalNs*float64(len(m.phases))/m.cfg.Dt) + 1
 	if checkEvery < 32 {
@@ -541,7 +400,7 @@ func (m *Machine) inferNaive(st *InferState) (*Result, error) {
 
 	for s := 0; s < steps; s++ {
 		m.intra.MulVec(x, intraCur)
-		st.refreshPhase(phase)
+		m.refreshPhase(st, sc, phase)
 		maxD := 0.0
 		for i := 0; i < m.N; i++ {
 			if clamped[i] {
@@ -571,11 +430,12 @@ func (m *Machine) inferNaive(st *InferState) (*Result, error) {
 		}
 		mat.Clamp(x, -m.cfg.VRail, m.cfg.VRail)
 		annealT += m.cfg.Dt
-		if st.observer != nil {
-			st.observer(StepInfo{
+		taken = s + 1
+		if st.Observer != nil {
+			st.Observer(StepInfo{
 				Step:     s,
 				TimeNs:   annealT,
-				EnergyFn: st.energyFn,
+				EnergyFn: st.EnergyFn,
 				MaxDeriv: maxD,
 				Phase:    phase,
 				X:        x,
@@ -586,12 +446,12 @@ func (m *Machine) inferNaive(st *InferState) (*Result, error) {
 		// vanishes; a multiplexed mapping carries switching ripple, so the
 		// true (full-coupling) residual is checked once per slice cycle.
 		if len(m.phases) == 1 {
-			if maxD < m.cfg.SettleTol && m.fullResidual(x, clamped, st.resBuf) < m.cfg.SettleTol*settleResidualFactor {
+			if maxD < m.cfg.SettleTol && m.fullResidual(x, clamped, sc.resBuf) < m.cfg.SettleTol*settleResidualFactor {
 				settled = true
 				break
 			}
 		} else if s%checkEvery == checkEvery-1 {
-			if m.fullResidual(x, clamped, st.resBuf) < m.cfg.SettleTol*settleResidualFactor {
+			if m.fullResidual(x, clamped, sc.resBuf) < m.cfg.SettleTol*settleResidualFactor {
 				settled = true
 				break
 			}
@@ -602,15 +462,16 @@ func (m *Machine) inferNaive(st *InferState) (*Result, error) {
 			nextSwitch += m.cfg.SwitchIntervalNs
 		}
 	}
-	st.res = Result{
+	st.Res = Result{
 		Voltage:   x,
 		AnnealNs:  annealT,
 		LatencyNs: annealT + float64(switches)*m.cfg.SwitchOverheadNs,
 		Settled:   settled,
 		Switches:  switches,
+		Steps:     taken,
 		Energy:    m.EnergyAt(x),
 	}
-	return &st.res, nil
+	return &st.Res, nil
 }
 
 // fullResidual evaluates max |dσ/dt| with every coupling live and fresh —

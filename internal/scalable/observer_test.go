@@ -59,7 +59,7 @@ func TestObserverReceivesEveryStep(t *testing.T) {
 		lastEnergy = si.EnergyFn()
 		infos = append(infos, si)
 	})
-	res, err := m.InferWith(st, []Observation{{0, 0.4}}, 1)
+	res, err := m.InferWith(st, []Observation{{Index: 0, Value: 0.4}}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestObserverReceivesEveryStep(t *testing.T) {
 	// Removing the observer stops the callbacks.
 	st.SetObserver(nil)
 	n := len(infos)
-	if _, err := m.InferWith(st, []Observation{{0, 0.4}}, 1); err != nil {
+	if _, err := m.InferWith(st, []Observation{{Index: 0, Value: 0.4}}, 1); err != nil {
 		t.Fatal(err)
 	}
 	if len(infos) != n {
@@ -177,7 +177,7 @@ func TestResidualAtSettledState(t *testing.T) {
 func TestObserverNilKeepsZeroAlloc(t *testing.T) {
 	m := batchMachine(t, Config{Lanes: 30, MaxTimeNs: 500, Seed: 3})
 	st := m.NewInferState()
-	obs := []Observation{{0, 0.4}, {5, -0.3}}
+	obs := []Observation{{Index: 0, Value: 0.4}, {Index: 5, Value: -0.3}}
 	if _, err := m.InferWith(st, obs, 1); err != nil {
 		t.Fatal(err)
 	}

@@ -15,6 +15,11 @@
 //   - the derivative, integration, and settle loops iterate a free-node
 //     index list instead of scanning and skipping the clamp mask.
 //
+// Plans are compiled on demand by the shared inference engine
+// (internal/engine), which caches them by packed clamp-mask key in a
+// bounded LRU; this file supplies only the compilation and the planned hot
+// loop.
+//
 // Bit-exactness is the design constraint, not an accident. The plan path
 // must return Results bit-identical to the naive loop (the sixth
 // verification invariant), which IEEE-754 non-associativity makes a strict
@@ -39,15 +44,8 @@ package scalable
 import (
 	"math"
 
-	"dsgl/internal/lru"
 	"dsgl/internal/mat"
 )
-
-// planCacheCapacity bounds the per-machine clamp-plan LRU cache. Eight
-// patterns cover the realistic mix (one pattern per dataset windowing, a few
-// for ad-hoc probes) while keeping the worst-case memory at eight sparsified
-// copies of the coupling matrices.
-const planCacheCapacity = 8
 
 // planMat is one coupling matrix compiled against a clamp pattern.
 type planMat struct {
@@ -64,48 +62,12 @@ type planMat struct {
 // clampPlan is a compiled inference plan for one observation index pattern.
 // A plan is immutable after compilation and shared freely across InferBatch
 // workers; all per-inference mutable state (the folded biases) lives in the
-// InferState.
+// InferState's scratch arena.
 type clampPlan struct {
 	freeIdx  []int // unclamped node indices, ascending
 	clampIdx []int // clamped node indices, ascending
 	intra    planMat
 	phases   []planMat
-}
-
-// packMask packs the clamp mask into buf as a little-endian bitmask — the
-// plan-cache key. buf must have (len(clamped)+7)/8 bytes.
-func packMask(clamped []bool, buf []byte) []byte {
-	for i := range buf {
-		buf[i] = 0
-	}
-	for i, c := range clamped {
-		if c {
-			buf[i>>3] |= 1 << (i & 7)
-		}
-	}
-	return buf
-}
-
-// planFor resolves the clamp pattern to a compiled plan, consulting the
-// bounded LRU cache first. Compilation happens under the cache lock: plans
-// for one pattern are only ever compiled once per residency, which keeps the
-// hit/miss counters deterministic for a batch of identical patterns
-// regardless of worker interleaving.
-func (m *Machine) planFor(clamped []bool, key []byte) *clampPlan {
-	m.planMu.Lock()
-	defer m.planMu.Unlock()
-	if m.plans == nil {
-		// Lazy: tests build Machine literals that never infer.
-		m.plans = lru.New[*clampPlan](planCacheCapacity)
-	}
-	if pl, ok := m.plans.Get(key); ok {
-		m.planHits++
-		return pl
-	}
-	m.planMisses++
-	pl := m.compilePlan(clamped)
-	m.plans.Add(key, pl)
-	return pl
 }
 
 // compilePlan classifies every coupling matrix row against the clamp
@@ -169,13 +131,13 @@ func compilePlanMat(s *mat.CSR, clamped []bool) planMat {
 // the bit pattern a full recompute would produce. The subtract/recompute/add
 // sequence on interSum is kept per free node because a-c+c need not
 // round-trip even when c is unchanged.
-func (st *InferState) refreshPhasePlanned(pl *clampPlan, k int) {
-	contrib := st.contrib[k]
-	interSum := st.interSum
+func refreshPhasePlanned(st *InferState, sc *scratch, pl *clampPlan, k int) {
+	contrib := sc.contrib[k]
+	interSum := sc.interSum
 	for _, i := range pl.freeIdx {
 		interSum[i] -= contrib[i]
 	}
-	pl.phases[k].dyn.MulVecAdd(st.x, st.biasPhase[k], contrib)
+	pl.phases[k].dyn.MulVecAdd(st.X, sc.biasPhase[k], contrib)
 	for _, i := range pl.freeIdx {
 		interSum[i] += contrib[i]
 	}
@@ -187,7 +149,8 @@ func (st *InferState) refreshPhasePlanned(pl *clampPlan, k int) {
 // the operation inferNaive performs, in the same order — see the package
 // comment for the discipline — so the Result is bit-identical.
 func (m *Machine) inferPlanned(st *InferState, pl *clampPlan) (*Result, error) {
-	x := st.x
+	sc := st.Scratch.(*scratch)
+	x := st.X
 	steps := int(m.cfg.MaxTimeNs / m.cfg.Dt)
 	if steps < 1 {
 		return nil, errNoSteps
@@ -197,27 +160,27 @@ func (m *Machine) inferPlanned(st *InferState, pl *clampPlan) (*Result, error) {
 	// computed here once instead of once per step. Free columns are never
 	// read (static rows have none), so the uninitialized free voltages
 	// cannot leak in.
-	pl.intra.static.MulVec(x, st.biasIntra)
+	pl.intra.static.MulVec(x, sc.biasIntra)
 	for k := range pl.phases {
-		pl.phases[k].static.MulVec(x, st.biasPhase[k])
+		pl.phases[k].static.MulVec(x, sc.biasPhase[k])
 	}
 
-	intraCur := st.intraCur
-	deriv := st.deriv
-	interSum := st.interSum
+	intraCur := sc.intraCur
+	deriv := sc.deriv
+	interSum := sc.interSum
 	for i := range interSum {
 		interSum[i] = 0
 	}
-	for k := range st.contrib {
-		c := st.contrib[k]
+	for k := range sc.contrib {
+		c := sc.contrib[k]
 		for i := range c {
 			c[i] = 0
 		}
 	}
 	free := pl.freeIdx
-	pl.phases[0].dyn.MulVecAdd(x, st.biasPhase[0], st.contrib[0])
+	pl.phases[0].dyn.MulVecAdd(x, sc.biasPhase[0], sc.contrib[0])
 	for _, i := range free {
-		interSum[i] += st.contrib[0][i]
+		interSum[i] += sc.contrib[0][i]
 	}
 
 	noisy := m.cfg.NodeNoise > 0 || m.cfg.CouplerNoise > 0
@@ -225,21 +188,22 @@ func (m *Machine) inferPlanned(st *InferState, pl *clampPlan) (*Result, error) {
 	if noisy {
 		couplerScale = m.typicalCoupling()
 	}
-	r := &st.rng
+	r := &st.RNG
 
 	phase := 0
 	nextSwitch := m.cfg.SwitchIntervalNs
 	annealT := 0.0
 	switches := 0
 	settled := false
+	taken := 0
 	checkEvery := int(m.cfg.SwitchIntervalNs*float64(len(m.phases))/m.cfg.Dt) + 1
 	if checkEvery < 32 {
 		checkEvery = 32
 	}
 
 	for s := 0; s < steps; s++ {
-		pl.intra.dyn.MulVecAdd(x, st.biasIntra, intraCur)
-		st.refreshPhasePlanned(pl, phase)
+		pl.intra.dyn.MulVecAdd(x, sc.biasIntra, intraCur)
+		refreshPhasePlanned(st, sc, pl, phase)
 		maxD := 0.0
 		for _, i := range free {
 			cur := intraCur[i] + interSum[i]
@@ -273,11 +237,12 @@ func (m *Machine) inferPlanned(st *InferState, pl *clampPlan) (*Result, error) {
 			x[i] = xi
 		}
 		annealT += m.cfg.Dt
-		if st.observer != nil {
-			st.observer(StepInfo{
+		taken = s + 1
+		if st.Observer != nil {
+			st.Observer(StepInfo{
 				Step:     s,
 				TimeNs:   annealT,
-				EnergyFn: st.energyFn,
+				EnergyFn: st.EnergyFn,
 				MaxDeriv: maxD,
 				Phase:    phase,
 				X:        x,
@@ -285,12 +250,12 @@ func (m *Machine) inferPlanned(st *InferState, pl *clampPlan) (*Result, error) {
 		}
 
 		if len(m.phases) == 1 {
-			if maxD < m.cfg.SettleTol && m.planResidual(pl, st, x, st.resBuf) < m.cfg.SettleTol*settleResidualFactor {
+			if maxD < m.cfg.SettleTol && m.planResidual(pl, sc, x, sc.resBuf) < m.cfg.SettleTol*settleResidualFactor {
 				settled = true
 				break
 			}
 		} else if s%checkEvery == checkEvery-1 {
-			if m.planResidual(pl, st, x, st.resBuf) < m.cfg.SettleTol*settleResidualFactor {
+			if m.planResidual(pl, sc, x, sc.resBuf) < m.cfg.SettleTol*settleResidualFactor {
 				settled = true
 				break
 			}
@@ -301,15 +266,16 @@ func (m *Machine) inferPlanned(st *InferState, pl *clampPlan) (*Result, error) {
 			nextSwitch += m.cfg.SwitchIntervalNs
 		}
 	}
-	st.res = Result{
+	st.Res = Result{
 		Voltage:   x,
 		AnnealNs:  annealT,
 		LatencyNs: annealT + float64(switches)*m.cfg.SwitchOverheadNs,
 		Settled:   settled,
 		Switches:  switches,
+		Steps:     taken,
 		Energy:    m.EnergyAt(x),
 	}
-	return &st.res, nil
+	return &st.Res, nil
 }
 
 // planResidual is fullResidual on the plan path: the true max |dσ/dt| with
@@ -319,11 +285,11 @@ func (m *Machine) inferPlanned(st *InferState, pl *clampPlan) (*Result, error) {
 // contribution accumulated from zero (the bias for dyn rows) and added to
 // the buffer in one operation (empty rows included: naive adds their zero
 // sum too, which rounds -0 to +0).
-func (m *Machine) planResidual(pl *clampPlan, st *InferState, x, buf []float64) float64 {
-	pl.intra.dyn.MulVecAdd(x, st.biasIntra, buf)
+func (m *Machine) planResidual(pl *clampPlan, sc *scratch, x, buf []float64) float64 {
+	pl.intra.dyn.MulVecAdd(x, sc.biasIntra, buf)
 	for k := range pl.phases {
 		dyn := pl.phases[k].dyn
-		bias := st.biasPhase[k]
+		bias := sc.biasPhase[k]
 		for _, i := range pl.freeIdx {
 			sum := bias[i]
 			for p := dyn.RowPtr[i]; p < dyn.RowPtr[i+1]; p++ {

@@ -4,6 +4,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"dsgl/internal/engine"
 )
 
 // identicalResults compares two Results bit-for-bit: every float field and
@@ -55,9 +57,9 @@ func TestInferPlanBitIdentical(t *testing.T) {
 			m := batchMachine(t, tc.cfg)
 			for _, seed := range []uint64{1, 7, 42, 1 << 40} {
 				for _, obs := range [][]Observation{
-					{{0, 0.4}},
-					{{0, 0.4}, {5, -0.3}, {11, 0.9}},
-					{{3, -0.2}, {4, 0.1}, {8, 0.6}, {15, -0.7}, {20, 0.25}},
+					{{Index: 0, Value: 0.4}},
+					{{Index: 0, Value: 0.4}, {Index: 5, Value: -0.3}, {Index: 11, Value: 0.9}},
+					{{Index: 3, Value: -0.2}, {Index: 4, Value: 0.1}, {Index: 8, Value: 0.6}, {Index: 15, Value: -0.7}, {Index: 20, Value: 0.25}},
 					{}, // no clamps: everything is dyn
 				} {
 					plan, err := m.InferSeeded(obs, seed)
@@ -174,40 +176,80 @@ func TestEnsurePlanWarmsCache(t *testing.T) {
 
 // TestPlanCacheLRUEviction: the cache is bounded, so walking more patterns
 // than its capacity evicts the oldest — re-running the first pattern is a
-// fresh miss, and the cache never exceeds its bound.
+// fresh miss, the cache never exceeds its bound, and a recompiled plan is
+// still bit-identical to the naive reference (eviction must lose nothing
+// but time).
 func TestPlanCacheLRUEviction(t *testing.T) {
 	m := batchMachine(t, Config{Lanes: 30, MaxTimeNs: 200, Seed: 3})
+	cap := engine.PlanCacheCapacity
 	pat := func(k int) []Observation {
 		return []Observation{{Index: k % m.N, Value: 0.2}, {Index: (k + 7) % m.N, Value: -0.2}}
 	}
-	// planCacheCapacity+1 distinct patterns: pattern 0 gets evicted.
-	for k := 0; k <= planCacheCapacity; k++ {
-		if _, err := m.InferSeeded(pat(k), 1); err != nil {
+	// cap+1 distinct patterns: pattern 0 gets evicted. Every planned result
+	// along the way must match the naive loop bit for bit.
+	for k := 0; k <= cap; k++ {
+		plan, err := m.InferSeeded(pat(k), 1)
+		if err != nil {
 			t.Fatal(err)
 		}
+		naive, err := m.InferSeededNaive(pat(k), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		identicalResults(t, "pre-eviction", plan, naive)
 	}
 	_, misses := m.PlanCacheStats()
-	if want := uint64(planCacheCapacity + 1); misses != want {
+	if want := uint64(cap + 1); misses != want {
 		t.Fatalf("distinct patterns: misses=%d, want %d", misses, want)
 	}
-	if got := m.plans.Len(); got != planCacheCapacity {
-		t.Fatalf("cache holds %d plans, cap %d", got, planCacheCapacity)
+	if got := m.Engine().PlanCacheLen(); got != cap {
+		t.Fatalf("cache holds %d plans, cap %d", got, cap)
 	}
-	if _, err := m.InferSeeded(pat(0), 1); err != nil {
+	// Pattern 0 was evicted: re-running it recompiles, and the recompiled
+	// plan must still be bit-identical to naive.
+	plan, err := m.InferSeeded(pat(0), 1)
+	if err != nil {
 		t.Fatal(err)
 	}
+	naive, err := m.InferSeededNaive(pat(0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identicalResults(t, "post-eviction recompile", plan, naive)
 	_, misses = m.PlanCacheStats()
-	if want := uint64(planCacheCapacity + 2); misses != want {
+	if want := uint64(cap + 2); misses != want {
 		t.Fatalf("evicted pattern did not recompile: misses=%d, want %d", misses, want)
+	}
+	if got := m.Engine().PlanCacheLen(); got != cap {
+		t.Fatalf("cache grew past its bound: holds %d plans, cap %d", got, cap)
 	}
 	// The survivor set still hits.
 	hitsBefore, _ := m.PlanCacheStats()
-	if _, err := m.InferSeeded(pat(planCacheCapacity), 1); err != nil {
+	if _, err := m.InferSeeded(pat(cap), 1); err != nil {
 		t.Fatal(err)
 	}
 	hits, _ := m.PlanCacheStats()
 	if hits != hitsBefore+1 {
 		t.Fatalf("recent pattern missed: hits %d -> %d", hitsBefore, hits)
+	}
+}
+
+// TestEnsurePlanRejectsRailViolation: EnsurePlan runs the same validator as
+// the inference entry points, including the rail bound it historically
+// skipped, and its warm path reuses the engine's scratch instead of
+// allocating a fresh mask and key per call.
+func TestEnsurePlanRejectsRailViolation(t *testing.T) {
+	m := batchMachine(t, Config{Lanes: 30, MaxTimeNs: 200, Seed: 3})
+	if err := m.EnsurePlan([]Observation{{Index: 1, Value: 2.5}}); err == nil || !strings.Contains(err.Error(), "rail") {
+		t.Fatalf("EnsurePlan: got %v, want rail-bound error", err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if err := m.EnsurePlan([]Observation{{Index: 1, Value: 0.2}}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm EnsurePlan allocated %v per op, want 0", allocs)
 	}
 }
 
@@ -222,7 +264,7 @@ func TestDuplicateObservationRejected(t *testing.T) {
 	if _, err := m.InferSeededNaive(dup, 1); err == nil || !strings.Contains(err.Error(), "duplicate") {
 		t.Fatalf("InferSeededNaive: got %v, want duplicate-observation error", err)
 	}
-	if _, err := m.InferBatch([][]Observation{{{0, 0.1}}, dup}, 2); err == nil || !strings.Contains(err.Error(), "duplicate") {
+	if _, err := m.InferBatch([][]Observation{{{Index: 0, Value: 0.1}}, dup}, 2); err == nil || !strings.Contains(err.Error(), "duplicate") {
 		t.Fatalf("InferBatch: got %v, want duplicate-observation error", err)
 	}
 }
@@ -233,7 +275,7 @@ func TestDuplicateObservationRejected(t *testing.T) {
 func TestInferNaiveZeroAlloc(t *testing.T) {
 	m := batchMachine(t, Config{Lanes: 30, MaxTimeNs: 500, Seed: 3})
 	st := m.NewInferState()
-	obs := []Observation{{0, 0.4}, {5, -0.3}}
+	obs := []Observation{{Index: 0, Value: 0.4}, {Index: 5, Value: -0.3}}
 	if _, err := m.InferWithNaive(st, obs, 1); err != nil {
 		t.Fatal(err)
 	}

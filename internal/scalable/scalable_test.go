@@ -129,7 +129,7 @@ func TestInferMatchesMonolithicDSPU(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	obs := []Observation{{0, 0.4}, {5, -0.3}}
+	obs := []Observation{{Index: 0, Value: 0.4}, {Index: 5, Value: -0.3}}
 	res, err := m.Infer(obs)
 	if err != nil {
 		t.Fatal(err)
@@ -159,7 +159,7 @@ func TestTemporalInferenceApproachesTrueEquilibrium(t *testing.T) {
 	if m.Stats().Rounds <= 1 {
 		t.Skip("system did not need temporal mode")
 	}
-	obs := []Observation{{0, 0.5}, {7, -0.2}}
+	obs := []Observation{{Index: 0, Value: 0.5}, {Index: 7, Value: -0.2}}
 	res, err := m.Infer(obs)
 	if err != nil {
 		t.Fatal(err)
@@ -191,7 +191,7 @@ func TestTemporalSlowerThanSpatial(t *testing.T) {
 	// The accuracy/latency tradeoff of Fig. 11: temporal mode takes longer
 	// than the spatial variant of the same system.
 	p, a, mask := testSystem(t, 2, 2, 6, pattern.DMesh, 3, 11)
-	obs := []Observation{{0, 0.5}}
+	obs := []Observation{{Index: 0, Value: 0.5}}
 	temporal, err := Build(p, a, mask, Config{Lanes: 3, MaxTimeNs: 40000, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -224,7 +224,7 @@ func TestSyncIntervalDegradesFidelity(t *testing.T) {
 	// annealing against staler values, moving the result away from the
 	// tightly-synchronized one.
 	p, a, mask := testSystem(t, 2, 2, 6, pattern.DMesh, 3, 13)
-	obs := []Observation{{0, 0.5}, {9, -0.4}}
+	obs := []Observation{{Index: 0, Value: 0.5}, {Index: 9, Value: -0.4}}
 	run := func(sync float64) []float64 {
 		// Lanes: 3 forces temporal+spatial mode — synchronization only
 		// matters when held slices exist.
@@ -260,7 +260,7 @@ func TestSyncIntervalDegradesFidelity(t *testing.T) {
 
 func TestNoiseToleration(t *testing.T) {
 	p, a, mask := testSystem(t, 2, 2, 4, pattern.DMesh, 2, 17)
-	obs := []Observation{{0, 0.5}}
+	obs := []Observation{{Index: 0, Value: 0.5}}
 	clean, err := Build(p, a, mask, Config{Lanes: 30, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
@@ -349,7 +349,7 @@ func TestInferDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := m.Infer([]Observation{{0, 0.3}})
+		res, err := m.Infer([]Observation{{Index: 0, Value: 0.3}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -390,7 +390,7 @@ func TestWormholeRoutingCounted(t *testing.T) {
 	}
 	// The wormhole must actually carry current: clamping node 0 must move
 	// node n-1.
-	res, err := m.Infer([]Observation{{0, 0.5}})
+	res, err := m.Infer([]Observation{{Index: 0, Value: 0.5}})
 	if err != nil {
 		t.Fatal(err)
 	}

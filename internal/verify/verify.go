@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"math"
 
+	"dsgl/internal/engine"
 	"dsgl/internal/mat"
 	"dsgl/internal/scalable"
 )
@@ -119,10 +120,18 @@ func MonotoneDescent(energies []float64, tol DescentTol) []Violation {
 	return v
 }
 
+// ResidualChecker is the backend surface the settle-residual check needs:
+// the true equilibrium residual at a state and the bound a Settled result
+// guarantees. Both *scalable.Machine and *dspu.DSPU implement it.
+type ResidualChecker interface {
+	ResidualAt(x []float64, clamped []bool) (float64, error)
+	SettleResidualTol() float64
+}
+
 // SettledResidual checks invariant 2 on one inference outcome: a Settled
-// result must sit within the machine's full-residual settle bound. A
+// result must sit within the backend's full-residual settle bound. A
 // non-settled result makes no equilibrium claim and passes vacuously.
-func SettledResidual(m *scalable.Machine, res *scalable.Result, clamped []bool) []Violation {
+func SettledResidual(m ResidualChecker, res *engine.Result, clamped []bool) []Violation {
 	if !res.Settled {
 		return nil
 	}
@@ -189,9 +198,10 @@ func DenseEqual(invariant, what string, a, b *mat.Dense) []Violation {
 }
 
 // ResultsEqual checks two inference results for bit-identity: voltages,
-// latency accounting, settle flag, switch count, and final energy. label
-// names the pair in violation details (e.g. "window 3").
-func ResultsEqual(invariant, label string, a, b *scalable.Result) []Violation {
+// latency accounting, settle flag, switch and step counts, and final
+// energy. label names the pair in violation details (e.g. "window 3").
+// Results come from any engine backend (scalable or dense).
+func ResultsEqual(invariant, label string, a, b *engine.Result) []Violation {
 	var v []Violation
 	add := func(format string, args ...any) {
 		v = append(v, Violation{Invariant: invariant, Detail: label + ": " + fmt.Sprintf(format, args...)})
@@ -225,6 +235,9 @@ func ResultsEqual(invariant, label string, a, b *scalable.Result) []Violation {
 	}
 	if a.Switches != b.Switches {
 		add("switch count diverges: %d vs %d", a.Switches, b.Switches)
+	}
+	if a.Steps != b.Steps {
+		add("step count diverges: %d vs %d", a.Steps, b.Steps)
 	}
 	if a.Energy != b.Energy && !(math.IsNaN(a.Energy) && math.IsNaN(b.Energy)) {
 		add("final energy diverges: %v vs %v", a.Energy, b.Energy)

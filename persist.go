@@ -52,7 +52,15 @@ const (
 // Save serializes the trained model (parameters, placement, and coupling
 // mask) so inference can resume in a later process without retraining.
 // The dataset is not embedded; pass the same dataset to Load.
+//
+// Only scalable-backend models are persistable: the snapshot format stores
+// the decomposition (placement, mask) that the dense backend never runs.
+// A dense model is cheap to retrain (one closed-form solve), so Save
+// rejects it rather than inventing a second format.
 func (m *Model) Save(w io.Writer) error {
+	if m.Machine == nil {
+		return fmt.Errorf("dsgl: Save supports the %q backend only; retrain dense models from the dataset", BackendScalable)
+	}
 	mask := m.mask
 	if mask == nil {
 		// A hand-assembled Model without a retained mask: fall back to the
@@ -185,6 +193,9 @@ func Load(r io.Reader, ds *Dataset) (*Model, error) {
 	// here. Re-normalize to the loading process's default so a model saved
 	// on a 128-core trainer doesn't spawn 128 workers on a 2-core server.
 	opts.Workers = runtime.GOMAXPROCS(0)
+	// Only scalable models are persisted (see Save); pre-backend snapshots
+	// carry an empty Backend field.
+	opts.Backend = BackendScalable
 	machine, err := scalable.Build(tuned, assign, mask, scalable.Config{
 		Lanes:            opts.Lanes,
 		TemporalDisabled: opts.TemporalDisabled,

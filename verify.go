@@ -6,7 +6,7 @@ import (
 	"fmt"
 
 	"dsgl/internal/datasets"
-	"dsgl/internal/scalable"
+	"dsgl/internal/engine"
 	"dsgl/internal/verify"
 )
 
@@ -80,8 +80,13 @@ const (
 // divergence. Verify returns a non-nil error only when it cannot run the
 // checks at all (no test windows, snapshot I/O failure); contract
 // violations are reported, not returned as errors.
+//
+// Verify runs against either backend. On a BackendDense model the two
+// scalable-only checks — snapshot round-trip (3) and lossless compilation
+// (5) — skip with an explanation; the remaining four run through the same
+// engine entry points as on the scalable machine.
 func Verify(m *Model, opts VerifyOptions) (*VerifyReport, error) {
-	if m == nil || m.Machine == nil || m.Dataset == nil {
+	if m == nil || m.Dataset == nil || (m.Machine == nil && m.Dspu == nil) {
 		return nil, errors.New("dsgl: Verify needs a trained model")
 	}
 	opts.fillDefaults()
@@ -93,7 +98,7 @@ func Verify(m *Model, opts VerifyOptions) (*VerifyReport, error) {
 	if len(probes) > opts.Windows {
 		probes = probes[:opts.Windows]
 	}
-	obsList := make([][]scalable.Observation, len(probes))
+	obsList := make([][]engine.Observation, len(probes))
 	for i, w := range probes {
 		obs, err := m.windowObservations(w)
 		if err != nil {
@@ -101,15 +106,15 @@ func Verify(m *Model, opts VerifyOptions) (*VerifyReport, error) {
 		}
 		obsList[i] = obs
 	}
-	seed := m.Machine.Config().Seed
+	seed := m.engine().BaseSeed()
 
 	rep := &VerifyReport{Target: m.Dataset.Name}
 	rep.Add(m.checkEnergyDescent(obsList[:opts.EnergyProbes], seed))
 
 	// One sequential reference pass feeds checks 2-4.
-	seq := make([]*scalable.Result, len(probes))
+	seq := make([]*engine.Result, len(probes))
 	for i, obs := range obsList {
-		res, err := m.Machine.InferSeeded(obs, seed+uint64(i))
+		res, err := m.engine().InferSeeded(obs, seed+uint64(i))
 		if err != nil {
 			return nil, fmt.Errorf("dsgl: probe inference %d: %w", i, err)
 		}
@@ -138,22 +143,41 @@ func Verify(m *Model, opts VerifyOptions) (*VerifyReport, error) {
 // Verify is the method form of the package-level Verify.
 func (m *Model) Verify(opts VerifyOptions) (*VerifyReport, error) { return Verify(m, opts) }
 
+// clampedEnergyAt evaluates the conditional Hamiltonian given the clamps —
+// the Lyapunov function of clamped annealing — on whichever backend the
+// model runs.
+func (m *Model) clampedEnergyAt(x []float64, clamped []bool) float64 {
+	if m.Machine != nil {
+		return m.Machine.ClampedEnergyAt(x, clamped)
+	}
+	return m.Dspu.ClampedEnergyAt(x, clamped)
+}
+
+// residualChecker returns the backend's settle-residual surface.
+func (m *Model) residualChecker() verify.ResidualChecker {
+	if m.Machine != nil {
+		return m.Machine
+	}
+	return m.Dspu
+}
+
 // checkEnergyDescent records per-step energy traces on the probe windows
 // and checks ripple-bounded monotone descent. Under injected analog noise
 // the Lyapunov argument no longer binds step-to-step, so the check is
 // skipped.
-func (m *Model) checkEnergyDescent(obsList [][]scalable.Observation, seed uint64) VerifyCheck {
+func (m *Model) checkEnergyDescent(obsList [][]engine.Observation, seed uint64) VerifyCheck {
 	c := VerifyCheck{Invariant: verify.InvEnergyDescent, Name: "monotone energy descent"}
 	if m.Opts.NodeNoise > 0 || m.Opts.CouplerNoise > 0 {
 		c.Skipped = true
 		c.Detail = "analog noise injected; per-step descent not guaranteed"
 		return c
 	}
-	cfg := m.Machine.Config()
-	rounds := m.Machine.Stats().Rounds
 	tol := verify.DescentTol{Abs: 1e-12, Rel: descentRelSingle, NetRel: descentNetRel}
 	stride := 1
-	if rounds > 1 {
+	// A dense-backend model is a single continuous gradient flow — no slice
+	// switching — so it always verifies with the strict per-step tolerance.
+	if m.Machine != nil && m.Machine.Stats().Rounds > 1 {
+		cfg := m.Machine.Config()
 		tol.Rel = descentRelMulti
 		// Sample once per slice switch: within a slice the held currents
 		// make the measured energy ripple by design, so the descent claim
@@ -169,17 +193,17 @@ func (m *Model) checkEnergyDescent(obsList [][]scalable.Observation, seed uint64
 	// a Lyapunov function of the clamped dynamics.
 	clamped := make([]bool, m.Tuned.Dim())
 	copy(clamped, m.observed)
-	st := m.Machine.NewInferState()
+	st := m.engine().NewInferState()
 	var trace []float64
-	st.SetObserver(func(si scalable.StepInfo) {
+	st.SetObserver(func(si engine.StepInfo) {
 		if si.Step%stride == 0 {
-			trace = append(trace, m.Machine.ClampedEnergyAt(si.X, clamped))
+			trace = append(trace, m.clampedEnergyAt(si.X, clamped))
 		}
 	})
 	steps := 0
 	for i, obs := range obsList {
 		trace = trace[:0]
-		if _, err := m.Machine.InferWith(st, obs, seed+uint64(i)); err != nil {
+		if _, err := m.engine().InferWith(st, obs, seed+uint64(i)); err != nil {
 			c.Violations = append(c.Violations, VerifyViolation{
 				Invariant: verify.InvEnergyDescent,
 				Detail:    fmt.Sprintf("probe %d: %v", i, err),
@@ -199,19 +223,20 @@ func (m *Model) checkEnergyDescent(obsList [][]scalable.Observation, seed uint64
 
 // checkSettleResidual verifies that every probe reporting Settled sits
 // within the machine's full-residual settle bound.
-func (m *Model) checkSettleResidual(seq []*scalable.Result) VerifyCheck {
+func (m *Model) checkSettleResidual(seq []*engine.Result) VerifyCheck {
 	c := VerifyCheck{Invariant: verify.InvSettleResidual, Name: "equilibrium residual at settle"}
 	clamped := make([]bool, m.Tuned.Dim())
 	for i, isObs := range m.observed {
 		clamped[i] = isObs
 	}
+	rc := m.residualChecker()
 	settled := 0
 	for i, res := range seq {
 		if !res.Settled {
 			continue
 		}
 		settled++
-		for _, v := range verify.SettledResidual(m.Machine, res, clamped) {
+		for _, v := range verify.SettledResidual(rc, res, clamped) {
 			v.Detail = fmt.Sprintf("probe %d: %s", i, v.Detail)
 			c.Violations = append(c.Violations, v)
 		}
@@ -221,15 +246,20 @@ func (m *Model) checkSettleResidual(seq []*scalable.Result) VerifyCheck {
 		c.Detail = fmt.Sprintf("none of the %d probes settled within MaxInferNs; no equilibrium claim made", len(seq))
 		return c
 	}
-	c.Detail = fmt.Sprintf("%d/%d probes settled, residual bound %.2g", settled, len(seq), m.Machine.SettleResidualTol())
+	c.Detail = fmt.Sprintf("%d/%d probes settled, residual bound %.2g", settled, len(seq), rc.SettleResidualTol())
 	return c
 }
 
 // checkSnapshotRoundTrip saves the model, loads it back, and demands the
 // loaded machine be observationally bit-identical: compilation stats,
 // effective coupling matrix, retained mask, and probe-window inference.
-func (m *Model) checkSnapshotRoundTrip(obsList [][]scalable.Observation, seq []*scalable.Result, seed uint64) (VerifyCheck, error) {
+func (m *Model) checkSnapshotRoundTrip(obsList [][]engine.Observation, seq []*engine.Result, seed uint64) (VerifyCheck, error) {
 	c := VerifyCheck{Invariant: verify.InvSnapshotRoundTrip, Name: "Save/Load machine equivalence"}
+	if m.Machine == nil {
+		c.Skipped = true
+		c.Detail = "dense backend: the snapshot format covers the compiled scalable machine only"
+		return c, nil
+	}
 	var buf bytes.Buffer
 	if err := m.Save(&buf); err != nil {
 		return c, fmt.Errorf("dsgl: verify snapshot save: %w", err)
@@ -282,12 +312,12 @@ func (m *Model) checkSnapshotRoundTrip(obsList [][]scalable.Observation, seq []*
 // checkSeqParIdentity verifies that the parallel batch engine is
 // bit-identical to the sequential reference, at both the raw InferBatch
 // level and the aggregated Evaluate level.
-func (m *Model) checkSeqParIdentity(probes []datasets.Window, obsList [][]scalable.Observation, seq []*scalable.Result, workers int) (VerifyCheck, error) {
+func (m *Model) checkSeqParIdentity(probes []datasets.Window, obsList [][]engine.Observation, seq []*engine.Result, workers int) (VerifyCheck, error) {
 	c := VerifyCheck{Invariant: verify.InvSeqParIdentity, Name: "sequential/parallel bit-identity"}
 	if workers <= 0 {
 		workers = m.Opts.Workers
 	}
-	par, err := m.Machine.InferBatch(obsList, workers)
+	par, err := m.engine().InferBatch(obsList, workers)
 	if err != nil {
 		return c, fmt.Errorf("dsgl: verify parallel batch: %w", err)
 	}
@@ -321,17 +351,17 @@ func (m *Model) checkSeqParIdentity(probes []datasets.Window, obsList [][]scalab
 // InferSeededNaive with the same seed. This is the contract that makes the
 // constant-current folding a pure optimization: it may hoist work out of
 // the anneal loop, never change a rounding.
-func (m *Model) checkPlanNaiveIdentity(obsList [][]scalable.Observation, seq []*scalable.Result, seed uint64) (VerifyCheck, error) {
+func (m *Model) checkPlanNaiveIdentity(obsList [][]engine.Observation, seq []*engine.Result, seed uint64) (VerifyCheck, error) {
 	c := VerifyCheck{Invariant: verify.InvPlanNaiveIdentity, Name: "clamp-plan/naive bit-identity"}
 	for i, obs := range obsList {
-		naive, err := m.Machine.InferSeededNaive(obs, seed+uint64(i))
+		naive, err := m.engine().InferSeededNaive(obs, seed+uint64(i))
 		if err != nil {
 			return c, fmt.Errorf("dsgl: verify naive probe %d: %w", i, err)
 		}
 		c.Violations = append(c.Violations,
 			verify.ResultsEqual(verify.InvPlanNaiveIdentity, fmt.Sprintf("probe %d", i), naive, seq[i])...)
 	}
-	hits, misses := m.Machine.PlanCacheStats()
+	hits, misses := m.engine().PlanCacheStats()
 	c.Detail = fmt.Sprintf("%d probe windows re-inferred naively; plan cache %d hits / %d misses", len(obsList), hits, misses)
 	return c, nil
 }
@@ -340,6 +370,11 @@ func (m *Model) checkPlanNaiveIdentity(obsList [][]scalable.Observation, seq []*
 // the compilation dropped no coupling.
 func (m *Model) checkLosslessCompile() VerifyCheck {
 	c := VerifyCheck{Invariant: verify.InvLosslessCompile, Name: "lossless compilation"}
+	if m.Machine == nil {
+		c.Skipped = true
+		c.Detail = "dense backend runs the tuned J directly; there is no compilation stage to verify"
+		return c
+	}
 	if dropped := m.Machine.Stats().DroppedCouplings; dropped > 0 {
 		c.Skipped = true
 		c.Detail = fmt.Sprintf("%d couplings deliberately dropped (DS-GL-Spatial overflow); EffectiveJ == Tuned.J does not apply", dropped)
