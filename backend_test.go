@@ -96,9 +96,10 @@ func TestDenseBackendSeqParIdentity(t *testing.T) {
 	}
 }
 
-// TestDenseBackendVerify runs the invariant harness against a dense model:
-// the two scalable-only checks (snapshot round-trip, lossless compilation)
-// skip with an explanation, the other four run and hold.
+// TestDenseBackendVerify runs the invariant harness against a dense model.
+// Since the v3 snapshot format the formerly scalable-only checks — snapshot
+// round-trip and lossless compilation — run on the dense backend too: all
+// six invariants must execute (not skip) and hold.
 func TestDenseBackendVerify(t *testing.T) {
 	ds := tinyDataset(t, "traffic")
 	model, err := Train(ds, denseOptions())
@@ -115,31 +116,62 @@ func TestDenseBackendVerify(t *testing.T) {
 		}
 		t.Fatal("dense model violates invariants")
 	}
-	skipped := map[string]bool{}
-	ran := 0
+	ran := map[string]bool{}
 	for _, c := range rep.Checks {
-		if c.Skipped {
-			skipped[c.Invariant] = true
-		} else {
-			ran++
+		if !c.Skipped {
+			ran[c.Invariant] = true
 		}
 	}
-	if !skipped[verify.InvSnapshotRoundTrip] || !skipped[verify.InvLosslessCompile] {
-		t.Fatalf("scalable-only checks not skipped on dense backend: %v", skipped)
-	}
-	if ran < 3 {
-		t.Fatalf("only %d checks ran on the dense backend", ran)
+	for _, inv := range []string{
+		verify.InvEnergyDescent, verify.InvSettleResidual,
+		verify.InvSnapshotRoundTrip, verify.InvSeqParIdentity,
+		verify.InvLosslessCompile, verify.InvPlanNaiveIdentity,
+	} {
+		if !ran[inv] {
+			t.Errorf("check %s did not run on the dense backend", inv)
+		}
 	}
 }
 
-func TestDenseBackendSaveRejected(t *testing.T) {
+// TestDenseBackendSaveRoundTrip is the dense-persistence regression: Save
+// used to reject dense models outright ("Save supports the scalable backend
+// only"); the v3 snapshot format persists them, and the loaded model must
+// be observationally bit-identical — same effective coupling matrix and
+// bit-identical probe inference and evaluation reports.
+func TestDenseBackendSaveRoundTrip(t *testing.T) {
 	ds := tinyDataset(t, "traffic")
 	model, err := Train(ds, denseOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := model.Save(&buf); err == nil || !strings.Contains(err.Error(), BackendScalable) {
-		t.Fatalf("Save on a dense model: got %v, want scalable-only error", err)
+	if err := model.Save(&buf); err != nil {
+		t.Fatalf("Save on a dense model: %v", err)
+	}
+	loaded, err := Load(&buf, ds)
+	if err != nil {
+		t.Fatalf("Load of a dense snapshot: %v", err)
+	}
+	if loaded.Dspu == nil || loaded.Machine != nil {
+		t.Fatal("dense snapshot did not load as a dense model")
+	}
+	if loaded.Opts.Backend != BackendDense {
+		t.Fatalf("loaded backend %q, want %q", loaded.Opts.Backend, BackendDense)
+	}
+	if vs := verify.DenseEqual("round-trip", "EffectiveJ",
+		model.Dspu.EffectiveJ(), loaded.Dspu.EffectiveJ()); len(vs) > 0 {
+		t.Fatalf("effective J diverges across Save/Load: %v", vs[0].Detail)
+	}
+	_, test := ds.Split()
+	want, err := model.Evaluate(test[:6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Evaluate(test[:6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.RMSE != got.RMSE || want.MAE != got.MAE || want.MeanLatencyUs != got.MeanLatencyUs {
+		t.Fatalf("loaded dense model diverges: %+v vs %+v", got, want)
 	}
 }

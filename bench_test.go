@@ -628,7 +628,7 @@ func BenchmarkAblationRedistribution(b *testing.B) {
 // lists for a batch of test windows. lanes=30 keeps the machine in pure
 // spatial mode; lanes=6 forces temporal+spatial co-annealing (held slices,
 // sample-and-hold refreshes).
-func benchBatchSetup(b *testing.B, lanes int) (*scalable.Machine, [][]scalable.Observation) {
+func benchBatchSetup(b testing.TB, lanes int) (*scalable.Machine, [][]scalable.Observation) {
 	b.Helper()
 	ds := benchDataset()
 	model, err := dsgl.Train(ds, dsgl.Options{Seed: 7, Lanes: lanes, MaxInferNs: 3000})
@@ -735,6 +735,63 @@ func BenchmarkInferPlan(b *testing.B) {
 				b.ReportMetric(float64(h1-h0)/float64(lookups), "plan-hit-rate")
 			}
 		})
+	}
+}
+
+// BenchmarkInferPlanObs is BenchmarkInferPlan with the process-wide
+// metrics registry installed: the same steady-state plan-path inference,
+// with every call recording into the engine instruments (latency
+// histograms, anneal-step counters, settle-residual summary). Comparing
+// ns/op against BenchmarkInferPlan bounds the observability overhead
+// (the <2 % contract of DESIGN.md "Observability"); allocs/op must stay
+// 0, which TestInferPlanObsZeroAlloc enforces.
+func BenchmarkInferPlanObs(b *testing.B) {
+	dsgl.EnableMetrics()
+	defer dsgl.DisableMetrics()
+	for _, mode := range []struct {
+		name  string
+		lanes int
+	}{{"spatial", 30}, {"temporal", 6}} {
+		m, obs := benchBatchSetup(b, mode.lanes)
+		st := m.NewInferState()
+		// Warm-up compiles the plan and binds the instruments.
+		if _, err := m.InferWith(st, obs[0], 1); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.InferWith(st, obs[0], uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestInferPlanObsZeroAlloc is the allocation half of the observability
+// overhead contract: steady-state plan-path inference performs zero heap
+// allocations whether metrics are disabled (nil no-op instruments) or
+// enabled (atomic counters, preallocated histogram buckets, fixed-marker
+// quantile estimators — recording never allocates).
+func TestInferPlanObsZeroAlloc(t *testing.T) {
+	m, obs := benchBatchSetup(t, 30)
+	st := m.NewInferState()
+	run := func() {
+		if _, err := m.InferWith(st, obs[0], 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm-up: compile the plan, size the arena
+	if allocs := testing.AllocsPerRun(5, run); allocs != 0 {
+		t.Fatalf("metrics disabled: %v allocs per inference, want 0", allocs)
+	}
+	dsgl.EnableMetrics()
+	defer dsgl.DisableMetrics()
+	run() // re-bind the instruments against the fresh registry
+	if allocs := testing.AllocsPerRun(5, run); allocs != 0 {
+		t.Fatalf("metrics enabled: %v allocs per inference, want 0", allocs)
 	}
 }
 

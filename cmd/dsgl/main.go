@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strings"
@@ -22,6 +23,8 @@ import (
 
 	"dsgl"
 	"dsgl/internal/experiments"
+	"dsgl/internal/obs"
+	"dsgl/internal/obs/obshttp"
 )
 
 func main() {
@@ -56,12 +59,32 @@ func main() {
 	backend := fs.String("backend", dsgl.BackendScalable,
 		fmt.Sprintf("inference backend for eval/verify/inspect: %q (full pipeline) or %q (single-PE phase-1 model)",
 			dsgl.BackendScalable, dsgl.BackendDense))
+	obsAddr := fs.String("obs-addr", "",
+		"serve observability endpoints on this address during the run: Prometheus text on /metrics, JSON on /metricsz, pprof under /debug/pprof/ (e.g. :9137; empty = disabled)")
+	obsLinger := fs.Duration("obs-linger", 0,
+		"keep the -obs-addr server alive this long after the run completes, so scrapers can read the final state")
 	if err := fs.Parse(rest); err != nil {
 		os.Exit(2)
 	}
 	if !validBackend(*backend) {
 		fmt.Fprintf(os.Stderr, "dsgl: unknown backend %q (valid: %s)\n", *backend, strings.Join(dsgl.Backends(), ", "))
 		os.Exit(2)
+	}
+	if *obsAddr != "" {
+		dsgl.EnableMetrics()
+		bound, shutdown, err := obshttp.Serve(*obsAddr, obs.Default())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsgl: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "observability: http://%s (/metrics, /metricsz, /debug/pprof/)\n", bound)
+		defer func() {
+			if *obsLinger > 0 {
+				fmt.Fprintf(os.Stderr, "observability: lingering %v before shutdown\n", *obsLinger)
+				time.Sleep(*obsLinger)
+			}
+			shutdown()
+		}()
 	}
 	cfg := experiments.Config{
 		N:           *n,
@@ -168,9 +191,22 @@ func eval(name string, cfg experiments.Config, backend string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s (%s backend): RMSE %.4g  MAE %.4g  %.3g µs/inference  (%d windows, mode %s)\n",
-		name, backend, rep.RMSE, rep.MAE, rep.MeanLatencyUs, rep.Windows, rep.Mode)
+	fmt.Printf("%s (%s backend): RMSE %.4g  MAE %.4g  MAPE %s  %.3g µs/inference  (%d windows, mode %s)\n",
+		name, backend, rep.RMSE, rep.MAE, formatMAPE(rep), rep.MeanLatencyUs, rep.Windows, rep.Mode)
 	return nil
+}
+
+// formatMAPE renders a report's MAPE: "n/a" when every pair was skipped
+// (MAPE is NaN — there is no measurement, and printing 0.00% would claim
+// a perfect score), with the skipped-pair coverage noted when partial.
+func formatMAPE(rep *dsgl.Report) string {
+	if math.IsNaN(rep.MAPE) {
+		return fmt.Sprintf("n/a (%d pairs below eps)", rep.MAPESkipped)
+	}
+	if rep.MAPESkipped > 0 {
+		return fmt.Sprintf("%.2f%% (%d pairs skipped)", 100*rep.MAPE, rep.MAPESkipped)
+	}
+	return fmt.Sprintf("%.2f%%", 100*rep.MAPE)
 }
 
 // verify trains the standard pipeline on each named workload (default:
@@ -230,6 +266,8 @@ experiments:
            six runtime invariants; nonzero exit on any violation
   list     print experiment ids
 
-flags: -n, -t, -eval, -gnn-epochs, -seed, -workers, -backend
-       (see 'dsgl <exp> -h'; -backend accepts "scalable" or "dense")`)
+flags: -n, -t, -eval, -gnn-epochs, -seed, -workers, -backend,
+       -obs-addr, -obs-linger
+       (see 'dsgl <exp> -h'; -backend accepts "scalable" or "dense";
+       -obs-addr serves /metrics, /metricsz, and pprof during the run)`)
 }

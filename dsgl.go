@@ -447,8 +447,14 @@ func (m *Model) predictionFrom(w datasets.Window, res *engine.Result) *Predictio
 
 // Report summarizes an evaluation run.
 type Report struct {
-	RMSE          float64
-	MAE           float64
+	RMSE float64
+	MAE  float64
+	// MAPE is the mean absolute percentage error over the prediction/truth
+	// pairs whose |truth| >= metrics.MAPEEps. NaN when every pair was
+	// skipped (render as "n/a", never as 0 — that would read as a perfect
+	// score); MAPESkipped reports how many pairs the average excludes.
+	MAPE          float64
+	MAPESkipped   int
 	MeanLatencyUs float64
 	Windows       int
 	Mode          string
@@ -548,6 +554,8 @@ func (m *Model) report(acc metrics.Accumulator, latUs float64, windows int) *Rep
 	rep := &Report{
 		RMSE:          acc.RMSE(),
 		MAE:           acc.MAE(),
+		MAPE:          acc.MAPE(),
+		MAPESkipped:   acc.MAPESkipped(),
 		MeanLatencyUs: latUs / float64(windows),
 		Windows:       windows,
 		Mode:          m.mode(),

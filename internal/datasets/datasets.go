@@ -98,6 +98,17 @@ func (d *Dataset) Window(start int) Window {
 
 // Split returns the train and test windows, split by time (train first) so
 // no test information leaks into training.
+//
+// Window s spans timesteps [s, s+History+Horizon-1], so the last training
+// window (start nTrain-1) reaches timestep nTrain+History+Horizon-2.
+// Starting the test split at nTrain is therefore not enough: its first
+// History+Horizon-1 windows begin inside that span, and their horizon
+// targets are timesteps the trainer already saw as history/horizon
+// values. The split gaps the test side by History+Horizon-1 windows —
+// dropping the overlapping ones — so the first test window starts at
+// timestep nTrain+History+Horizon-1 and no test window shares any
+// timestep with any training window (asserted by
+// TestSplitHorizonDisjoint).
 func (d *Dataset) Split() (train, test []Window) {
 	total := d.NumWindows()
 	nTrain := int(float64(total) * d.TrainFrac)
@@ -110,7 +121,8 @@ func (d *Dataset) Split() (train, test []Window) {
 	for s := 0; s < nTrain; s++ {
 		train = append(train, d.Window(s))
 	}
-	for s := nTrain; s < total; s++ {
+	gap := d.History + d.Horizon - 1
+	for s := nTrain + gap; s < total; s++ {
 		test = append(test, d.Window(s))
 	}
 	return train, test

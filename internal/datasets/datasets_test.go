@@ -94,13 +94,44 @@ func TestSplitNoOverlapAndOrder(t *testing.T) {
 	if len(train) == 0 || len(test) == 0 {
 		t.Fatalf("split degenerate: %d/%d", len(train), len(test))
 	}
-	if len(train)+len(test) != d.NumWindows() {
-		t.Fatal("split dropped windows")
+	// The gap drops the History+Horizon-1 test windows whose spans overlap
+	// the training windows; everything else is kept.
+	gap := d.History + d.Horizon - 1
+	if len(train)+len(test)+gap != d.NumWindows() {
+		t.Fatalf("split window accounting: %d train + %d test + %d gap != %d total",
+			len(train), len(test), gap, d.NumWindows())
 	}
 	lastTrain := train[len(train)-1].Start
 	firstTest := test[0].Start
 	if firstTest <= lastTrain {
 		t.Fatal("test windows must come after train windows")
+	}
+}
+
+// TestSplitHorizonDisjoint is the temporal-leakage regression: before the
+// gapped split, the last training windows spanned timesteps that
+// reappeared as the horizons of the first test windows — the trainer had
+// literally seen the test targets. The fix gaps the split by
+// History+Horizon-1 windows, and this test asserts the resulting
+// guarantee: no test window shares ANY timestep (history or horizon) with
+// any training window. The pre-fix split fails it (first test window
+// started at timestep nTrain, inside the last training span).
+func TestSplitHorizonDisjoint(t *testing.T) {
+	for _, name := range []string{"stock", "traffic"} {
+		d := Generate(name, Config{N: 8, T: 80})
+		train, test := d.Split()
+		if len(train) == 0 || len(test) == 0 {
+			t.Fatalf("%s: split degenerate: %d/%d", name, len(train), len(test))
+		}
+		span := d.History + d.Horizon
+		// Timesteps any training window touches: [0, lastTrainEnd].
+		lastTrainEnd := train[len(train)-1].Start + span - 1
+		for i, w := range test {
+			if w.Start <= lastTrainEnd {
+				t.Fatalf("%s: test window %d starts at timestep %d, inside the training span (last training timestep %d)",
+					name, i, w.Start, lastTrainEnd)
+			}
+		}
 	}
 }
 

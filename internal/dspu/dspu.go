@@ -17,6 +17,7 @@ package dspu
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"dsgl/internal/circuit"
@@ -225,6 +226,14 @@ func (d *DSPU) RunNaive(st *InferState) (*Result, error) {
 // EnergyAt evaluates the real-valued Hamiltonian H_RV at state x.
 func (d *DSPU) EnergyAt(x []float64) float64 { return d.Net.Energy(x) }
 
+// EffectiveJ reconstructs the dense coupling matrix the network realizes —
+// the counterpart of scalable.Machine.EffectiveJ for the single-PE dense
+// backend. Construction converts the trained J to CSR dropping only exact
+// zeros and keeping every surviving entry bit-exact, so EffectiveJ equals
+// the constructor's J bit-for-bit; the lossless-realization and snapshot
+// round-trip verify invariants compare against it.
+func (d *DSPU) EffectiveJ() *mat.Dense { return d.Net.J.ToDense() }
+
 // ClampedEnergyAt evaluates the conditional Hamiltonian of the free
 // subsystem given the clamped nodes (the Lyapunov function of clamped
 // annealing, mirroring scalable.Machine.ClampedEnergyAt): free-free
@@ -358,6 +367,7 @@ func (d *DSPU) annealLoop(st *InferState, sc *dscratch, sys ode.System) (*Result
 	}
 	t := 0.0
 	settled := false
+	lastResidual := math.NaN()
 	taken := 0
 	for s := 0; s < steps; s++ {
 		t = sc.integ.Step(sys, t, d.cfg.Dt, x)
@@ -367,9 +377,12 @@ func (d *DSPU) annealLoop(st *InferState, sc *dscratch, sys ode.System) (*Result
 			st.Observer(StepInfo{Step: s, TimeNs: t, EnergyFn: st.EnergyFn, X: x})
 		}
 		// Convergence check every few steps to keep the hot loop tight.
+		// Each checked derivative norm is captured as lastResidual so the
+		// Result reports the equilibrium residual at convergence.
 		if s%8 == 7 {
 			sys.Derivative(t, x, deriv)
-			if mat.NormInf(deriv) < d.cfg.SettleTol {
+			lastResidual = mat.NormInf(deriv)
+			if lastResidual < d.cfg.SettleTol {
 				settled = true
 				break
 			}
@@ -382,6 +395,7 @@ func (d *DSPU) annealLoop(st *InferState, sc *dscratch, sys ode.System) (*Result
 		Steps:     taken,
 		Settled:   settled,
 		Energy:    d.Net.Energy(x),
+		Residual:  lastResidual,
 	}
 	return &st.Res, nil
 }

@@ -41,6 +41,8 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"dsgl/internal/lru"
 	"dsgl/internal/pool"
@@ -119,6 +121,10 @@ type Engine struct {
 	ensureMu      sync.Mutex
 	ensureClamped []bool
 	ensureKey     []byte
+
+	// obsBind caches the instrument binding against the current default
+	// obs registry; see metrics.go. Nil until the first inference.
+	obsBind atomic.Pointer[engineObs]
 }
 
 // New binds an engine to its backend.
@@ -186,12 +192,20 @@ func (e *Engine) InferWithNaive(st *InferState, obs []Observation, seed uint64) 
 	if err := e.checkState(st); err != nil {
 		return nil, err
 	}
+	m := e.metrics()
+	var start time.Time
+	if m.enabled() {
+		start = time.Now()
+	}
 	st.RNG.Reseed(seed)
 	st.RNG.FillUniform(st.X, -0.1, 0.1)
 	if err := st.applyObservations(obs); err != nil {
+		m.recordInfer(nil, err, start)
 		return nil, err
 	}
-	return e.b.RunNaive(st)
+	res, err := e.b.RunNaive(st)
+	m.recordInfer(res, err, start)
+	return res, err
 }
 
 // InferSeededNaive is InferSeeded running the naive reference loop.
@@ -218,6 +232,11 @@ func (e *Engine) InferBatch(obs [][]Observation, workers int) ([]*Result, error)
 	states := make([]*InferState, w)
 	for i := range states {
 		states[i] = e.NewInferState()
+	}
+	if m := e.metrics(); m.enabled() {
+		m.batches.Inc()
+		m.batchWindows.Add(uint64(n))
+		m.batchWorkers.Set(float64(w))
 	}
 	base := e.b.BaseSeed()
 	pool.RunWorkers(w, n, func(worker, i int) {
@@ -292,16 +311,25 @@ func (e *Engine) checkState(st *InferState) error {
 // plan only reorganizes which floating-point operations are hoisted, never
 // their order (the backends' compilation discipline).
 func (e *Engine) inferInto(st *InferState, obs []Observation) (*Result, error) {
+	m := e.metrics()
+	var start time.Time
+	if m.enabled() {
+		start = time.Now()
+	}
 	if err := st.applyObservations(obs); err != nil {
+		m.recordInfer(nil, err, start)
 		return nil, err
 	}
 	pl := e.planFor(st.Clamped, packMask(st.Clamped, st.KeyBuf))
-	return e.b.RunPlanned(st, pl)
+	res, err := e.b.RunPlanned(st, pl)
+	m.recordInfer(res, err, start)
+	return res, err
 }
 
 // planFor resolves the clamp pattern to a compiled plan, consulting the
 // bounded LRU cache first.
 func (e *Engine) planFor(clamped []bool, key []byte) any {
+	m := e.metrics()
 	e.planMu.Lock()
 	defer e.planMu.Unlock()
 	if e.plans == nil {
@@ -310,11 +338,16 @@ func (e *Engine) planFor(clamped []bool, key []byte) any {
 	}
 	if pl, ok := e.plans.Get(key); ok {
 		e.planHits++
+		m.planHits.Inc()
 		return pl
 	}
 	e.planMisses++
+	m.planMisses.Inc()
 	pl := e.b.CompilePlan(clamped)
-	e.plans.Add(key, pl)
+	if e.plans.Add(key, pl) {
+		m.planEvictions.Inc()
+	}
+	m.planResident.Set(float64(e.plans.Len()))
 	return pl
 }
 

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"time"
+
+	"dsgl/internal/obs"
+)
+
+// engineObs bundles the engine's pre-registered instruments. A binding is
+// built once per (engine, registry) pair and cached on the engine behind
+// an atomic pointer: the hot path loads the pointer, compares the bound
+// registry against obs.Default(), and — in the steady state — proceeds
+// with zero allocations. When observability is disabled (nil default
+// registry) the binding carries nil instruments, whose nil-receiver
+// methods are no-ops, and the timing calls are skipped entirely; the
+// zero-alloc anneal contract holds in both states (enforced by
+// TestInferPlanObsZeroAlloc and the BenchmarkInferPlan allocs column).
+//
+// Instruments record once per inference or batch, never per step.
+type engineObs struct {
+	reg *obs.Registry // registry the instruments belong to (nil = disabled)
+
+	infers         *obs.Counter   // dsgl_infer_total
+	inferErrors    *obs.Counter   // dsgl_infer_errors_total
+	inferSettled   *obs.Counter   // dsgl_infer_settled_total
+	wallSeconds    *obs.Histogram // dsgl_infer_wall_seconds
+	simNs          *obs.Histogram // dsgl_infer_sim_ns
+	annealSteps    *obs.Counter   // dsgl_anneal_steps_total
+	settleResidual *obs.Summary   // dsgl_settle_residual
+	planHits       *obs.Counter   // dsgl_plan_cache_hits_total
+	planMisses     *obs.Counter   // dsgl_plan_cache_misses_total
+	planEvictions  *obs.Counter   // dsgl_plan_cache_evictions_total
+	planResident   *obs.Gauge     // dsgl_plan_cache_resident
+	batches        *obs.Counter   // dsgl_infer_batch_total
+	batchWindows   *obs.Counter   // dsgl_infer_batch_windows_total
+	batchWorkers   *obs.Gauge     // dsgl_infer_batch_workers
+}
+
+// newEngineObs registers (or re-binds, registration being idempotent) the
+// engine instrument set on r, labeled by backend. Nil r yields a disabled
+// binding of nil no-op instruments.
+func newEngineObs(r *obs.Registry, backend string) *engineObs {
+	if r == nil {
+		return &engineObs{}
+	}
+	l := obs.L("backend", backend)
+	return &engineObs{
+		reg:            r,
+		infers:         r.Counter("dsgl_infer_total", "completed inferences", l),
+		inferErrors:    r.Counter("dsgl_infer_errors_total", "inferences rejected or failed", l),
+		inferSettled:   r.Counter("dsgl_infer_settled_total", "inferences that settled before the time budget", l),
+		wallSeconds:    r.Histogram("dsgl_infer_wall_seconds", "host wall time per inference", l),
+		simNs:          r.Histogram("dsgl_infer_sim_ns", "simulated anneal latency per inference (Result.LatencyNs)", l),
+		annealSteps:    r.Counter("dsgl_anneal_steps_total", "integration steps taken across all inferences", l),
+		settleResidual: r.Summary("dsgl_settle_residual", "equilibrium residual max |dsigma/dt| at convergence (settled inferences)", l),
+		planHits:       r.Counter("dsgl_plan_cache_hits_total", "clamp-plan cache hits", l),
+		planMisses:     r.Counter("dsgl_plan_cache_misses_total", "clamp-plan cache misses (each compiles a plan)", l),
+		planEvictions:  r.Counter("dsgl_plan_cache_evictions_total", "clamp-plan cache evictions", l),
+		planResident:   r.Gauge("dsgl_plan_cache_resident", "compiled clamp plans currently resident", l),
+		batches:        r.Counter("dsgl_infer_batch_total", "InferBatch invocations", l),
+		batchWindows:   r.Counter("dsgl_infer_batch_windows_total", "windows fanned out across all batches", l),
+		batchWorkers:   r.Gauge("dsgl_infer_batch_workers", "worker count of the most recent batch", l),
+	}
+}
+
+// enabled reports whether this binding records anywhere.
+func (m *engineObs) enabled() bool { return m.reg != nil }
+
+// metrics returns the engine's instrument binding for the current default
+// registry, rebuilding it only when the registry changed (enable/disable/
+// test swap). The steady-state cost is one atomic load and one pointer
+// compare.
+func (e *Engine) metrics() *engineObs {
+	m := e.obsBind.Load()
+	r := obs.Default()
+	if m != nil && m.reg == r {
+		return m
+	}
+	m = newEngineObs(r, e.b.Name())
+	e.obsBind.Store(m)
+	return m
+}
+
+// recordInfer records the outcome of one anneal. start is meaningful only
+// when the binding is enabled (callers skip the clock otherwise).
+func (m *engineObs) recordInfer(res *Result, err error, start time.Time) {
+	if !m.enabled() {
+		return
+	}
+	if err != nil {
+		m.inferErrors.Inc()
+		return
+	}
+	m.infers.Inc()
+	m.wallSeconds.Observe(time.Since(start).Seconds())
+	m.simNs.Observe(res.LatencyNs)
+	m.annealSteps.Add(uint64(res.Steps))
+	if res.Settled {
+		m.inferSettled.Inc()
+		// Residual is NaN when no convergence check fired; Observe skips
+		// NaN, so the summary only aggregates real residuals.
+		m.settleResidual.Observe(res.Residual)
+	}
+}

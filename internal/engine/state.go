@@ -26,6 +26,11 @@ type Result struct {
 	Switches  int // mapping switches (= synchronization events) performed
 	Steps     int // integration steps taken
 	Energy    float64
+	// Residual is the full-coupling equilibrium residual max |dσ/dt| seen
+	// by the most recent in-loop convergence check; NaN when the run ended
+	// (budget exhausted) before any full-residual check fired. When Settled
+	// is true it is guaranteed below the backend's SettleResidualTol.
+	Residual float64
 }
 
 // Detach deep-copies a Result so it no longer aliases scratch buffers.

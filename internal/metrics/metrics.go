@@ -41,8 +41,19 @@ func MAE(pred, target []float64) float64 {
 }
 
 // MAPE returns the mean absolute percentage error, skipping targets with
-// |t| < eps to avoid division blow-up.
+// |t| < eps to avoid division blow-up. When every target is skipped the
+// result is NaN — "no measurement", never 0, which would read as a
+// perfect score. Use MAPEWithCoverage when the caller needs to report how
+// many pairs the average actually covers.
 func MAPE(pred, target []float64, eps float64) float64 {
+	m, _ := MAPEWithCoverage(pred, target, eps)
+	return m
+}
+
+// MAPEWithCoverage is MAPE plus the number of pairs skipped because the
+// target magnitude fell below eps. mape is NaN when every pair was
+// skipped (skipped == len(target)), including the empty input.
+func MAPEWithCoverage(pred, target []float64, eps float64) (mape float64, skipped int) {
 	if len(pred) != len(target) {
 		panic("metrics: MAPE length mismatch")
 	}
@@ -50,23 +61,32 @@ func MAPE(pred, target []float64, eps float64) float64 {
 	n := 0
 	for i, p := range pred {
 		if math.Abs(target[i]) < eps {
+			skipped++
 			continue
 		}
 		s += math.Abs((p - target[i]) / target[i])
 		n++
 	}
 	if n == 0 {
-		return 0
+		return math.NaN(), skipped
 	}
-	return s / float64(n)
+	return s / float64(n), skipped
 }
+
+// MAPEEps is the |target| threshold the Accumulator's streaming MAPE
+// uses: pairs whose target magnitude falls below it are excluded from the
+// percentage average (and counted as skipped) instead of blowing up the
+// division.
+const MAPEEps = 1e-9
 
 // Accumulator streams squared-error statistics so long evaluation loops do
 // not need to retain every prediction.
 type Accumulator struct {
-	n      int
-	sumSq  float64
-	sumAbs float64
+	n         int
+	sumSq     float64
+	sumAbs    float64
+	sumAbsPct float64
+	nPct      int
 }
 
 // Add records one prediction/target pair.
@@ -75,6 +95,10 @@ func (a *Accumulator) Add(pred, target float64) {
 	a.sumSq += d * d
 	a.sumAbs += math.Abs(d)
 	a.n++
+	if math.Abs(target) >= MAPEEps {
+		a.sumAbsPct += math.Abs(d / target)
+		a.nPct++
+	}
 }
 
 // AddVec records a vector of pairs.
@@ -106,6 +130,20 @@ func (a *Accumulator) MAE() float64 {
 	return a.sumAbs / float64(a.n)
 }
 
+// MAPE returns the running mean absolute percentage error over the pairs
+// whose |target| >= MAPEEps. NaN when no pair qualified — callers should
+// render that as "n/a", not as a (perfect-looking) zero.
+func (a *Accumulator) MAPE() float64 {
+	if a.nPct == 0 {
+		return math.NaN()
+	}
+	return a.sumAbsPct / float64(a.nPct)
+}
+
+// MAPESkipped returns how many recorded pairs were excluded from the
+// percentage average because their target magnitude fell below MAPEEps.
+func (a *Accumulator) MAPESkipped() int { return a.n - a.nPct }
+
 // Summary holds order statistics of a sample.
 type Summary struct {
 	N                int
@@ -136,7 +174,19 @@ func Summarize(xs []float64) Summary {
 		Mean:   mean,
 		Std:    math.Sqrt(sq / float64(len(xs))),
 		Min:    sorted[0],
-		Median: sorted[len(sorted)/2],
+		Median: median(sorted),
 		Max:    sorted[len(sorted)-1],
 	}
+}
+
+// median returns the median of a non-empty sorted slice: the middle
+// element for odd lengths, the average of the two middle elements for
+// even lengths. (Indexing sorted[len/2] alone silently reports the upper
+// middle on even lengths — a bias, not a median.)
+func median(sorted []float64) float64 {
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
 }

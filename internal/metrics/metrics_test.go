@@ -46,8 +46,48 @@ func TestMAPE(t *testing.T) {
 	if math.Abs(got-0.1) > 1e-12 {
 		t.Fatalf("MAPE with zero target = %g", got)
 	}
-	if MAPE([]float64{1}, []float64{0}, 1e-9) != 0 {
-		t.Fatal("all-zero targets should give 0")
+}
+
+// TestMAPEAllSkipped is the silent-metric regression: when every target
+// falls below eps there is no percentage to average, and the result must
+// be NaN ("no measurement"), never 0 (a perfect score). The pre-fix code
+// returned 0 here.
+func TestMAPEAllSkipped(t *testing.T) {
+	if got := MAPE([]float64{1}, []float64{0}, 1e-9); !math.IsNaN(got) {
+		t.Fatalf("all-skipped MAPE = %g, want NaN", got)
+	}
+	if got := MAPE(nil, nil, 1e-9); !math.IsNaN(got) {
+		t.Fatalf("empty MAPE = %g, want NaN", got)
+	}
+}
+
+func TestMAPEWithCoverage(t *testing.T) {
+	m, skipped := MAPEWithCoverage([]float64{1, 110}, []float64{0, 100}, 1e-9)
+	if math.Abs(m-0.1) > 1e-12 || skipped != 1 {
+		t.Fatalf("MAPEWithCoverage = (%g, %d), want (0.1, 1)", m, skipped)
+	}
+	m, skipped = MAPEWithCoverage([]float64{1, 2}, []float64{0, 0}, 1e-9)
+	if !math.IsNaN(m) || skipped != 2 {
+		t.Fatalf("all-skipped MAPEWithCoverage = (%g, %d), want (NaN, 2)", m, skipped)
+	}
+}
+
+func TestAccumulatorMAPE(t *testing.T) {
+	var acc Accumulator
+	acc.Add(110, 100)
+	acc.Add(90, 100)
+	acc.Add(1, 0) // below MAPEEps: skipped
+	if got := acc.MAPE(); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("accumulator MAPE = %g, want 0.1", got)
+	}
+	if acc.MAPESkipped() != 1 {
+		t.Fatalf("MAPESkipped = %d, want 1", acc.MAPESkipped())
+	}
+	var empty Accumulator
+	empty.Add(1, 0)
+	if !math.IsNaN(empty.MAPE()) || empty.MAPESkipped() != 1 {
+		t.Fatalf("all-skipped accumulator MAPE = %g (skipped %d), want NaN (1)",
+			empty.MAPE(), empty.MAPESkipped())
 	}
 }
 
@@ -87,11 +127,31 @@ func TestSummarize(t *testing.T) {
 	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 {
 		t.Fatalf("summary = %+v", s)
 	}
-	if s.Median != 3 { // upper median for even length
-		t.Fatalf("median = %g", s.Median)
-	}
 	if Summarize(nil).N != 0 {
 		t.Fatal("empty summary")
+	}
+}
+
+// TestSummarizeMedian is the even-length-median regression: the pre-fix
+// code indexed sorted[len/2], silently reporting the UPPER middle element
+// for even-length samples instead of the average of the two middles.
+func TestSummarizeMedian(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"len-1", []float64{7}, 7},
+		{"odd", []float64{5, 1, 3}, 3},
+		{"even", []float64{4, 1, 3, 2}, 2.5}, // pre-fix: 3 (upper middle)
+		{"even-distinct-middles", []float64{10, 0, 2, 8}, 5},
+		{"even-equal-middles", []float64{1, 2, 2, 9}, 2},
+		{"odd-5", []float64{9, 2, 7, 1, 5}, 5},
+	}
+	for _, c := range cases {
+		if got := Summarize(c.xs).Median; got != c.want {
+			t.Errorf("%s: median(%v) = %g, want %g", c.name, c.xs, got, c.want)
+		}
 	}
 }
 

@@ -1,0 +1,38 @@
+package obs
+
+import "sync/atomic"
+
+// def holds the process-wide default registry. Nil means observability
+// is disabled: Default() returns nil and every instrument constructed
+// from it is a nil no-op. Instrumented packages load this pointer once
+// per inference/epoch (never per step) and cache their instrument
+// bindings against it, so the disabled state costs one atomic load and
+// the enabled state costs the same plus nil-free instrument updates.
+var def atomic.Pointer[Registry]
+
+// Enable installs a fresh default registry if none is installed and
+// returns the active one. Safe to call from multiple goroutines; the
+// first caller wins and later callers see the same registry.
+func Enable() *Registry {
+	if r := def.Load(); r != nil {
+		return r
+	}
+	r := NewRegistry()
+	if def.CompareAndSwap(nil, r) {
+		return r
+	}
+	return def.Load()
+}
+
+// Default returns the active default registry, or nil when
+// observability is disabled.
+func Default() *Registry { return def.Load() }
+
+// Disable removes the default registry. Existing instrument bindings
+// keep recording into the orphaned registry until their owners re-bind;
+// new bindings become no-ops.
+func Disable() { def.Store(nil) }
+
+// SetDefault installs r (possibly nil) as the default registry.
+// Intended for tests that need an isolated registry.
+func SetDefault(r *Registry) { def.Store(r) }

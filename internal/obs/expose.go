@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BucketSnapshot is one cumulative histogram bucket in a snapshot.
+type BucketSnapshot struct {
+	UpperBound      float64 `json:"le"`
+	CumulativeCount uint64  `json:"count"`
+}
+
+// QuantileSnapshot is one estimated quantile in a summary snapshot.
+type QuantileSnapshot struct {
+	Quantile float64 `json:"quantile"`
+	Value    float64 `json:"value"`
+}
+
+// MetricSnapshot is one instrument's state at snapshot time. Exactly one
+// of the value groups is populated, discriminated by Kind. Float fields
+// that would be NaN are omitted (pointer nil) so the snapshot is always
+// encoding/json-safe.
+type MetricSnapshot struct {
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Help   string            `json:"help,omitempty"`
+
+	// Counter.
+	Count uint64 `json:"count,omitempty"`
+	// Gauge (omitted when NaN).
+	Value *float64 `json:"value,omitempty"`
+	// Histogram / Summary aggregates.
+	SampleCount uint64             `json:"sample_count,omitempty"`
+	SampleSum   *float64           `json:"sample_sum,omitempty"`
+	Buckets     []BucketSnapshot   `json:"buckets,omitempty"`
+	Quantiles   []QuantileSnapshot `json:"quantiles,omitempty"`
+}
+
+// finitePtr returns &v unless v is NaN or infinite, in which case nil —
+// keeping snapshots JSON-encodable.
+func finitePtr(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+// Snapshot returns the state of every registered instrument in
+// registration order. Safe for concurrent use with recording; each
+// instrument is read atomically but the snapshot as a whole is not a
+// consistent cut. Nil registry → nil snapshot.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	if r == nil {
+		return nil
+	}
+	ins := r.instruments()
+	out := make([]MetricSnapshot, 0, len(ins))
+	for _, in := range ins {
+		ms := MetricSnapshot{Name: in.name, Kind: in.kind.String(), Help: in.help}
+		if len(in.labels) > 0 {
+			ms.Labels = make(map[string]string, len(in.labels))
+			for _, l := range in.labels {
+				ms.Labels[l.Name] = l.Value
+			}
+		}
+		switch in.kind {
+		case kindCounter:
+			ms.Count = in.counter.Value()
+		case kindGauge:
+			ms.Value = finitePtr(in.gauge.Value())
+		case kindHistogram:
+			ms.SampleCount = in.histogram.Count()
+			ms.SampleSum = finitePtr(in.histogram.Sum())
+			ms.Buckets = in.histogram.snapshotBuckets()
+		case kindSummary:
+			ms.SampleCount = in.summary.Count()
+			ms.SampleSum = finitePtr(in.summary.Sum())
+			ms.Quantiles = in.summary.quantileSnapshots()
+		}
+		out = append(out, ms)
+	}
+	return out
+}
+
+// WritePrometheus writes every registered instrument in the Prometheus
+// text exposition format (version 0.0.4). Instruments sharing a name
+// (differing only by labels) are grouped under one # HELP / # TYPE
+// header. Nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	ins := r.instruments()
+
+	// Group by name, preserving first-registration order of names.
+	byName := make(map[string][]*instrument, len(ins))
+	var names []string
+	for _, in := range ins {
+		if _, ok := byName[in.name]; !ok {
+			names = append(names, in.name)
+		}
+		byName[in.name] = append(byName[in.name], in)
+	}
+
+	var b strings.Builder
+	for _, name := range names {
+		group := byName[name]
+		first := group[0]
+		if first.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, escapeHelp(first.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, promType(first.kind))
+		for _, in := range group {
+			writePromInstrument(&b, in)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func promType(k kind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	case kindSummary:
+		return "summary"
+	}
+	return "untyped"
+}
+
+func writePromInstrument(b *strings.Builder, in *instrument) {
+	switch in.kind {
+	case kindCounter:
+		fmt.Fprintf(b, "%s%s %d\n", in.name, labelString(in.labels, nil), in.counter.Value())
+	case kindGauge:
+		fmt.Fprintf(b, "%s%s %s\n", in.name, labelString(in.labels, nil), formatFloat(in.gauge.Value()))
+	case kindHistogram:
+		h := in.histogram
+		for _, bk := range h.snapshotBuckets() {
+			le := Label{Name: "le", Value: formatFloat(bk.UpperBound)}
+			fmt.Fprintf(b, "%s_bucket%s %d\n", in.name, labelString(in.labels, &le), bk.CumulativeCount)
+		}
+		fmt.Fprintf(b, "%s_sum%s %s\n", in.name, labelString(in.labels, nil), formatFloat(h.Sum()))
+		fmt.Fprintf(b, "%s_count%s %d\n", in.name, labelString(in.labels, nil), h.Count())
+	case kindSummary:
+		s := in.summary
+		for _, q := range s.quantileSnapshots() {
+			ql := Label{Name: "quantile", Value: formatFloat(q.Quantile)}
+			fmt.Fprintf(b, "%s%s %s\n", in.name, labelString(in.labels, &ql), formatFloat(q.Value))
+		}
+		fmt.Fprintf(b, "%s_sum%s %s\n", in.name, labelString(in.labels, nil), formatFloat(s.Sum()))
+		fmt.Fprintf(b, "%s_count%s %d\n", in.name, labelString(in.labels, nil), s.Count())
+	}
+}
+
+// labelString renders {a="x",b="y"} with labels sorted by name; extra
+// (le / quantile) is appended last per Prometheus convention. Empty
+// label set renders as "".
+func labelString(labels []Label, extra *Label) string {
+	if len(labels) == 0 && extra == nil {
+		return ""
+	}
+	sorted := make([]Label, len(labels))
+	copy(sorted, labels)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	if extra != nil {
+		sorted = append(sorted, *extra)
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a float the way Prometheus expects: +Inf/-Inf/NaN
+// spelled out, integers without a trailing ".0", shortest round-trip
+// representation otherwise.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

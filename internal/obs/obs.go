@@ -1,0 +1,455 @@
+// Package obs is a dependency-free metrics core for the DS-GL runtime.
+//
+// The package provides four instrument kinds — Counter, Gauge, Histogram,
+// and Summary — owned by a Registry. All instruments are safe for
+// concurrent use and are designed around two contracts:
+//
+//  1. Nil is a no-op. Every instrument method has a nil-receiver fast
+//     path, and Registry constructors return nil instruments when the
+//     registry itself is nil. Instrumented packages therefore hold plain
+//     instrument pointers and call them unconditionally; when
+//     observability is disabled the calls compile down to a nil check.
+//
+//  2. Record once per inference/epoch, never per step. Instruments are
+//     pre-registered (registration takes a mutex; recording does not) and
+//     recording is allocation-free, so the zero-alloc anneal contract of
+//     the engine holds with instrumentation enabled.
+//
+// Metric names follow the Prometheus convention
+// dsgl_<subsystem>_<what>[_<unit>][_total], with dimensions expressed as
+// labels (e.g. backend="scalable"). Exposition lives in expose.go
+// (Prometheus text format + JSON snapshot) and the HTTP surface in the
+// obshttp subpackage, keeping this core free of net/http.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// A Label is one name="value" dimension attached to an instrument.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// kind discriminates the instrument types inside the registry.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+	kindSummary
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	case kindSummary:
+		return "summary"
+	}
+	return "unknown"
+}
+
+// Counter is a monotonically increasing count. The zero value is ready to
+// use; a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1 to the counter.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n to the counter. Negative n is ignored (counters are
+// monotone).
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down (queue depth, resident
+// entries, last observed norm). A nil *Gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64 // math.Float64bits of the current value
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta to the gauge value (atomic CAS loop).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram bucket layout: fixed log₂ buckets covering 2^histMinExp ..
+// 2^histMaxExp. Observation v lands in the bucket whose upper bound is
+// the smallest power of two >= v. Everything below 2^histMinExp
+// (including zero and negatives) lands in bucket 0; everything above
+// 2^histMaxExp in the overflow bucket. The layout is fixed at compile
+// time so Observe is branch-cheap and allocation-free.
+const (
+	histMinExp = -64 // lowest bucket upper bound 2^-64 (~5.4e-20)
+	histMaxExp = 64  // highest finite bucket upper bound 2^64 (~1.8e19)
+	// histBuckets finite buckets plus one overflow (+Inf) bucket.
+	histBuckets = histMaxExp - histMinExp + 1
+)
+
+// Histogram is a fixed-bucket log₂ histogram. Buckets have power-of-two
+// upper bounds, which is exact for latencies and residuals spanning many
+// orders of magnitude and keeps Observe free of searches and allocations.
+// A nil *Histogram is a no-op.
+type Histogram struct {
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // math.Float64bits of the running sum
+	buckets [histBuckets + 1]atomic.Uint64
+}
+
+// bucketIndex maps an observation to its bucket. Exported logic kept in
+// one place so exposition uses the same boundaries.
+func bucketIndex(v float64) int {
+	if v != v { // NaN: caller skips; defensive
+		return histBuckets
+	}
+	if v <= 0 {
+		return 0
+	}
+	// frac in [0.5, 1), v = frac * 2^exp, so the smallest power of two
+	// >= v is 2^(exp-1) when frac == 0.5 exactly, else 2^exp.
+	frac, exp := math.Frexp(v)
+	if frac == 0.5 {
+		exp--
+	}
+	if exp <= histMinExp {
+		return 0
+	}
+	if exp > histMaxExp {
+		return histBuckets // overflow → +Inf bucket
+	}
+	return exp - histMinExp
+}
+
+// bucketBound returns the upper bound of bucket i (math.Inf(1) for the
+// overflow bucket).
+func bucketBound(i int) float64 {
+	if i >= histBuckets {
+		return math.Inf(1)
+	}
+	return math.Ldexp(1, i+histMinExp)
+}
+
+// Observe records one sample. NaN samples are ignored.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || v != v {
+		return
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded samples (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of recorded samples (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// snapshotBuckets returns (upperBound, cumulativeCount) pairs for every
+// nonempty bucket plus the +Inf bucket. Cumulative counts follow the
+// Prometheus histogram convention.
+func (h *Histogram) snapshotBuckets() []BucketSnapshot {
+	var out []BucketSnapshot
+	var cum uint64
+	for i := 0; i <= histBuckets; i++ {
+		n := h.buckets[i].Load()
+		cum += n
+		if n == 0 && i != histBuckets {
+			continue
+		}
+		out = append(out, BucketSnapshot{UpperBound: bucketBound(i), CumulativeCount: cum})
+	}
+	return out
+}
+
+// Summary is a streaming quantile estimator (P² algorithm, Jain &
+// Chlamtac 1985) tracking a fixed set of quantiles without storing
+// samples. Observe takes a mutex, so summaries belong on once-per-
+// inference paths, not per-step ones. A nil *Summary is a no-op.
+type Summary struct {
+	mu        sync.Mutex
+	quantiles []float64
+	est       []p2Estimator
+	count     uint64
+	sum       float64
+}
+
+// defaultQuantiles tracked by registry-created summaries.
+var defaultQuantiles = []float64{0.5, 0.9, 0.99}
+
+func newSummary(quantiles []float64) *Summary {
+	s := &Summary{quantiles: quantiles, est: make([]p2Estimator, len(quantiles))}
+	for i, q := range quantiles {
+		s.est[i].init(q)
+	}
+	return s
+}
+
+// Observe records one sample. NaN samples are ignored.
+func (s *Summary) Observe(v float64) {
+	if s == nil || v != v {
+		return
+	}
+	s.mu.Lock()
+	s.count++
+	s.sum += v
+	for i := range s.est {
+		s.est[i].observe(v)
+	}
+	s.mu.Unlock()
+}
+
+// Count returns the number of recorded samples (0 on nil).
+func (s *Summary) Count() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Sum returns the sum of recorded samples (0 on nil).
+func (s *Summary) Sum() float64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sum
+}
+
+// Quantile returns the current estimate for q, which must be one of the
+// tracked quantiles. NaN when no samples have been recorded or q is not
+// tracked (and on nil).
+func (s *Summary) Quantile(q float64) float64 {
+	if s == nil {
+		return math.NaN()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, tq := range s.quantiles {
+		if tq == q {
+			return s.est[i].quantile()
+		}
+	}
+	return math.NaN()
+}
+
+// quantileSnapshots returns (q, estimate) pairs for all tracked
+// quantiles, skipping NaN estimates (empty summary).
+func (s *Summary) quantileSnapshots() []QuantileSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]QuantileSnapshot, 0, len(s.quantiles))
+	for i, q := range s.quantiles {
+		v := s.est[i].quantile()
+		if v != v {
+			continue
+		}
+		out = append(out, QuantileSnapshot{Quantile: q, Value: v})
+	}
+	return out
+}
+
+// instrument is one registered metric: name + labels + one of the four
+// instrument kinds.
+type instrument struct {
+	name   string
+	help   string
+	labels []Label
+	kind   kind
+
+	counter   *Counter
+	gauge     *Gauge
+	histogram *Histogram
+	summary   *Summary
+}
+
+// Registry owns a set of named instruments. Registration (the
+// Counter/Gauge/Histogram/Summary methods) is idempotent on
+// (name, labels): asking twice returns the same instrument, so
+// instrumented packages can re-bind cheaply without double-counting.
+// A nil *Registry returns nil (no-op) instruments from every
+// constructor, which is how "observability disabled" is expressed.
+type Registry struct {
+	mu    sync.Mutex
+	byKey map[string]*instrument
+	order []*instrument // registration order, for stable exposition
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*instrument)}
+}
+
+// key builds the canonical identity of an instrument: name plus labels
+// sorted by label name.
+func key(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	sorted := make([]Label, len(labels))
+	copy(sorted, labels)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range sorted {
+		b.WriteByte('{')
+		b.WriteString(l.Name)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte('}')
+	}
+	return b.String()
+}
+
+// lookup finds or creates the instrument for (name, labels), verifying
+// the kind matches on reuse. Panics on a kind mismatch: that is a
+// programming error (two call sites disagreeing about what a name means),
+// not a runtime condition.
+func (r *Registry) lookup(name, help string, labels []Label, k kind) *instrument {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := key(name, labels)
+	if ins, ok := r.byKey[id]; ok {
+		if ins.kind != k {
+			panic(fmt.Sprintf("obs: %s registered as %s, requested as %s", id, ins.kind, k))
+		}
+		return ins
+	}
+	ins := &instrument{name: name, help: help, labels: append([]Label(nil), labels...), kind: k}
+	switch k {
+	case kindCounter:
+		ins.counter = &Counter{}
+	case kindGauge:
+		ins.gauge = &Gauge{}
+	case kindHistogram:
+		ins.histogram = &Histogram{}
+	case kindSummary:
+		ins.summary = newSummary(defaultQuantiles)
+	}
+	r.byKey[id] = ins
+	r.order = append(r.order, ins)
+	return ins
+}
+
+// Counter returns the counter registered under (name, labels), creating
+// it on first use. Nil registry → nil (no-op) counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, labels, kindCounter).counter
+}
+
+// Gauge returns the gauge registered under (name, labels), creating it
+// on first use. Nil registry → nil (no-op) gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, labels, kindGauge).gauge
+}
+
+// Histogram returns the log₂ histogram registered under (name, labels),
+// creating it on first use. Nil registry → nil (no-op) histogram.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, labels, kindHistogram).histogram
+}
+
+// Summary returns the streaming-quantile summary registered under
+// (name, labels), creating it on first use (tracked quantiles: 0.5,
+// 0.9, 0.99). Nil registry → nil (no-op) summary.
+func (r *Registry) Summary(name, help string, labels ...Label) *Summary {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, labels, kindSummary).summary
+}
+
+// instruments returns the registered instruments in registration order.
+func (r *Registry) instruments() []*instrument {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*instrument, len(r.order))
+	copy(out, r.order)
+	return out
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"math"
+	"sort"
+)
+
+// p2Estimator is one P² (piecewise-parabolic) streaming quantile
+// estimator after Jain & Chlamtac, "The P² Algorithm for Dynamic
+// Calculation of Quantiles and Histograms Without Storing Observations"
+// (CACM 1985). It maintains five markers whose heights approximate the
+// q-quantile after the first five observations; before that it falls
+// back to exact nearest-rank over the buffered samples.
+//
+// The estimator is NOT self-synchronizing: Summary serializes access.
+type p2Estimator struct {
+	q       float64
+	n       int        // observations seen
+	heights [5]float64 // marker heights q0..q4
+	pos     [5]float64 // actual marker positions (1-based)
+	want    [5]float64 // desired marker positions
+	inc     [5]float64 // desired-position increments per observation
+}
+
+func (e *p2Estimator) init(q float64) {
+	e.q = q
+	e.inc = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+}
+
+func (e *p2Estimator) observe(v float64) {
+	if e.n < 5 {
+		e.heights[e.n] = v
+		e.n++
+		if e.n == 5 {
+			sort.Float64s(e.heights[:])
+			for i := 0; i < 5; i++ {
+				e.pos[i] = float64(i + 1)
+			}
+			q := e.q
+			e.want = [5]float64{1, 1 + 2*q, 1 + 4*q, 3 + 2*q, 5}
+		}
+		return
+	}
+
+	// Find the cell k such that heights[k] <= v < heights[k+1] and
+	// update extreme markers.
+	var k int
+	switch {
+	case v < e.heights[0]:
+		e.heights[0] = v
+		k = 0
+	case v >= e.heights[4]:
+		e.heights[4] = v
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if v < e.heights[k+1] {
+				break
+			}
+		}
+	}
+
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.want[i] += e.inc[i]
+	}
+
+	// Adjust the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1.0
+			}
+			h := e.parabolic(i, sign)
+			if e.heights[i-1] < h && h < e.heights[i+1] {
+				e.heights[i] = h
+			} else {
+				e.heights[i] = e.linear(i, sign)
+			}
+			e.pos[i] += sign
+		}
+	}
+	e.n++
+}
+
+// parabolic is the piecewise-parabolic (P²) height update.
+func (e *p2Estimator) parabolic(i int, d float64) float64 {
+	num1 := e.pos[i] - e.pos[i-1] + d
+	num2 := e.pos[i+1] - e.pos[i] - d
+	den := e.pos[i+1] - e.pos[i-1]
+	t1 := (e.heights[i+1] - e.heights[i]) / (e.pos[i+1] - e.pos[i])
+	t2 := (e.heights[i] - e.heights[i-1]) / (e.pos[i] - e.pos[i-1])
+	return e.heights[i] + d/den*(num1*t1+num2*t2)
+}
+
+// linear is the fallback height update when the parabola would cross a
+// neighboring marker.
+func (e *p2Estimator) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return e.heights[i] + d*(e.heights[j]-e.heights[i])/(e.pos[j]-e.pos[i])
+}
+
+// quantile returns the current estimate (NaN before any observation).
+func (e *p2Estimator) quantile() float64 {
+	switch {
+	case e.n == 0:
+		return math.NaN()
+	case e.n < 5:
+		// Exact nearest-rank over the buffered samples.
+		buf := make([]float64, e.n)
+		copy(buf, e.heights[:e.n])
+		sort.Float64s(buf)
+		idx := int(math.Ceil(e.q*float64(e.n))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= e.n {
+			idx = e.n - 1
+		}
+		return buf[idx]
+	default:
+		return e.heights[2]
+	}
+}

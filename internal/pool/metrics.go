@@ -1,0 +1,52 @@
+package pool
+
+import (
+	"sync/atomic"
+
+	"dsgl/internal/obs"
+)
+
+// poolObs bundles the pool's pre-registered instruments, cached against
+// the current default registry behind an atomic pointer (the binding
+// pattern shared with internal/engine and internal/train). Recording
+// happens per run and per item pull — items are inferences or sweep
+// configurations, never anneal steps — and the per-item timing runs only
+// when observability is enabled, so the disabled path is the untouched
+// work-stealing loop.
+type poolObs struct {
+	reg *obs.Registry
+
+	runs        *obs.Counter // dsgl_pool_runs_total
+	items       *obs.Counter // dsgl_pool_items_total
+	workers     *obs.Gauge   // dsgl_pool_workers
+	queueDepth  *obs.Gauge   // dsgl_pool_queue_depth
+	utilization *obs.Gauge   // dsgl_pool_utilization
+}
+
+func (m *poolObs) enabled() bool { return m.reg != nil }
+
+var obsBind atomic.Pointer[poolObs]
+
+// metrics returns the pool's instrument binding for the current default
+// registry, rebuilding it only when the registry changed.
+func metrics() *poolObs {
+	m := obsBind.Load()
+	r := obs.Default()
+	if m != nil && m.reg == r {
+		return m
+	}
+	if r == nil {
+		m = &poolObs{}
+	} else {
+		m = &poolObs{
+			reg:         r,
+			runs:        r.Counter("dsgl_pool_runs_total", "worker-pool runs started"),
+			items:       r.Counter("dsgl_pool_items_total", "items dispatched across all pool runs"),
+			workers:     r.Gauge("dsgl_pool_workers", "worker count of the most recent pool run"),
+			queueDepth:  r.Gauge("dsgl_pool_queue_depth", "items not yet claimed by a worker in the current run"),
+			utilization: r.Gauge("dsgl_pool_utilization", "busy-time fraction of the most recent pool run (sum of item wall time / workers * run wall time)"),
+		}
+	}
+	obsBind.Store(m)
+	return m
+}

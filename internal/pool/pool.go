@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Workers normalizes a requested worker count: n > 0 is used as-is; any
@@ -76,6 +77,34 @@ func RunErr(workers, n int, fn func(i int) error) error {
 func RunWorkers(workers, n int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
+	}
+	// Observability: per-run counters plus queue depth and worker
+	// utilization, wrapped around the item function only when a registry
+	// is installed — the disabled path is the bare work-stealing loop.
+	pm := metrics()
+	var busyNs atomic.Int64
+	var runStart time.Time
+	if pm.enabled() {
+		pm.runs.Inc()
+		pm.items.Add(uint64(n))
+		pm.workers.Set(float64(workers))
+		pm.queueDepth.Set(float64(n))
+		runStart = time.Now()
+		inner := fn
+		fn = func(worker, i int) {
+			// i was just claimed; n-1-i items remain unclaimed under the
+			// monotone index hand-out.
+			pm.queueDepth.Set(float64(n - 1 - i))
+			t0 := time.Now()
+			inner(worker, i)
+			busyNs.Add(int64(time.Since(t0)))
+		}
+		defer func() {
+			pm.queueDepth.Set(0)
+			if wall := time.Since(runStart); wall > 0 {
+				pm.utilization.Set(float64(busyNs.Load()) / (float64(workers) * float64(wall)))
+			}
+		}()
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {

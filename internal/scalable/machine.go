@@ -391,6 +391,7 @@ func (m *Machine) inferNaive(st *InferState) (*Result, error) {
 	annealT := 0.0
 	switches := 0
 	settled := false
+	lastResidual := math.NaN()
 	taken := 0
 	// Steps per full slice cycle, for the temporal-mode convergence check.
 	checkEvery := int(m.cfg.SwitchIntervalNs*float64(len(m.phases))/m.cfg.Dt) + 1
@@ -445,13 +446,19 @@ func (m *Machine) inferNaive(st *InferState) (*Result, error) {
 		// Convergence: a single-slice mapping settles when its own residual
 		// vanishes; a multiplexed mapping carries switching ripple, so the
 		// true (full-coupling) residual is checked once per slice cycle.
+		// Each full-residual evaluation is captured as lastResidual so the
+		// Result can report the equilibrium residual at convergence.
 		if len(m.phases) == 1 {
-			if maxD < m.cfg.SettleTol && m.fullResidual(x, clamped, sc.resBuf) < m.cfg.SettleTol*settleResidualFactor {
-				settled = true
-				break
+			if maxD < m.cfg.SettleTol {
+				lastResidual = m.fullResidual(x, clamped, sc.resBuf)
+				if lastResidual < m.cfg.SettleTol*settleResidualFactor {
+					settled = true
+					break
+				}
 			}
 		} else if s%checkEvery == checkEvery-1 {
-			if m.fullResidual(x, clamped, sc.resBuf) < m.cfg.SettleTol*settleResidualFactor {
+			lastResidual = m.fullResidual(x, clamped, sc.resBuf)
+			if lastResidual < m.cfg.SettleTol*settleResidualFactor {
 				settled = true
 				break
 			}
@@ -470,6 +477,7 @@ func (m *Machine) inferNaive(st *InferState) (*Result, error) {
 		Switches:  switches,
 		Steps:     taken,
 		Energy:    m.EnergyAt(x),
+		Residual:  lastResidual,
 	}
 	return &st.Res, nil
 }

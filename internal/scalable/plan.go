@@ -195,6 +195,7 @@ func (m *Machine) inferPlanned(st *InferState, pl *clampPlan) (*Result, error) {
 	annealT := 0.0
 	switches := 0
 	settled := false
+	lastResidual := math.NaN()
 	taken := 0
 	checkEvery := int(m.cfg.SwitchIntervalNs*float64(len(m.phases))/m.cfg.Dt) + 1
 	if checkEvery < 32 {
@@ -249,13 +250,20 @@ func (m *Machine) inferPlanned(st *InferState, pl *clampPlan) (*Result, error) {
 			})
 		}
 
+		// Mirrors inferNaive's convergence structure, lastResidual capture
+		// included: planResidual equals fullResidual bit-for-bit, so the
+		// reported Residual is bit-identical across the two paths.
 		if len(m.phases) == 1 {
-			if maxD < m.cfg.SettleTol && m.planResidual(pl, sc, x, sc.resBuf) < m.cfg.SettleTol*settleResidualFactor {
-				settled = true
-				break
+			if maxD < m.cfg.SettleTol {
+				lastResidual = m.planResidual(pl, sc, x, sc.resBuf)
+				if lastResidual < m.cfg.SettleTol*settleResidualFactor {
+					settled = true
+					break
+				}
 			}
 		} else if s%checkEvery == checkEvery-1 {
-			if m.planResidual(pl, sc, x, sc.resBuf) < m.cfg.SettleTol*settleResidualFactor {
+			lastResidual = m.planResidual(pl, sc, x, sc.resBuf)
+			if lastResidual < m.cfg.SettleTol*settleResidualFactor {
 				settled = true
 				break
 			}
@@ -274,6 +282,7 @@ func (m *Machine) inferPlanned(st *InferState, pl *clampPlan) (*Result, error) {
 		Switches:  switches,
 		Steps:     taken,
 		Energy:    m.EnergyAt(x),
+		Residual:  lastResidual,
 	}
 	return &st.Res, nil
 }

@@ -1,0 +1,62 @@
+package train
+
+import (
+	"math"
+	"sync/atomic"
+
+	"dsgl/internal/obs"
+)
+
+// trainObs bundles the trainer's pre-registered instruments, cached
+// against the current default registry behind an atomic pointer (the
+// same binding pattern as internal/engine). All recording happens once
+// per epoch — the per-sample loops stay untouched — and the extra loss /
+// grad-norm reductions run only when observability is enabled.
+type trainObs struct {
+	reg *obs.Registry
+
+	fits         *obs.Counter   // dsgl_train_fits_total
+	epochs       *obs.Counter   // dsgl_train_epochs_total
+	epochLoss    *obs.Gauge     // dsgl_train_epoch_loss
+	gradNormJ    *obs.Gauge     // dsgl_train_grad_norm_j
+	gradNormH    *obs.Gauge     // dsgl_train_grad_norm_h
+	epochSeconds *obs.Histogram // dsgl_train_epoch_seconds
+}
+
+func (m *trainObs) enabled() bool { return m.reg != nil }
+
+var obsBind atomic.Pointer[trainObs]
+
+// metrics returns the trainer's instrument binding for the current
+// default registry, rebuilding it only when the registry changed.
+func metrics() *trainObs {
+	m := obsBind.Load()
+	r := obs.Default()
+	if m != nil && m.reg == r {
+		return m
+	}
+	if r == nil {
+		m = &trainObs{}
+	} else {
+		m = &trainObs{
+			reg:          r,
+			fits:         r.Counter("dsgl_train_fits_total", "Fit invocations"),
+			epochs:       r.Counter("dsgl_train_epochs_total", "training epochs completed"),
+			epochLoss:    r.Gauge("dsgl_train_epoch_loss", "mean squared Eq.-10 residual of the last epoch (regularizers excluded)"),
+			gradNormJ:    r.Gauge("dsgl_train_grad_norm_j", "Frobenius norm of the last epoch's J gradient"),
+			gradNormH:    r.Gauge("dsgl_train_grad_norm_h", "L2 norm of the last epoch's h gradient"),
+			epochSeconds: r.Histogram("dsgl_train_epoch_seconds", "host wall time per training epoch"),
+		}
+	}
+	obsBind.Store(m)
+	return m
+}
+
+// l2norm is the plain Euclidean norm used for the gradient gauges.
+func l2norm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"dsgl/internal/mat"
 	"dsgl/internal/rng"
@@ -183,7 +184,14 @@ func Fit(samples [][]float64, cfg Config) (*Params, error) {
 	gradJ := mat.NewDense(n, n)
 	gradH := make([]float64, n)
 
+	tm := metrics()
+	tm.fits.Inc()
+
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var epochStart time.Time
+		if tm.enabled() {
+			epochStart = time.Now()
+		}
 		// Forward over active rows: P[s][a] = σ_s · J_active[a].
 		for smp := 0; smp < m; smp++ {
 			srow, prow := s.Row(smp), p.Row(smp)
@@ -244,6 +252,21 @@ func Fit(samples [][]float64, cfg Config) (*Params, error) {
 		opt.step(params.J.Data, gradJ.Data, 0)
 		opt.step(params.H, gradH, n*n)
 		applyConstraints(params, cfg)
+
+		// Per-epoch telemetry: loss over the residuals this epoch computed,
+		// gradient norms, wall time. Recorded once per epoch, and the extra
+		// reductions run only when observability is enabled.
+		if tm.enabled() {
+			tm.epochs.Inc()
+			var loss float64
+			for _, r := range res.Data {
+				loss += r * r
+			}
+			tm.epochLoss.Set(loss / float64(m*na))
+			tm.gradNormJ.Set(l2norm(gradJ.Data))
+			tm.gradNormH.Set(l2norm(gradH))
+			tm.epochSeconds.Observe(time.Since(epochStart).Seconds())
+		}
 	}
 	if err := params.Validate(); err != nil {
 		return nil, err

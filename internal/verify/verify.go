@@ -198,8 +198,9 @@ func DenseEqual(invariant, what string, a, b *mat.Dense) []Violation {
 }
 
 // ResultsEqual checks two inference results for bit-identity: voltages,
-// latency accounting, settle flag, switch and step counts, and final
-// energy. label names the pair in violation details (e.g. "window 3").
+// latency accounting, settle flag, switch and step counts, final energy,
+// and settle residual. label names the pair in violation details (e.g.
+// "window 3").
 // Results come from any engine backend (scalable or dense).
 func ResultsEqual(invariant, label string, a, b *engine.Result) []Violation {
 	var v []Violation
@@ -241,6 +242,9 @@ func ResultsEqual(invariant, label string, a, b *engine.Result) []Violation {
 	}
 	if a.Energy != b.Energy && !(math.IsNaN(a.Energy) && math.IsNaN(b.Energy)) {
 		add("final energy diverges: %v vs %v", a.Energy, b.Energy)
+	}
+	if a.Residual != b.Residual && !(math.IsNaN(a.Residual) && math.IsNaN(b.Residual)) {
+		add("settle residual diverges: %v vs %v", a.Residual, b.Residual)
 	}
 	return v
 }

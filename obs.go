@@ -1,0 +1,49 @@
+package dsgl
+
+import (
+	"io"
+
+	"dsgl/internal/obs"
+)
+
+// Observability surface of the top-level package. The runtime metrics
+// layer (internal/obs) is disabled by default: the engine, trainer, and
+// worker pool bind nil no-op instruments and the anneal hot path stays
+// allocation-free with zero recording overhead. EnableMetrics installs
+// the process-wide registry; from then on every inference, training
+// epoch, and pool run records into it, and MetricsSnapshot /
+// WriteMetrics expose the result. The cmd/dsgl -obs-addr flag serves the
+// same registry over HTTP (Prometheus text on /metrics, JSON on
+// /metricsz, pprof under /debug/pprof/).
+//
+// Instrument inventory and naming convention: see DESIGN.md
+// "Observability".
+
+// MetricSnapshot is one instrument's state in a MetricsSnapshot: name,
+// kind, labels, and the kind-specific values (count, gauge value,
+// histogram buckets, summary quantiles). JSON-safe: non-finite values
+// are omitted.
+type MetricSnapshot = obs.MetricSnapshot
+
+// EnableMetrics installs the process-wide metrics registry (idempotent;
+// safe from multiple goroutines). Instrumented packages pick it up on
+// their next recording opportunity — no restart or re-plumbing needed.
+func EnableMetrics() { obs.Enable() }
+
+// DisableMetrics removes the process-wide metrics registry, returning
+// the hot paths to their zero-overhead no-op state. Counters recorded so
+// far are dropped with the registry.
+func DisableMetrics() { obs.Disable() }
+
+// MetricsEnabled reports whether the process-wide registry is installed.
+func MetricsEnabled() bool { return obs.Default() != nil }
+
+// MetricsSnapshot returns the state of every registered instrument in
+// registration order, or nil when metrics are disabled. Safe to call
+// concurrently with ongoing runs; each instrument is read atomically.
+func MetricsSnapshot() []MetricSnapshot { return obs.Default().Snapshot() }
+
+// WriteMetrics writes every registered instrument in the Prometheus text
+// exposition format. A no-op (writing nothing) when metrics are
+// disabled.
+func WriteMetrics(w io.Writer) error { return obs.Default().WritePrometheus(w) }

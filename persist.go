@@ -2,22 +2,28 @@ package dsgl
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
 
 	"dsgl/internal/community"
+	"dsgl/internal/dspu"
 	"dsgl/internal/mat"
 	"dsgl/internal/scalable"
 	"dsgl/internal/train"
 )
 
 // modelSnapshot is the serialized form of a trained Model: everything
-// needed to rebuild the compiled machine except the dataset itself (which
+// needed to rebuild the inference backend except the dataset itself (which
 // is regenerable from its seed or reloadable from CSV).
 type modelSnapshot struct {
 	// Format guards against incompatible future layouts.
 	Format int
+	// Backend records which inference backend the model ran (v3+). Empty in
+	// v1/v2 snapshots, which predate the dense backend and are always
+	// scalable.
+	Backend string
 
 	DatasetName string
 	WindowLen   int
@@ -28,6 +34,8 @@ type modelSnapshot struct {
 	JData        []float64
 	H            []float64
 
+	// Decomposition fields — populated for the scalable backend only; the
+	// dense backend never runs placement or masking.
 	PEOf         []int
 	GridW, GridH int
 	Capacity     int
@@ -41,25 +49,28 @@ type modelSnapshot struct {
 // v1 stored a mask reconstructed from the tuned J's nonzero support, which
 // silently dropped mask entries whose closed-form refit value is exactly
 // zero — a loaded model then carried a narrower mask than the one it was
-// trained under. v2 persists the model's actual coupling mask. The wire
-// layout is identical; the format number records which semantics MaskData
-// carries. Load accepts both.
+// trained under. v2 persists the model's actual coupling mask. v3 adds the
+// Backend tag so dense (single-PE) models round-trip too; a v3 dense
+// snapshot carries only the parameter set (no placement, no mask). The
+// wire layout is append-only, so Load accepts all three formats; v1/v2
+// snapshots predate the tag and always decode as scalable.
 const (
 	snapshotFormatV1 = 1
-	snapshotFormat   = 2
+	snapshotFormatV2 = 2
+	snapshotFormat   = 3
 )
 
-// Save serializes the trained model (parameters, placement, and coupling
-// mask) so inference can resume in a later process without retraining.
-// The dataset is not embedded; pass the same dataset to Load.
+// Save serializes the trained model so inference can resume in a later
+// process without retraining. The dataset is not embedded; pass the same
+// dataset to Load.
 //
-// Only scalable-backend models are persistable: the snapshot format stores
-// the decomposition (placement, mask) that the dense backend never runs.
-// A dense model is cheap to retrain (one closed-form solve), so Save
-// rejects it rather than inventing a second format.
+// Both backends are persistable. A scalable snapshot stores the parameters
+// plus the decomposition (placement and coupling mask); a dense snapshot
+// stores the parameter set alone — the single-PE DSPU is rebuilt from it
+// deterministically, exactly as Train would.
 func (m *Model) Save(w io.Writer) error {
 	if m.Machine == nil {
-		return fmt.Errorf("dsgl: Save supports the %q backend only; retrain dense models from the dataset", BackendScalable)
+		return m.saveDense(w)
 	}
 	mask := m.mask
 	if mask == nil {
@@ -72,6 +83,7 @@ func (m *Model) Save(w io.Writer) error {
 	opts.DenseInit = nil // never embed the dense phase in snapshots
 	snap := modelSnapshot{
 		Format:      snapshotFormat,
+		Backend:     BackendScalable,
 		DatasetName: m.Dataset.Name,
 		WindowLen:   m.Dataset.WindowLen(),
 		Opts:        opts,
@@ -86,6 +98,29 @@ func (m *Model) Save(w io.Writer) error {
 		MaskRows:    mask.Rows,
 		MaskCols:    mask.Cols,
 		MaskData:    mask.Data,
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// saveDense serializes a dense-backend model: the parameter set is the
+// whole state — Load rebuilds the single-PE DSPU from it with the same
+// deterministic construction Train uses.
+func (m *Model) saveDense(w io.Writer) error {
+	if m.Dspu == nil {
+		return errors.New("dsgl: Save needs a trained model")
+	}
+	opts := m.Opts
+	opts.DenseInit = nil // never embed the dense phase in snapshots
+	snap := modelSnapshot{
+		Format:      snapshotFormat,
+		Backend:     BackendDense,
+		DatasetName: m.Dataset.Name,
+		WindowLen:   m.Dataset.WindowLen(),
+		Opts:        opts,
+		JRows:       m.Tuned.J.Rows,
+		JCols:       m.Tuned.J.Cols,
+		JData:       m.Tuned.J.Data,
+		H:           m.Tuned.H,
 	}
 	return gob.NewEncoder(w).Encode(&snap)
 }
@@ -107,10 +142,10 @@ func (m *Model) maskFromSupport() *mat.Bool {
 	return mask
 }
 
-// validateGeometry checks the snapshot's internal consistency before any
-// slice indexing, so corrupt or truncated snapshots surface as errors
+// validateParams checks the parameter block shared by both backends before
+// any slice indexing, so corrupt or truncated snapshots surface as errors
 // instead of panics.
-func (snap *modelSnapshot) validateGeometry() error {
+func (snap *modelSnapshot) validateParams() error {
 	if snap.JRows <= 0 || snap.JCols <= 0 {
 		return fmt.Errorf("dsgl: snapshot J is %dx%d", snap.JRows, snap.JCols)
 	}
@@ -122,6 +157,15 @@ func (snap *modelSnapshot) validateGeometry() error {
 	}
 	if got, want := len(snap.H), snap.JRows; got != want {
 		return fmt.Errorf("dsgl: snapshot H has %d entries, want %d", got, want)
+	}
+	return nil
+}
+
+// validateGeometry checks the scalable-backend decomposition block
+// (placement, grid, mask) on top of validateParams.
+func (snap *modelSnapshot) validateGeometry() error {
+	if err := snap.validateParams(); err != nil {
+		return err
 	}
 	if got, want := len(snap.PEOf), snap.JRows; got != want {
 		return fmt.Errorf("dsgl: snapshot placement covers %d nodes, want %d", got, want)
@@ -144,20 +188,34 @@ func (snap *modelSnapshot) validateGeometry() error {
 
 // Load rebuilds a trained model from a snapshot written by Save. ds must
 // be the dataset the model was trained on (same name and window geometry).
+// The snapshot's backend tag selects which backend is rebuilt; v1/v2
+// snapshots predate the tag and load as scalable.
 func Load(r io.Reader, ds *Dataset) (*Model, error) {
 	var snap modelSnapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("dsgl: decoding snapshot: %w", err)
 	}
-	if snap.Format != snapshotFormat && snap.Format != snapshotFormatV1 {
-		return nil, fmt.Errorf("dsgl: snapshot format %d unsupported (want %d or %d)",
-			snap.Format, snapshotFormatV1, snapshotFormat)
+	switch snap.Format {
+	case snapshotFormatV1, snapshotFormatV2:
+		// Pre-backend formats: always the compiled scalable machine.
+		snap.Backend = BackendScalable
+	case snapshotFormat:
+		if snap.Backend != BackendScalable && snap.Backend != BackendDense {
+			return nil, fmt.Errorf("dsgl: snapshot backend %q unsupported (valid: %q, %q)",
+				snap.Backend, BackendScalable, BackendDense)
+		}
+	default:
+		return nil, fmt.Errorf("dsgl: snapshot format %d unsupported (want %d, %d, or %d)",
+			snap.Format, snapshotFormatV1, snapshotFormatV2, snapshotFormat)
 	}
 	if ds.Name != snap.DatasetName {
 		return nil, fmt.Errorf("dsgl: snapshot is for dataset %q, got %q", snap.DatasetName, ds.Name)
 	}
 	if ds.WindowLen() != snap.WindowLen {
 		return nil, fmt.Errorf("dsgl: snapshot window length %d, dataset has %d", snap.WindowLen, ds.WindowLen())
+	}
+	if snap.Backend == BackendDense {
+		return loadDense(&snap, ds)
 	}
 	if err := snap.validateGeometry(); err != nil {
 		return nil, err
@@ -193,8 +251,8 @@ func Load(r io.Reader, ds *Dataset) (*Model, error) {
 	// here. Re-normalize to the loading process's default so a model saved
 	// on a 128-core trainer doesn't spawn 128 workers on a 2-core server.
 	opts.Workers = runtime.GOMAXPROCS(0)
-	// Only scalable models are persisted (see Save); pre-backend snapshots
-	// carry an empty Backend field.
+	// Normalize the backend tag: pre-backend (v1/v2) snapshots carry an
+	// empty Options.Backend field.
 	opts.Backend = BackendScalable
 	machine, err := scalable.Build(tuned, assign, mask, scalable.Config{
 		Lanes:            opts.Lanes,
@@ -218,5 +276,44 @@ func Load(r io.Reader, ds *Dataset) (*Model, error) {
 		mask:       mask,
 		unknown:    ds.UnknownIndices(),
 		observed:   ds.ObservedMask(),
+	}, nil
+}
+
+// loadDense rebuilds a dense-backend model from a v3 dense snapshot: the
+// single-PE DSPU is reconstructed from the persisted parameter set with the
+// same deterministic configuration Train uses (anneal seed Opts.Seed+2,
+// dense anneal budget), so the loaded model is observationally bit-identical
+// to the saved one.
+func loadDense(snap *modelSnapshot, ds *Dataset) (*Model, error) {
+	if err := snap.validateParams(); err != nil {
+		return nil, err
+	}
+	tuned := &train.Params{
+		J: mat.NewDenseFrom(snap.JRows, snap.JCols, snap.JData),
+		H: snap.H,
+	}
+	if err := tuned.Validate(); err != nil {
+		return nil, fmt.Errorf("dsgl: snapshot parameters: %w", err)
+	}
+	opts := snap.Opts
+	// Same re-normalization as the scalable path: the saving host's worker
+	// count is meaningless here.
+	opts.Workers = runtime.GOMAXPROCS(0)
+	opts.Backend = BackendDense
+	d, err := dspu.New(tuned.J, tuned.H, dspu.Config{
+		Seed:      opts.Seed + 2, // same anneal-seed slot Train assigns
+		MaxTimeNs: denseMaxInferNs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dsgl: rebuilding dense DSPU: %w", err)
+	}
+	return &Model{
+		Dataset:  ds,
+		Opts:     opts,
+		Dense:    tuned,
+		Tuned:    tuned,
+		Dspu:     d,
+		unknown:  ds.UnknownIndices(),
+		observed: ds.ObservedMask(),
 	}, nil
 }
