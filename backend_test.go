@@ -98,8 +98,10 @@ func TestDenseBackendSeqParIdentity(t *testing.T) {
 
 // TestDenseBackendVerify runs the invariant harness against a dense model.
 // Since the v3 snapshot format the formerly scalable-only checks — snapshot
-// round-trip and lossless compilation — run on the dense backend too: all
-// six invariants must execute (not skip) and hold.
+// round-trip and lossless compilation — run on the dense backend too:
+// invariants 1-6 must execute (not skip) and hold. Only the sharded
+// fixed-point check skips: a dense model has no community structure to
+// shard.
 func TestDenseBackendVerify(t *testing.T) {
 	ds := tinyDataset(t, "traffic")
 	model, err := Train(ds, denseOptions())
@@ -130,6 +132,9 @@ func TestDenseBackendVerify(t *testing.T) {
 		if !ran[inv] {
 			t.Errorf("check %s did not run on the dense backend", inv)
 		}
+	}
+	if ran[verify.InvShardedFixedPoint] {
+		t.Error("sharded fixed-point check should skip on the dense backend")
 	}
 }
 

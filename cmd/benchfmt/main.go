@@ -4,16 +4,33 @@
 // run yields both the machine-readable artifact and the console table.
 //
 //	go test -run '^$' -bench . -json . | tee BENCH.json | go run ./cmd/benchfmt
+//
+// Beyond reformatting, benchfmt computes the batch-scaling summary: for
+// every BenchmarkInferBatch regime it reports the workers=4 vs workers=1
+// speedup. With -guard that summary becomes an anti-scaling tripwire — the
+// run (or a replayed BENCH_infer.json) fails when any regime's speedup
+// drops below the threshold, which is how CI catches a worker pool that
+// parallelizes into a slowdown. The threshold sits just under parity
+// because a single-core box (GOMAXPROCS=1, as the committed artifacts are
+// generated on) can at best break even, minus scheduling noise; a true
+// scaling collapse (the 0.7x regression this guard was built against)
+// lands far below it on any machine.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 )
+
+// guardThreshold is the minimum acceptable workers=4 / workers=1 speedup.
+// See the package comment for why it sits just below parity rather than at
+// the >1.3x a multi-core box should deliver.
+const guardThreshold = 0.93
 
 // event is the subset of test2json's event schema we care about.
 type event struct {
@@ -22,6 +39,10 @@ type event struct {
 }
 
 func main() {
+	guard := flag.Bool("guard", false,
+		"fail (exit 1) when any InferBatch regime's workers=4 vs workers=1 speedup falls below the anti-scaling threshold")
+	flag.Parse()
+
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	// test2json splits one console line across several "output" events (the
@@ -50,6 +71,7 @@ func main() {
 		rate  float64
 	}
 	var hitRates []hitRate
+	batch := newBatchScaling()
 	for _, out := range strings.SplitAfter(raw.String(), "\n") {
 		// Keep benchmark result lines, headers, and the final verdict;
 		// drop run announcements and per-test chatter.
@@ -70,9 +92,14 @@ func main() {
 		if name, rate, ok := parseHitRate(out); ok {
 			hitRates = append(hitRates, hitRate{name, rate})
 		}
+		batch.add(out)
 	}
 	for _, hr := range hitRates {
 		fmt.Printf("plan-cache hit rate: %-40s %.1f%%\n", hr.bench, hr.rate*100)
+	}
+	ok := batch.report(os.Stdout, *guard)
+	if *guard && !ok {
+		os.Exit(1)
 	}
 }
 
@@ -91,4 +118,102 @@ func parseHitRate(line string) (string, float64, bool) {
 		return fields[0], rate, true
 	}
 	return "", 0, false
+}
+
+// batchScaling accumulates BenchmarkInferBatch timings keyed by
+// (regime, -cpu suffix) and worker count, keeping the first occurrence of
+// each name (repeat rows like workers=1#01 — GOMAXPROCS colliding with the
+// explicit workers=1 case — re-measure the identical configuration).
+type batchScaling struct {
+	ns    map[string]map[int]float64 // group key -> workers -> ns/op
+	order []string                   // group keys in first-seen order
+}
+
+func newBatchScaling() *batchScaling {
+	return &batchScaling{ns: make(map[string]map[int]float64)}
+}
+
+// add parses one reassembled console line and records it if it is an
+// InferBatch result row.
+func (b *batchScaling) add(line string) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "BenchmarkInferBatch/") {
+		return
+	}
+	ns := -1.0
+	for i, f := range fields {
+		if f == "ns/op" && i > 0 {
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				return
+			}
+			ns = v
+			break
+		}
+	}
+	if ns < 0 {
+		return
+	}
+	name := fields[0]
+	if strings.Contains(name, "#") {
+		return // duplicate of an earlier configuration
+	}
+	// Split off the -GOMAXPROCS suffix go test appends when GOMAXPROCS > 1
+	// (or under -cpu): it distinguishes the groups of a -cpu=1,4 sweep.
+	cpu := ""
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			cpu = name[i:]
+			name = name[:i]
+		}
+	}
+	parts := strings.Split(name, "/") // BenchmarkInferBatch / regime / workers=N
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "workers=") {
+		return
+	}
+	workers, err := strconv.Atoi(strings.TrimPrefix(parts[2], "workers="))
+	if err != nil {
+		return
+	}
+	key := parts[1] + cpu
+	g, ok := b.ns[key]
+	if !ok {
+		g = make(map[int]float64)
+		b.ns[key] = g
+		b.order = append(b.order, key)
+	}
+	if _, seen := g[workers]; !seen {
+		g[workers] = ns
+	}
+}
+
+// report prints the per-regime workers=4 vs workers=1 speedups and returns
+// whether every regime clears the anti-scaling threshold. guarding only
+// changes the messaging: measurement and verdict are identical either way,
+// and a guarded run with no InferBatch rows at all fails loudly rather
+// than vacuously passing.
+func (b *batchScaling) report(w *os.File, guarding bool) bool {
+	compared := 0
+	ok := true
+	for _, key := range b.order {
+		g := b.ns[key]
+		base, hasBase := g[1]
+		par, hasPar := g[4]
+		if !hasBase || !hasPar || par == 0 {
+			continue
+		}
+		compared++
+		speedup := base / par
+		verdict := ""
+		if speedup < guardThreshold {
+			ok = false
+			verdict = fmt.Sprintf("  ANTI-SCALING (threshold %.2fx)", guardThreshold)
+		}
+		fmt.Fprintf(w, "batch scaling: %-28s workers=4 vs 1: %.2fx%s\n", key, speedup, verdict)
+	}
+	if guarding && compared == 0 {
+		fmt.Fprintln(w, "batch scaling: no BenchmarkInferBatch workers=1/workers=4 pairs found; nothing to guard")
+		return false
+	}
+	return ok
 }

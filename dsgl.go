@@ -154,6 +154,24 @@ type Options struct {
 	// sequential ones — every window is seeded by its index, not by
 	// scheduling order — so Workers is purely a throughput knob.
 	Workers int
+	// ShardWorkers > 1 turns on the intra-inference sharded anneal on the
+	// scalable backend: the graph is partitioned into up to ShardWorkers
+	// balanced shards along Louvain super-community (PE) boundaries, each
+	// annealing on its own goroutine with cross-shard couplings held stale
+	// between synchronization rounds (the same sample-and-hold discipline
+	// the temporal slices use). Sharded inference is deterministic per seed
+	// and settles to the sequential fixed point within the settle-residual
+	// tolerance (the sharded-fixed-point verify invariant), but is NOT
+	// bit-identical to it. 0 or 1 (the default) keeps the exact sequential
+	// anneal; machines with injected analog noise or a single community
+	// always run exact.
+	ShardWorkers int
+	// ShardSyncNs is the simulated interval between cross-shard coupling
+	// refreshes. 0 selects SyncIntervalNs (cross-shard staleness matched to
+	// the hardware's inter-tile sync rate); values at or below the
+	// integration step disable sharding rather than pretend a per-step
+	// exchange, which the exact path already is.
+	ShardSyncNs float64
 	// Seed makes the pipeline deterministic.
 	Seed uint64
 }
@@ -340,6 +358,8 @@ func Train(ds *Dataset, opts Options) (*Model, error) {
 		MaxTimeNs:        opts.MaxInferNs,
 		NodeNoise:        opts.NodeNoise,
 		CouplerNoise:     opts.CouplerNoise,
+		ShardWorkers:     opts.ShardWorkers,
+		ShardSyncNs:      opts.ShardSyncNs,
 		Seed:             opts.Seed + 2,
 	})
 	if err != nil {
@@ -409,11 +429,24 @@ func (m *Model) predictSeeded(w datasets.Window, seed uint64) (*Prediction, erro
 	if err != nil {
 		return nil, err
 	}
-	res, err := m.engine().InferSeeded(obs, seed)
+	var res *engine.Result
+	if m.shardedInference() {
+		res, err = m.engine().InferShardedSeeded(obs, seed)
+	} else {
+		res, err = m.engine().InferSeeded(obs, seed)
+	}
 	if err != nil {
 		return nil, err
 	}
 	return m.predictionFrom(w, res), nil
+}
+
+// shardedInference reports whether this model routes window anneals through
+// the community-sharded parallel entry points. The engine falls back to the
+// exact path per call whenever the machine or the clamp pattern cannot
+// shard, so routing here only consults the user's knob and the backend.
+func (m *Model) shardedInference() bool {
+	return m.Machine != nil && m.Opts.ShardWorkers > 1
 }
 
 // windowObservations builds the clamp list for one window.
@@ -517,7 +550,13 @@ func (m *Model) EvaluateParallel(windows []datasets.Window, workers int) (*Repor
 		}
 		obsList[i] = obs
 	}
-	results, err := m.engine().InferBatch(obsList, workers)
+	var results []*engine.Result
+	var err error
+	if m.shardedInference() {
+		results, err = m.engine().InferShardedBatch(obsList, workers)
+	} else {
+		results, err = m.engine().InferBatch(obsList, workers)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,45 @@
+package community
+
+import "sort"
+
+// ShardNodes groups the assignment's PEs — one Louvain super-community
+// each — into at most k balanced node shards for the software-sharded
+// anneal (internal/scalable). PEs are walked in grid row-major order, so
+// communities that Redistribute split across adjacent PEs land in the same
+// or neighboring shards, keeping most coupling traffic intra-shard; a
+// shard closes once it reaches the balanced target ceil(n/k). Each shard's
+// node list is sorted ascending (the anneal kernels iterate free-node
+// lists in index order).
+//
+// Returns nil when sharding is pointless: k <= 1, or fewer than two
+// non-empty shards would result.
+func ShardNodes(a *Assignment, k int) [][]int {
+	if a == nil || k <= 1 {
+		return nil
+	}
+	n := len(a.PEOf)
+	target := (n + k - 1) / k
+	var shards [][]int
+	var cur []int
+	for pe := 0; pe < a.NumPEs(); pe++ {
+		nodes := a.NodesOf[pe]
+		if len(nodes) == 0 {
+			continue
+		}
+		cur = append(cur, nodes...)
+		if len(cur) >= target && len(shards) < k-1 {
+			shards = append(shards, cur)
+			cur = nil
+		}
+	}
+	if len(cur) > 0 {
+		shards = append(shards, cur)
+	}
+	if len(shards) < 2 {
+		return nil
+	}
+	for _, s := range shards {
+		sort.Ints(s)
+	}
+	return shards
+}

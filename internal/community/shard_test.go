@@ -1,0 +1,98 @@
+package community
+
+import (
+	"sort"
+	"testing"
+)
+
+// shardAssignment builds a contiguous assignment: pes PEs of cap nodes each
+// on a pes x 1 grid.
+func shardAssignment(pes, cap int) *Assignment {
+	n := pes * cap
+	a := &Assignment{
+		PEOf:     make([]int, n),
+		NodesOf:  make([][]int, pes),
+		GridW:    pes,
+		GridH:    1,
+		Capacity: cap,
+	}
+	for i := 0; i < n; i++ {
+		pe := i / cap
+		a.PEOf[i] = pe
+		a.NodesOf[pe] = append(a.NodesOf[pe], i)
+	}
+	return a
+}
+
+func TestShardNodesPartitionsAllNodes(t *testing.T) {
+	a := shardAssignment(8, 6)
+	shards := ShardNodes(a, 4)
+	if len(shards) < 2 || len(shards) > 4 {
+		t.Fatalf("got %d shards, want 2..4", len(shards))
+	}
+	seen := make(map[int]int)
+	for s, nodes := range shards {
+		if !sort.IntsAreSorted(nodes) {
+			t.Fatalf("shard %d not sorted: %v", s, nodes)
+		}
+		for _, v := range nodes {
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("node %d in shards %d and %d", v, prev, s)
+			}
+			seen[v] = s
+		}
+	}
+	if len(seen) != len(a.PEOf) {
+		t.Fatalf("shards cover %d of %d nodes", len(seen), len(a.PEOf))
+	}
+	// Balance: no shard may exceed twice the ideal share (PE granularity
+	// forces some slack, but the greedy close-at-target walk bounds it).
+	ideal := len(a.PEOf) / len(shards)
+	for s, nodes := range shards {
+		if len(nodes) > 2*ideal {
+			t.Fatalf("shard %d holds %d nodes, ideal %d", s, len(nodes), ideal)
+		}
+	}
+}
+
+func TestShardNodesKeepsPEsIntact(t *testing.T) {
+	a := shardAssignment(6, 4)
+	shards := ShardNodes(a, 3)
+	shardOf := make(map[int]int)
+	for s, nodes := range shards {
+		for _, v := range nodes {
+			shardOf[v] = s
+		}
+	}
+	for pe := 0; pe < a.NumPEs(); pe++ {
+		nodes := a.NodesOf[pe]
+		for _, v := range nodes[1:] {
+			if shardOf[v] != shardOf[nodes[0]] {
+				t.Fatalf("PE %d split across shards %d and %d", pe, shardOf[nodes[0]], shardOf[v])
+			}
+		}
+	}
+}
+
+func TestShardNodesDegenerateCases(t *testing.T) {
+	if s := ShardNodes(nil, 4); s != nil {
+		t.Fatalf("nil assignment: got %v", s)
+	}
+	a := shardAssignment(4, 3)
+	if s := ShardNodes(a, 1); s != nil {
+		t.Fatalf("k=1: got %v", s)
+	}
+	if s := ShardNodes(a, 0); s != nil {
+		t.Fatalf("k=0: got %v", s)
+	}
+	// A single non-empty PE cannot produce two shards.
+	single := shardAssignment(1, 5)
+	if s := ShardNodes(single, 4); s != nil {
+		t.Fatalf("single PE: got %v", s)
+	}
+	// k larger than the PE count still yields at most one shard per PE.
+	many := ShardNodes(a, 100)
+	if len(many) != a.NumPEs() {
+		t.Fatalf("k=100 over %d PEs: got %d shards", a.NumPEs(), len(many))
+	}
+}

@@ -1,0 +1,283 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// slowCompileBackend delays every plan compile and tracks how many
+// compiles overlap, so the tests can prove (a) same-key compiles coalesce
+// to one and (b) different-key compiles are NOT serialized behind the
+// cache mutex — the regression this engine revision fixes.
+type slowCompileBackend struct {
+	*stubBackend
+	delay       time.Duration
+	inFlight    atomic.Int64
+	maxInFlight atomic.Int64
+}
+
+func (s *slowCompileBackend) CompilePlan(clamped []bool) any {
+	cur := s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	for {
+		max := s.maxInFlight.Load()
+		if cur <= max || s.maxInFlight.CompareAndSwap(max, cur) {
+			break
+		}
+	}
+	time.Sleep(s.delay)
+	return s.stubBackend.CompilePlan(clamped)
+}
+
+func newSlowStub(n int, delay time.Duration) (*slowCompileBackend, *Engine) {
+	b := &slowCompileBackend{
+		stubBackend: &stubBackend{n: n, rails: 1, seed: 11},
+		delay:       delay,
+	}
+	return b, New(b)
+}
+
+// TestPlanCompileCoalescesSameKey: G workers racing on one cold pattern
+// must trigger exactly one compile — everyone else either waits on the
+// in-flight call or lands on the published plan, and all G-1 of them count
+// as cache hits.
+func TestPlanCompileCoalescesSameKey(t *testing.T) {
+	const G = 8
+	b, e := newSlowStub(16, 20*time.Millisecond)
+	obs := []Observation{{Index: 2, Value: 0.5}, {Index: 9, Value: -0.25}}
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			<-start
+			if _, err := e.InferSeeded(obs, seed); err != nil {
+				t.Error(err)
+			}
+		}(uint64(g))
+	}
+	close(start)
+	wg.Wait()
+
+	if got := b.compiles.Load(); got != 1 {
+		t.Fatalf("compiles = %d, want 1 (same-key compiles must coalesce)", got)
+	}
+	hits, misses := e.PlanCacheStats()
+	if misses != 1 || hits != G-1 {
+		t.Fatalf("stats hits=%d misses=%d, want hits=%d misses=1", hits, misses, G-1)
+	}
+	if max := b.maxInFlight.Load(); max != 1 {
+		t.Fatalf("max concurrent compiles = %d, want 1 for a single key", max)
+	}
+}
+
+// TestPlanCompileDifferentKeysOverlap: distinct cold patterns must compile
+// concurrently rather than queueing behind the cache mutex. Each compile
+// sleeps 30ms; if compilation still ran under the lock the in-flight high
+// water mark would be pinned at 1.
+func TestPlanCompileDifferentKeysOverlap(t *testing.T) {
+	const G = 4
+	b, e := newSlowStub(16, 30*time.Millisecond)
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			<-start
+			obs := []Observation{{Index: k, Value: 0.5}}
+			if _, err := e.InferSeeded(obs, uint64(k)); err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+
+	if got := b.compiles.Load(); got != G {
+		t.Fatalf("compiles = %d, want %d distinct", got, G)
+	}
+	if _, misses := e.PlanCacheStats(); misses != G {
+		t.Fatalf("misses = %d, want %d", misses, G)
+	}
+	if max := b.maxInFlight.Load(); max < 2 {
+		t.Fatalf("max concurrent compiles = %d, want >= 2 (distinct keys must not serialize)", max)
+	}
+}
+
+// TestInferBatchAllocDelta pins the state-pooling contract: adding batch
+// workers must cost at most a few allocations each (the spawned goroutine
+// and its bookkeeping), NOT a fresh InferState per worker per call. Before
+// pooling, every batch call allocated workers full states (X, Clamped,
+// KeyBuf, RNG, backend scratch) and the delta was ~15 allocs per worker on
+// the stub — and far more on real backends.
+func TestInferBatchAllocDelta(t *testing.T) {
+	_, e := newStub(64)
+	obs := make([][]Observation, 16)
+	for i := range obs {
+		obs[i] = []Observation{{Index: i % 4, Value: 0.5}}
+	}
+	// Warm the plan cache and the state free-list at the largest worker
+	// count so the measured runs draw every state from the pool.
+	if _, err := e.InferBatch(obs, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	perCall := func(workers int) float64 {
+		return testing.AllocsPerRun(10, func() {
+			if _, err := e.InferBatch(obs, workers); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	a1 := perCall(1)
+	a4 := perCall(4)
+	const perWorkerBudget = 8
+	if delta := a4 - a1; delta > float64((4-1)*perWorkerBudget) {
+		t.Fatalf("workers=4 costs %.1f allocs/op vs %.1f at workers=1 (delta %.1f, budget %d/worker): state pooling regressed",
+			a4, a1, delta, perWorkerBudget)
+	}
+}
+
+// TestStatePoolRecyclesAndCapped: batch states return to the free-list and
+// are reused by the next batch; the pool never grows past maxPooledStates;
+// a pooled observer never leaks into the next batch.
+func TestStatePoolRecyclesAndCapped(t *testing.T) {
+	_, e := newStub(8)
+	obs := [][]Observation{{{Index: 0, Value: 0.5}}, {{Index: 1, Value: 0.5}}}
+
+	st := e.getState()
+	st.Observer = func(StepInfo) { t.Error("pooled observer must be cleared") }
+	e.putState(st)
+	got := e.getState()
+	if got != st {
+		t.Fatal("free-list should hand back the pooled state")
+	}
+	if got.Observer != nil {
+		t.Fatal("observer survived pooling")
+	}
+	e.putState(got)
+
+	if _, err := e.InferBatch(obs, 2); err != nil {
+		t.Fatal(err)
+	}
+	e.stateMu.Lock()
+	pooled := len(e.statePool)
+	e.stateMu.Unlock()
+	if pooled < 2 {
+		t.Fatalf("free-list holds %d states after a 2-worker batch, want >= 2", pooled)
+	}
+
+	for i := 0; i < 2*maxPooledStates; i++ {
+		e.putState(e.NewInferState())
+	}
+	e.stateMu.Lock()
+	pooled = len(e.statePool)
+	e.stateMu.Unlock()
+	if pooled > maxPooledStates {
+		t.Fatalf("free-list grew to %d, cap is %d", pooled, maxPooledStates)
+	}
+}
+
+// TestConcurrentEnsurePlanBatchAndEviction hammers one shared engine from
+// three directions at once — EnsurePlan over a rotating pattern set wide
+// enough to force LRU evictions, warm InferBatch fan-outs, and single
+// warm inferences — and then checks the batch output is still bit-exact
+// against a sequential reference. Run under -race this doubles as the
+// locking proof for the snapshot/singleflight/pool machinery.
+func TestConcurrentEnsurePlanBatchAndEviction(t *testing.T) {
+	b, e := newStub(64)
+	batchObs := make([][]Observation, 8)
+	for i := range batchObs {
+		batchObs[i] = []Observation{{Index: 3, Value: 0.5}, {Index: 7, Value: -0.5}}
+	}
+	want, err := e.InferBatch(batchObs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 40
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // eviction churn: 2*PlanCacheCapacity rotating patterns
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			pat := []Observation{{Index: r % (2 * PlanCacheCapacity), Value: 0.1}}
+			if err := e.EnsurePlan(pat); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	go func() { // warm batches
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			got, err := e.InferBatch(batchObs, 4)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := range got {
+				for j := range got[i].Voltage {
+					if got[i].Voltage[j] != want[i].Voltage[j] {
+						t.Errorf("round %d window %d node %d: %v != %v",
+							r, i, j, got[i].Voltage[j], want[i].Voltage[j])
+						return
+					}
+				}
+			}
+		}
+	}()
+	go func() { // warm single inferences racing the eviction churn
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			if _, err := e.InferSeeded(batchObs[0], uint64(r)); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	wg.Wait()
+
+	if resident := e.PlanCacheLen(); resident > PlanCacheCapacity {
+		t.Fatalf("%d plans resident, cap is %d", resident, PlanCacheCapacity)
+	}
+	if b.compiles.Load() < int64(PlanCacheCapacity) {
+		t.Fatalf("compiles = %d; churn should have compiled at least %d patterns",
+			b.compiles.Load(), PlanCacheCapacity)
+	}
+}
+
+// TestLRUEachSnapshotConsistency: the published lock-free snapshot always
+// reflects a complete resident set — every key the stats say was compiled
+// and not evicted resolves through the snapshot without a further miss.
+func TestLRUEachSnapshotConsistency(t *testing.T) {
+	b, e := newStub(32)
+	var patterns [][]Observation
+	for k := 0; k < PlanCacheCapacity; k++ {
+		patterns = append(patterns, []Observation{{Index: k, Value: 0.25}})
+	}
+	for i, p := range patterns {
+		if _, err := e.InferSeeded(p, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compiled := b.compiles.Load()
+	// Every pattern is resident: re-resolving all of them must be pure
+	// snapshot hits with zero new compiles.
+	for i, p := range patterns {
+		if _, err := e.InferSeeded(p, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.compiles.Load() != compiled {
+		t.Fatalf("re-resolution compiled %d new plans, want 0", b.compiles.Load()-compiled)
+	}
+	hits, misses := e.PlanCacheStats()
+	if misses != uint64(len(patterns)) || hits != uint64(len(patterns)) {
+		t.Fatalf("hits=%d misses=%d, want %d/%d", hits, misses, len(patterns), len(patterns))
+	}
+}

@@ -14,9 +14,13 @@
 //   - observation validation — index range, rail bound, duplicate rejection
 //     — one implementation shared by every entry point including EnsurePlan;
 //   - the clamp-plan cache: compiled plans keyed by the packed
-//     observation-index bitmask, bounded LRU (internal/lru), compile under
-//     the cache lock so hit/miss counters stay deterministic across worker
-//     interleavings;
+//     observation-index bitmask, bounded LRU (internal/lru) behind a
+//     lock-free read snapshot; compilation happens OUTSIDE the cache lock
+//     with per-key singleflight, so concurrent batch workers neither
+//     serialize on a compile nor duplicate one (hit/miss counters stay
+//     deterministic: a pattern's first resolution is the one miss, every
+//     other resolution — snapshot hit, LRU hit, or singleflight wait — is
+//     a hit);
 //   - the seeding convention: window i of a batch anneals with seed
 //     BaseSeed()+i, which is what makes InferBatch bit-identical to a
 //     sequential loop for any worker count;
@@ -35,7 +39,10 @@
 // the clamp values, and hands off to the backend's RunPlanned/RunNaive. A
 // backend extracted onto this engine therefore produces bit-identical
 // results to its pre-extraction form — enforced for the scalable backend by
-// the golden-voltage regression fixture and the six verify invariants.
+// the golden-voltage regression fixture and the seven verify invariants.
+// The sharded anneal path (InferSharded*) is the one deliberate exception:
+// it is deterministic per seed but only tolerance-equivalent to the exact
+// path, a contract the sharded-fixed-point invariant verifies.
 package engine
 
 import (
@@ -99,21 +106,70 @@ type Backend interface {
 	SettleResidualTol() float64
 }
 
+// ShardedBackend is the optional Backend extension for the intra-inference
+// sharded anneal: the backend partitions its graph (by Louvain
+// super-community groups in the scalable machine) and anneals every
+// partition on its own goroutine, exchanging cross-partition coupling
+// contributions at a configured sync interval. Backends that cannot shard
+// (the dense DSPU) simply do not implement the interface; the engine's
+// InferSharded* entry points then run the exact planned path.
+type ShardedBackend interface {
+	Backend
+	// CompileShardedPlan compiles the clamp pattern into a sharded
+	// inference plan, or returns nil when this machine cannot shard
+	// (sharding disabled, single community, noise enabled, or the clamp
+	// pattern leaves fewer than two partitions with free nodes). Like
+	// CompilePlan the result depends only on WHICH nodes are clamped, is
+	// immutable, and is cached by the engine (nil included, so the
+	// shardability decision is made once per pattern residency).
+	CompileShardedPlan(clamped []bool) any
+	// RunSharded runs the partitioned anneal on a prepared state under a
+	// non-nil plan previously returned by CompileShardedPlan. Same state
+	// contract as RunPlanned; Result.Switches counts cross-shard sync
+	// rounds.
+	RunSharded(st *InferState, plan any) (*Result, error)
+	// ShardCount reports how many partitions the sharded path would run
+	// (0 or 1 when sharding is unavailable) — telemetry and warm-up
+	// gating, never correctness.
+	ShardCount() int
+}
+
+// planCall is an in-flight plan compilation other resolvers of the same
+// key wait on instead of compiling again (per-key singleflight).
+type planCall struct {
+	done chan struct{} // closed once pl is published
+	pl   any
+}
+
 // Engine drives inference for one Backend: validation, plan caching,
 // seeding, and batch fan-out. Safe for concurrent use.
 type Engine struct {
 	b Backend
 
-	// Clamp-plan cache: compiled inference plans keyed by the packed
-	// observation-index bitmask, bounded LRU so pattern churn cannot grow
-	// it without limit, guarded by planMu so batch workers share it safely.
-	// Compilation happens under the lock: a pattern is compiled at most
-	// once per residency, keeping the hit/miss counters deterministic for
-	// a batch of identical patterns regardless of worker interleaving.
-	planMu     sync.Mutex
-	plans      *lru.Cache[any]
-	planHits   uint64
-	planMisses uint64
+	// Clamp-plan cache. planMu guards the bounded LRU, the in-flight
+	// compile table, and snapshot publication — but never a compile:
+	// planFor registers an in-flight call, releases the lock, compiles,
+	// and re-locks only to insert and republish. Warm lookups bypass the
+	// lock entirely via planSnap, an immutable map snapshot of the
+	// resident entries rebuilt (O(capacity)) on every insert or eviction.
+	planMu   sync.Mutex
+	plans    *lru.Cache[any]
+	inflight map[string]*planCall
+	planSnap atomic.Pointer[map[string]any]
+
+	// Cumulative cache counters. Atomic because the warm path runs
+	// lock-free; still deterministic for a fixed call sequence: misses
+	// counts compiles (one per pattern residency) and every other
+	// resolution is a hit, regardless of worker interleaving.
+	planHits   atomic.Uint64
+	planMisses atomic.Uint64
+
+	// statePool recycles InferStates across InferBatch calls so repeated
+	// batch windows stop re-allocating per-worker scratch arenas. Reuse is
+	// safe because every inference fully re-seeds the state (voltages,
+	// clamp mask, RNG, backend scratch).
+	stateMu   sync.Mutex
+	statePool []*InferState
 
 	// EnsurePlan scratch: validating a probe pattern must not allocate a
 	// fresh mask and key per call (EnsurePlan runs once per evaluation,
@@ -126,6 +182,11 @@ type Engine struct {
 	// obs registry; see metrics.go. Nil until the first inference.
 	obsBind atomic.Pointer[engineObs]
 }
+
+// maxPooledStates bounds the batch state free-list: enough for any
+// realistic worker count, small enough that an unusually wide one-off
+// batch cannot pin its arenas forever.
+const maxPooledStates = 32
 
 // New binds an engine to its backend.
 func New(b Backend) *Engine { return &Engine{b: b} }
@@ -219,19 +280,36 @@ func (e *Engine) InferSeededNaive(obs []Observation, seed uint64) (*Result, erro
 
 // InferBatch anneals every observation set of a batch across a pool of
 // workers (workers <= 0 selects runtime.GOMAXPROCS(0)) and returns one
-// Result per entry, in order. Each worker owns a private InferState, so the
-// per-window steady state allocates nothing; window i is seeded
-// BaseSeed()+i, making the output bit-identical to calling
-// InferSeeded(obs[i], BaseSeed()+i) sequentially — regardless of worker
-// count or scheduling.
+// Result per entry, in order. Each worker owns a private InferState drawn
+// from the engine's free-list (allocated on the first batch, recycled
+// across batches), so the per-window steady state allocates nothing;
+// window i is seeded BaseSeed()+i, making the output bit-identical to
+// calling InferSeeded(obs[i], BaseSeed()+i) sequentially — regardless of
+// worker count or scheduling.
 func (e *Engine) InferBatch(obs [][]Observation, workers int) ([]*Result, error) {
+	return e.runBatch(obs, workers, e.InferWith)
+}
+
+// InferShardedBatch is InferBatch over the sharded anneal path (see
+// InferShardedWith): windows fan out across batch workers and each window's
+// anneal additionally fans out across graph shards. Seeding and ordering
+// semantics are identical to InferBatch; on a backend without sharding the
+// two entry points return bit-identical results.
+func (e *Engine) InferShardedBatch(obs [][]Observation, workers int) ([]*Result, error) {
+	return e.runBatch(obs, workers, e.InferShardedWith)
+}
+
+// runBatch is the shared batch fan-out: acquire one pooled state per
+// worker, run every window through infer at seed BaseSeed()+i, return the
+// states to the free-list, and surface the first error in window order.
+func (e *Engine) runBatch(obs [][]Observation, workers int, infer func(*InferState, []Observation, uint64) (*Result, error)) ([]*Result, error) {
 	n := len(obs)
 	results := make([]*Result, n)
 	errs := make([]error, n)
 	w := pool.Clamp(workers, n)
 	states := make([]*InferState, w)
 	for i := range states {
-		states[i] = e.NewInferState()
+		states[i] = e.getState()
 	}
 	if m := e.metrics(); m.enabled() {
 		m.batches.Inc()
@@ -240,19 +318,50 @@ func (e *Engine) InferBatch(obs [][]Observation, workers int) ([]*Result, error)
 	}
 	base := e.b.BaseSeed()
 	pool.RunWorkers(w, n, func(worker, i int) {
-		res, err := e.InferWith(states[worker], obs[i], base+uint64(i))
+		res, err := infer(states[worker], obs[i], base+uint64(i))
 		if err != nil {
 			errs[i] = err
 			return
 		}
 		results[i] = res.Detach()
 	})
+	for _, st := range states {
+		e.putState(st)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
 	return results, nil
+}
+
+// getState draws a reusable InferState from the engine free-list,
+// allocating a fresh one only when the pool is dry.
+func (e *Engine) getState() *InferState {
+	e.stateMu.Lock()
+	if n := len(e.statePool); n > 0 {
+		st := e.statePool[n-1]
+		e.statePool[n-1] = nil
+		e.statePool = e.statePool[:n-1]
+		e.stateMu.Unlock()
+		e.metrics().statePoolHits.Inc()
+		return st
+	}
+	e.stateMu.Unlock()
+	e.metrics().statePoolMisses.Inc()
+	return e.NewInferState()
+}
+
+// putState returns a batch state to the free-list. Observers never
+// survive pooling: a recycled state must behave exactly like a fresh one.
+func (e *Engine) putState(st *InferState) {
+	st.Observer = nil
+	e.stateMu.Lock()
+	if len(e.statePool) < maxPooledStates {
+		e.statePool = append(e.statePool, st)
+	}
+	e.stateMu.Unlock()
 }
 
 // EnsurePlan validates the observation set (the same range / rail /
@@ -267,12 +376,19 @@ func (e *Engine) EnsurePlan(obs []Observation) error {
 	n := e.b.Dim()
 	if e.ensureClamped == nil {
 		e.ensureClamped = make([]bool, n)
-		e.ensureKey = make([]byte, maskBytes(n))
+		e.ensureKey = make([]byte, maskBytes(n)+1)
 	}
 	if err := validateObservations(e.b.Name(), obs, n, e.b.Rails(), nil, e.ensureClamped, nil); err != nil {
 		return err
 	}
-	e.planFor(e.ensureClamped, packMask(e.ensureClamped, e.ensureKey))
+	e.planFor(e.ensureClamped, packMask(e.ensureClamped, e.ensureKey)[:maskBytes(n)], e.b.CompilePlan)
+	// Warm the sharded variant too when the backend actually shards, so a
+	// sharded batch starts hot on every worker as well.
+	if sb, ok := e.b.(ShardedBackend); ok && sb.ShardCount() >= 2 {
+		key := packMask(e.ensureClamped, e.ensureKey)
+		key[len(key)-1] = shardPlanTag
+		e.planFor(e.ensureClamped, key, sb.CompileShardedPlan)
+	}
 	return nil
 }
 
@@ -280,9 +396,7 @@ func (e *Engine) EnsurePlan(obs []Observation) error {
 // counts. A miss compiles a plan; the steady state of a batch whose windows
 // share one observation pattern is all hits.
 func (e *Engine) PlanCacheStats() (hits, misses uint64) {
-	e.planMu.Lock()
-	defer e.planMu.Unlock()
-	return e.planHits, e.planMisses
+	return e.planHits.Load(), e.planMisses.Load()
 }
 
 // PlanCacheLen reports how many compiled plans are currently resident
@@ -320,42 +434,158 @@ func (e *Engine) inferInto(st *InferState, obs []Observation) (*Result, error) {
 		m.recordInfer(nil, err, start)
 		return nil, err
 	}
-	pl := e.planFor(st.Clamped, packMask(st.Clamped, st.KeyBuf))
+	pl := e.planFor(st.Clamped, packMask(st.Clamped, st.KeyBuf)[:maskBytes(len(st.X))], e.b.CompilePlan)
 	res, err := e.b.RunPlanned(st, pl)
 	m.recordInfer(res, err, start)
 	return res, err
 }
 
-// planFor resolves the clamp pattern to a compiled plan, consulting the
-// bounded LRU cache first.
-func (e *Engine) planFor(clamped []bool, key []byte) any {
+// InferShardedWith is InferWith over the backend's sharded anneal path:
+// the graph partitions anneal concurrently, exchanging cross-partition
+// contributions at the backend's sync interval. It falls back to the exact
+// planned path when the backend does not shard (ShardedBackend not
+// implemented, or CompileShardedPlan declined this pattern) or when a step
+// observer is installed — the sharded loop dispatches no observers.
+// Sharded runs are deterministic for a fixed seed, so batches and repeated
+// calls reproduce bit-identically; they are tolerance-equivalent (not
+// bit-identical) to the exact path, the contract the sharded-fixed-point
+// verify invariant enforces.
+func (e *Engine) InferShardedWith(st *InferState, obs []Observation, seed uint64) (*Result, error) {
+	if err := e.checkState(st); err != nil {
+		return nil, err
+	}
+	sb, ok := e.b.(ShardedBackend)
+	if !ok || st.Observer != nil {
+		return e.InferWith(st, obs, seed)
+	}
+	st.RNG.Reseed(seed)
+	st.RNG.FillUniform(st.X, -0.1, 0.1)
 	m := e.metrics()
+	var start time.Time
+	if m.enabled() {
+		start = time.Now()
+	}
+	if err := st.applyObservations(obs); err != nil {
+		m.recordInfer(nil, err, start)
+		return nil, err
+	}
+	key := packMask(st.Clamped, st.KeyBuf)
+	key[len(key)-1] = shardPlanTag
+	pl := e.planFor(st.Clamped, key, sb.CompileShardedPlan)
+	if pl == nil {
+		// The backend declined to shard this pattern: run the exact path
+		// on the already-prepared state.
+		epl := e.planFor(st.Clamped, packMask(st.Clamped, st.KeyBuf)[:maskBytes(len(st.X))], e.b.CompilePlan)
+		res, err := e.b.RunPlanned(st, epl)
+		m.recordInfer(res, err, start)
+		return res, err
+	}
+	res, err := sb.RunSharded(st, pl)
+	m.recordInfer(res, err, start)
+	if err == nil && m.enabled() {
+		m.shardInfers.Inc()
+		m.shardSyncRounds.Add(uint64(res.Switches))
+		m.shardAnnealSteps.Add(uint64(res.Steps))
+		m.shardWorkers.Set(float64(sb.ShardCount()))
+	}
+	return res, err
+}
+
+// InferShardedSeeded is InferSeeded over the sharded anneal path; see
+// InferShardedWith for fallback and determinism semantics.
+func (e *Engine) InferShardedSeeded(obs []Observation, seed uint64) (*Result, error) {
+	res, err := e.InferShardedWith(e.NewInferState(), obs, seed)
+	if err != nil {
+		return nil, err
+	}
+	return res.Detach(), nil
+}
+
+// shardPlanTag distinguishes sharded-plan cache keys from exact-plan keys:
+// exact keys are the bare maskBytes(n) bitmask, sharded keys carry one
+// trailing tag byte. Both variants of one pattern can be resident at once.
+const shardPlanTag = 1
+
+// planFor resolves the clamp pattern to a compiled plan. The warm path is
+// lock-free: an atomic snapshot of the resident entries is consulted
+// first, with an opportunistic (TryLock) LRU recency bump. The cold path
+// takes planMu only around bookkeeping — compile(clamped) itself runs
+// unlocked, coalesced per key: concurrent resolvers of one missing key
+// wait on the single in-flight compile (counted as hits — the pattern is
+// compiled once), while compiles of different keys proceed concurrently.
+func (e *Engine) planFor(clamped []bool, key []byte, compile func([]bool) any) any {
+	m := e.metrics()
+	if snap := e.planSnap.Load(); snap != nil {
+		if pl, ok := (*snap)[string(key)]; ok {
+			e.planHits.Add(1)
+			m.planHits.Inc()
+			// Refresh recency when the lock is free; skipping under
+			// contention only costs eviction-order fidelity, never
+			// correctness.
+			if e.planMu.TryLock() {
+				if e.plans != nil {
+					e.plans.Get(key)
+				}
+				e.planMu.Unlock()
+			}
+			return pl
+		}
+	}
 	e.planMu.Lock()
-	defer e.planMu.Unlock()
 	if e.plans == nil {
 		// Lazy: backends built as bare literals in tests never populate it.
 		e.plans = lru.New[any](PlanCacheCapacity)
+		e.inflight = make(map[string]*planCall)
 	}
 	if pl, ok := e.plans.Get(key); ok {
-		e.planHits++
+		e.planMu.Unlock()
+		e.planHits.Add(1)
 		m.planHits.Inc()
 		return pl
 	}
-	e.planMisses++
+	if c, ok := e.inflight[string(key)]; ok {
+		e.planMu.Unlock()
+		e.planHits.Add(1)
+		m.planHits.Inc()
+		m.planSingleflightWaits.Inc()
+		<-c.done
+		return c.pl
+	}
+	c := &planCall{done: make(chan struct{})}
+	ks := string(key)
+	e.inflight[ks] = c
+	e.planMu.Unlock()
+
+	e.planMisses.Add(1)
 	m.planMisses.Inc()
-	pl := e.b.CompilePlan(clamped)
-	if e.plans.Add(key, pl) {
+	c.pl = compile(clamped)
+
+	e.planMu.Lock()
+	if e.plans.Add(key, c.pl) {
 		m.planEvictions.Inc()
 	}
+	delete(e.inflight, ks)
+	e.publishSnapshotLocked()
 	m.planResident.Set(float64(e.plans.Len()))
-	return pl
+	e.planMu.Unlock()
+	close(c.done)
+	return c.pl
+}
+
+// publishSnapshotLocked rebuilds the lock-free read snapshot from the LRU.
+// Caller holds planMu.
+func (e *Engine) publishSnapshotLocked() {
+	snap := make(map[string]any, e.plans.Len())
+	e.plans.Each(func(k string, v any) { snap[k] = v })
+	e.planSnap.Store(&snap)
 }
 
 // maskBytes is the packed-bitmask length for n nodes.
 func maskBytes(n int) int { return (n + 7) / 8 }
 
 // packMask packs the clamp mask into buf as a little-endian bitmask — the
-// plan-cache key. buf must have maskBytes(len(clamped)) bytes.
+// plan-cache key. buf must have at least maskBytes(len(clamped)) bytes;
+// any extra bytes (the sharded-plan tag slot) are zeroed.
 func packMask(clamped []bool, buf []byte) []byte {
 	for i := range buf {
 		buf[i] = 0

@@ -34,6 +34,14 @@ type engineObs struct {
 	batches        *obs.Counter   // dsgl_infer_batch_total
 	batchWindows   *obs.Counter   // dsgl_infer_batch_windows_total
 	batchWorkers   *obs.Gauge     // dsgl_infer_batch_workers
+
+	planSingleflightWaits *obs.Counter // dsgl_plan_singleflight_waits_total
+	statePoolHits         *obs.Counter // dsgl_state_pool_hits_total
+	statePoolMisses       *obs.Counter // dsgl_state_pool_misses_total
+	shardInfers           *obs.Counter // dsgl_shard_infer_total
+	shardSyncRounds       *obs.Counter // dsgl_shard_sync_rounds_total
+	shardAnnealSteps      *obs.Counter // dsgl_shard_anneal_steps_total
+	shardWorkers          *obs.Gauge   // dsgl_shard_workers
 }
 
 // newEngineObs registers (or re-binds, registration being idempotent) the
@@ -60,6 +68,14 @@ func newEngineObs(r *obs.Registry, backend string) *engineObs {
 		batches:        r.Counter("dsgl_infer_batch_total", "InferBatch invocations", l),
 		batchWindows:   r.Counter("dsgl_infer_batch_windows_total", "windows fanned out across all batches", l),
 		batchWorkers:   r.Gauge("dsgl_infer_batch_workers", "worker count of the most recent batch", l),
+
+		planSingleflightWaits: r.Counter("dsgl_plan_singleflight_waits_total", "plan resolutions that waited on another worker's in-flight compile", l),
+		statePoolHits:         r.Counter("dsgl_state_pool_hits_total", "batch InferStates served from the engine free-list", l),
+		statePoolMisses:       r.Counter("dsgl_state_pool_misses_total", "batch InferStates allocated because the free-list was dry", l),
+		shardInfers:           r.Counter("dsgl_shard_infer_total", "inferences that ran the sharded anneal path", l),
+		shardSyncRounds:       r.Counter("dsgl_shard_sync_rounds_total", "cross-shard synchronization rounds across all sharded inferences", l),
+		shardAnnealSteps:      r.Counter("dsgl_shard_anneal_steps_total", "integration steps taken on the sharded anneal path", l),
+		shardWorkers:          r.Gauge("dsgl_shard_workers", "shard count of the most recent sharded inference", l),
 	}
 }
 

@@ -73,6 +73,16 @@ func (c *Cache[V]) Add(key []byte, val V) (evicted bool) {
 	return false
 }
 
+// Each calls fn for every resident entry without touching recency, most
+// recently used first. The clamp-plan cache uses it to rebuild the
+// lock-free read snapshot after an insert or eviction; iteration cost is
+// bounded by the capacity.
+func (c *Cache[V]) Each(fn func(key string, val V)) {
+	for n := c.head; n != nil; n = n.next {
+		fn(n.key, n.val)
+	}
+}
+
 // Contains reports whether key is cached without touching recency.
 func (c *Cache[V]) Contains(key []byte) bool {
 	_, ok := c.m[string(key)]

@@ -104,3 +104,31 @@ func TestGetDoesNotAllocateOnHit(t *testing.T) {
 		t.Fatalf("Get allocated %v per hit, want 0", allocs)
 	}
 }
+
+func TestEachVisitsMRUFirstWithoutTouching(t *testing.T) {
+	c := New[int](3)
+	c.Add(k("a"), 1)
+	c.Add(k("b"), 2)
+	c.Add(k("c"), 3)
+	c.Get(k("a")) // a becomes MRU: order a, c, b
+	var keys []string
+	var vals []int
+	c.Each(func(key string, v int) {
+		keys = append(keys, key)
+		vals = append(vals, v)
+	})
+	if len(keys) != 3 || keys[0] != "a" || keys[1] != "c" || keys[2] != "b" {
+		t.Fatalf("Each order = %v, want [a c b]", keys)
+	}
+	if vals[0] != 1 || vals[1] != 3 || vals[2] != 2 {
+		t.Fatalf("Each vals = %v, want [1 3 2]", vals)
+	}
+	// Each must not perturb recency: next eviction still removes b.
+	c.Add(k("d"), 4)
+	if _, ok := c.Get(k("b")); ok {
+		t.Fatal("Each changed recency: b should have been evicted")
+	}
+	if _, ok := c.Get(k("c")); !ok {
+		t.Fatal("c should still be resident")
+	}
+}

@@ -251,7 +251,7 @@ func TestConfigFillDefaults(t *testing.T) {
 			want: Config{
 				Lanes: 30, Dt: 0.1, MaxTimeNs: 20000, SettleTol: 1e-5,
 				VRail: 1, SyncIntervalNs: 200, SwitchIntervalNs: 200,
-				SwitchOverheadNs: 20,
+				SwitchOverheadNs: 20, ShardSyncNs: 200,
 			},
 		},
 		{
@@ -260,12 +260,14 @@ func TestConfigFillDefaults(t *testing.T) {
 				Lanes: 8, Dt: 0.2, MaxTimeNs: 100, SettleTol: 1e-3,
 				VRail: 2, SyncIntervalNs: 50, SwitchIntervalNs: 25,
 				SwitchOverheadNs: 5, TemporalDisabled: true,
+				ShardWorkers: 3, ShardSyncNs: 40,
 				NodeNoise: 0.1, CouplerNoise: 0.2, Seed: 9,
 			},
 			want: Config{
 				Lanes: 8, Dt: 0.2, MaxTimeNs: 100, SettleTol: 1e-3,
 				VRail: 2, SyncIntervalNs: 50, SwitchIntervalNs: 25,
 				SwitchOverheadNs: 5, TemporalDisabled: true,
+				ShardWorkers: 3, ShardSyncNs: 40,
 				NodeNoise: 0.1, CouplerNoise: 0.2, Seed: 9,
 			},
 		},
@@ -275,7 +277,7 @@ func TestConfigFillDefaults(t *testing.T) {
 			want: Config{
 				Lanes: 30, Dt: 0.1, MaxTimeNs: 20000, SettleTol: 1e-5,
 				VRail: 1, SyncIntervalNs: 75, SwitchIntervalNs: 75,
-				SwitchOverheadNs: 20,
+				SwitchOverheadNs: 20, ShardSyncNs: 75,
 			},
 		},
 		{
@@ -284,7 +286,7 @@ func TestConfigFillDefaults(t *testing.T) {
 			want: Config{
 				Lanes: 30, Dt: 0.1, MaxTimeNs: 20000, SettleTol: 1e-5,
 				VRail: 1, SyncIntervalNs: 200, SwitchIntervalNs: 200,
-				SwitchOverheadNs: 0,
+				SwitchOverheadNs: 0, ShardSyncNs: 200,
 			},
 		},
 	} {

@@ -76,6 +76,20 @@ type Config struct {
 	// TemporalDisabled selects the DS-GL-Spatial variant: couplings beyond
 	// one round are dropped instead of time-multiplexed.
 	TemporalDisabled bool
+	// ShardWorkers enables the software-sharded anneal (shard.go): the
+	// graph is partitioned into up to ShardWorkers groups of Louvain
+	// super-communities and each partition anneals on its own goroutine,
+	// exchanging cross-partition contributions every ShardSyncNs. 0 or 1
+	// keeps the exact sequential path; noisy configurations always do
+	// (one RNG stream cannot be split across concurrent shards
+	// deterministically).
+	ShardWorkers int
+	// ShardSyncNs is the cross-shard synchronization interval (default:
+	// SyncIntervalNs, the hardware sync rate — the software analog of the
+	// paper's multi-mapping synchronization). Values <= Dt would exchange
+	// every integration step, where the exact path is the bit-identical
+	// (and cheaper) implementation, so the machine routes there instead.
+	ShardSyncNs float64
 	// NodeNoise / CouplerNoise are relative Gaussian disturbance sigmas
 	// (Fig. 13). Zero disables noise.
 	NodeNoise, CouplerNoise float64
@@ -104,6 +118,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.SwitchIntervalNs == 0 {
 		c.SwitchIntervalNs = c.SyncIntervalNs
+	}
+	if c.ShardSyncNs == 0 {
+		c.ShardSyncNs = c.SyncIntervalNs
 	}
 	if c.SwitchOverheadNs == 0 {
 		c.SwitchOverheadNs = 20
@@ -152,6 +169,14 @@ type Machine struct {
 	// Machine literals (&Machine{N: ..., intra: ...}) that never infer.
 	engOnce sync.Once
 	eng     *engine.Engine
+
+	// Sharded-anneal structures, built lazily on first use (shard.go):
+	// shardGroups partitions the nodes by super-community groups (nil when
+	// this machine cannot shard) and combined merges intra plus every
+	// temporal slice into one always-live coupling matrix.
+	shardOnce   sync.Once
+	shardGroups [][]int
+	combined    *mat.CSR
 }
 
 // Engine returns the inference engine driving this machine, creating it on
@@ -204,6 +229,11 @@ type scratch struct {
 	// fully-clamped rows are non-zero).
 	biasIntra []float64
 	biasPhase [][]float64
+
+	// shard is the sharded-anneal arena (shard.go), allocated on the
+	// state's first sharded run; nil until then, so states that never run
+	// the sharded path pay nothing.
+	shard *shardScratch
 }
 
 // AttachState allocates the machine's scratch arena onto an engine state.
@@ -309,6 +339,28 @@ func (m *Machine) InferWith(st *InferState, obs []Observation, seed uint64) (*Re
 func (m *Machine) InferBatch(obs [][]Observation, workers int) ([]*Result, error) {
 	return m.Engine().InferBatch(obs, workers)
 }
+
+// InferShardedSeeded is InferSeeded over the software-sharded anneal path
+// (shard.go): graph partitions anneal concurrently and exchange coupling
+// contributions every Config.ShardSyncNs. Falls back to the exact path
+// whenever the machine cannot shard; see engine.InferShardedWith.
+func (m *Machine) InferShardedSeeded(obs []Observation, seed uint64) (*Result, error) {
+	return m.Engine().InferShardedSeeded(obs, seed)
+}
+
+// InferShardedWith is InferWith over the sharded anneal path.
+func (m *Machine) InferShardedWith(st *InferState, obs []Observation, seed uint64) (*Result, error) {
+	return m.Engine().InferShardedWith(st, obs, seed)
+}
+
+// InferShardedBatch is InferBatch over the sharded anneal path: windows
+// fan out across batch workers, each window's anneal across shards.
+func (m *Machine) InferShardedBatch(obs [][]Observation, workers int) ([]*Result, error) {
+	return m.Engine().InferShardedBatch(obs, workers)
+}
+
+// The Machine is the sharding-capable backend of the shared engine.
+var _ engine.ShardedBackend = (*Machine)(nil)
 
 // InferWithNaive is InferWith running the naive reference loop: no clamp
 // plan, every coupling matrix re-evaluated in full each step. The

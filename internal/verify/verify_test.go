@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"dsgl/internal/community"
+	"dsgl/internal/engine"
 	"dsgl/internal/mat"
 	"dsgl/internal/pattern"
 	"dsgl/internal/rng"
@@ -246,5 +247,48 @@ func TestReportOkAndFprint(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("rendered report missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestShardedFixedPoint(t *testing.T) {
+	exact := &engine.Result{Settled: true, Voltage: []float64{0.5, -0.25, 0.75}}
+	agree := &engine.Result{Settled: true, Voltage: []float64{0.5 + 5e-5, -0.25, 0.75 - 5e-5}}
+	if v := ShardedFixedPoint("p", exact, agree, 1e-4); len(v) != 0 {
+		t.Fatalf("within-tol pair flagged: %v", v)
+	}
+	far := &engine.Result{Settled: true, Voltage: []float64{0.5, -0.25 + 1e-3, 0.75}}
+	v := ShardedFixedPoint("p", exact, far, 1e-4)
+	if len(v) != 1 || !strings.Contains(v[0].Detail, "node 1") {
+		t.Fatalf("out-of-tol node not flagged: %v", v)
+	}
+	if v[0].Invariant != InvShardedFixedPoint {
+		t.Fatalf("invariant id = %q", v[0].Invariant)
+	}
+	unsettled := &engine.Result{Settled: false, Voltage: exact.Voltage, Residual: 0.1, Switches: 3}
+	if v := ShardedFixedPoint("p", exact, unsettled, 1e-4); len(v) != 1 ||
+		!strings.Contains(v[0].Detail, "did not") {
+		t.Fatalf("sharded non-settle not flagged: %v", v)
+	}
+	// No claim when the exact reference itself did not settle.
+	if v := ShardedFixedPoint("p", unsettled, far, 1e-4); v != nil {
+		t.Fatalf("vacuous case flagged: %v", v)
+	}
+	short := &engine.Result{Settled: true, Voltage: []float64{0.5}}
+	if v := ShardedFixedPoint("p", exact, short, 1e-4); len(v) != 1 {
+		t.Fatalf("length mismatch not flagged: %v", v)
+	}
+	// Violation capping: every node diverges, list stays bounded.
+	n := 2 * maxViolationsPerCheck
+	wideA := &engine.Result{Settled: true, Voltage: make([]float64, n)}
+	wideB := &engine.Result{Settled: true, Voltage: make([]float64, n)}
+	for i := range wideB.Voltage {
+		wideB.Voltage[i] = 1
+	}
+	v = ShardedFixedPoint("p", wideA, wideB, 1e-4)
+	if len(v) != maxViolationsPerCheck+1 {
+		t.Fatalf("got %d violations, want %d capped + 1 summary", len(v), maxViolationsPerCheck+1)
+	}
+	if !strings.Contains(v[len(v)-1].Detail, "more node divergences") {
+		t.Fatalf("missing overflow summary: %v", v[len(v)-1])
 	}
 }

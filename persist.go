@@ -261,6 +261,8 @@ func Load(r io.Reader, ds *Dataset) (*Model, error) {
 		MaxTimeNs:        opts.MaxInferNs,
 		NodeNoise:        opts.NodeNoise,
 		CouplerNoise:     opts.CouplerNoise,
+		ShardWorkers:     opts.ShardWorkers,
+		ShardSyncNs:      opts.ShardSyncNs,
 		Seed:             opts.Seed + 2,
 	})
 	if err != nil {

@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math"
 
 	"dsgl/internal/datasets"
 	"dsgl/internal/engine"
+	"dsgl/internal/scalable"
 	"dsgl/internal/verify"
 )
 
@@ -61,7 +63,7 @@ const (
 	descentNetRel    = 0 // every trace must end no higher than it began
 )
 
-// Verify checks the six runtime contracts of the DS-GL system (paper
+// Verify checks the seven runtime contracts of the DS-GL system (paper
 // Sec. III, Eqs. 6-8) against the trained model:
 //
 //  1. monotone energy descent while annealing probe windows;
@@ -73,7 +75,11 @@ const (
 //  5. lossless compilation (EffectiveJ == Tuned.J when nothing is
 //     dropped);
 //  6. clamp-plan/naive bit-identity (the compiled constant-folding
-//     inference path returns exactly the naive reference loop's Results).
+//     inference path returns exactly the naive reference loop's Results);
+//  7. sharded fixed-point agreement (the community-sharded parallel anneal
+//     settles to the sequential equilibrium within the settle-residual
+//     tolerance — checked on a sharding-enabled twin of the machine, so it
+//     guards the sharded path even for models that run with sharding off).
 //
 // The returned report is structured: rep.Ok() is the overall verdict,
 // rep.Fprint renders it for terminals, and rep.Violations() flattens every
@@ -81,11 +87,13 @@ const (
 // checks at all (no test windows, snapshot I/O failure); contract
 // violations are reported, not returned as errors.
 //
-// Verify runs against either backend. All six checks run on a BackendDense
+// Verify runs against either backend. Checks 1-6 run on a BackendDense
 // model too: the snapshot round-trip (3) exercises the dense (v3) snapshot
 // format, and lossless compilation (5) compares the dense network's
 // realized coupling matrix against the tuned J; the remaining checks go
-// through the same engine entry points as on the scalable machine.
+// through the same engine entry points as on the scalable machine. The
+// sharded fixed-point check (7) is scalable-only — the dense backend has no
+// community structure to shard — and reports itself skipped there.
 func Verify(m *Model, opts VerifyOptions) (*VerifyReport, error) {
 	if m == nil || m.Dataset == nil || (m.Machine == nil && m.Dspu == nil) {
 		return nil, errors.New("dsgl: Verify needs a trained model")
@@ -138,6 +146,11 @@ func Verify(m *Model, opts VerifyOptions) (*VerifyReport, error) {
 		return nil, err
 	}
 	rep.Add(planNaive)
+	shardFP, err := m.checkShardedFixedPoint(obsList, seq, seed)
+	if err != nil {
+		return nil, err
+	}
+	rep.Add(shardFP)
 	return rep, nil
 }
 
@@ -367,6 +380,85 @@ func (m *Model) checkPlanNaiveIdentity(obsList [][]engine.Observation, seq []*en
 	}
 	hits, misses := m.engine().PlanCacheStats()
 	c.Detail = fmt.Sprintf("%d probe windows re-inferred naively; plan cache %d hits / %d misses", len(obsList), hits, misses)
+	return c, nil
+}
+
+// verifyShardWorkers is the shard count the sharded-fixed-point check
+// verifies with. Four matches the CI-class core budget the sharded anneal
+// targets; ShardNodes caps the effective count at the community (PE) count,
+// so small graphs verify with whatever parallelism they actually support.
+const verifyShardWorkers = 4
+
+// shardedFixedPointTol converts the settle-residual bound into a node-wise
+// voltage tolerance: at a settled state every free node's residual
+// |Σ J_ij x_j + h_i x_i| is below the bound, so to first order two settled
+// states differ per node by at most 2·bound/|h_i|. The extra factor of two
+// covers the free-free coupling feedback the per-node linearization drops
+// (trained DS-GL systems keep that block weak — the closed-form solve
+// couples unknowns to observations, not to each other).
+func shardedFixedPointTol(h []float64, residBound float64) float64 {
+	minH := math.Inf(1)
+	for _, v := range h {
+		if a := math.Abs(v); a > 0 && a < minH {
+			minH = a
+		}
+	}
+	if math.IsInf(minH, 1) {
+		return residBound
+	}
+	return 4 * residBound / minH
+}
+
+// checkShardedFixedPoint verifies invariant 7: the community-sharded
+// parallel anneal settles to the same fixed point as the exact sequential
+// reference. The check builds a sharding-enabled twin of the machine (same
+// tuned parameters, assignment, and mask — only ShardWorkers differs), so
+// the invariant is exercised even when the model itself runs with sharding
+// off; the twin and the reference share every probe seed.
+func (m *Model) checkShardedFixedPoint(obsList [][]engine.Observation, seq []*engine.Result, seed uint64) (VerifyCheck, error) {
+	c := VerifyCheck{Invariant: verify.InvShardedFixedPoint, Name: "sharded/sequential fixed-point agreement"}
+	if m.Machine == nil {
+		c.Skipped = true
+		c.Detail = "dense backend has no community structure to shard"
+		return c, nil
+	}
+	if m.Opts.NodeNoise > 0 || m.Opts.CouplerNoise > 0 {
+		c.Skipped = true
+		c.Detail = "analog noise injected; the sharded anneal always defers to the exact path"
+		return c, nil
+	}
+	cfg := m.Machine.Config()
+	cfg.ShardWorkers = verifyShardWorkers
+	cfg.ShardSyncNs = m.Opts.ShardSyncNs
+	twin, err := scalable.Build(m.Tuned, m.Assignment, m.mask, cfg)
+	if err != nil {
+		return c, fmt.Errorf("dsgl: verify sharded twin compilation: %w", err)
+	}
+	if twin.ShardCount() < 2 {
+		c.Skipped = true
+		c.Detail = "graph yields fewer than two community shards; sharded anneal never engages"
+		return c, nil
+	}
+	tol := shardedFixedPointTol(m.Tuned.H, twin.SettleResidualTol())
+	settled := 0
+	for i, obs := range obsList {
+		res, err := twin.InferShardedSeeded(obs, seed+uint64(i))
+		if err != nil {
+			return c, fmt.Errorf("dsgl: verify sharded probe %d: %w", i, err)
+		}
+		if seq[i].Settled {
+			settled++
+		}
+		c.Violations = append(c.Violations,
+			verify.ShardedFixedPoint(fmt.Sprintf("probe %d", i), seq[i], res, tol)...)
+	}
+	if settled == 0 {
+		c.Skipped = true
+		c.Detail = fmt.Sprintf("none of the %d probes settled on the exact path; no fixed-point claim made", len(obsList))
+		return c, nil
+	}
+	c.Detail = fmt.Sprintf("%d shards, %d/%d settled probes compared, node tolerance %.2g",
+		twin.ShardCount(), settled, len(obsList), tol)
 	return c, nil
 }
 
