@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench verify clean
+.PHONY: all build vet lint test race bench serve-bench verify clean
 
 all: lint build test
 
@@ -50,5 +50,15 @@ bench:
 		$(GO) run ./cmd/benchfmt -guard
 	@echo "wrote BENCH_infer.json"
 
+# serve-bench drives the serving layer with the synthetic open-loop load
+# generator (heavy-tail Pareto arrivals, two offered-QPS points) and
+# captures the p50/p99 + QPS report as BENCH_serve.json, rendered to a
+# console table via benchfmt -serve (which fails the run when a QPS point
+# completes zero requests). Small -n keeps the boot-time training CI-cheap.
+serve-bench:
+	$(GO) run ./cmd/dsgld -loadtest -n 16 -qps 150,600 -load-duration 2s | \
+		tee BENCH_serve.json | $(GO) run ./cmd/benchfmt -serve
+	@echo "wrote BENCH_serve.json"
+
 clean:
-	rm -f BENCH_infer.json
+	rm -f BENCH_infer.json BENCH_serve.json

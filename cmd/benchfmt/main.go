@@ -41,7 +41,13 @@ type event struct {
 func main() {
 	guard := flag.Bool("guard", false,
 		"fail (exit 1) when any InferBatch regime's workers=4 vs workers=1 speedup falls below the anti-scaling threshold")
+	serveMode := flag.Bool("serve", false,
+		"render a serving-layer load report (the JSON array dsgld -loadtest emits, committed as BENCH_serve.json) instead of a go test event stream; fails when any QPS point completed zero requests")
 	flag.Parse()
+
+	if *serveMode {
+		os.Exit(renderServe(os.Stdin, os.Stdout))
+	}
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
@@ -101,6 +107,57 @@ func main() {
 	if *guard && !ok {
 		os.Exit(1)
 	}
+}
+
+// serveReport mirrors serve.LoadReport's JSON (decoded structurally here so
+// the formatter keeps working against committed BENCH_serve.json artifacts
+// even as unrelated fields are added).
+type serveReport struct {
+	Model     string  `json:"model"`
+	Sent      int     `json:"sent"`
+	OK        int     `json:"ok"`
+	Shed      int     `json:"shed"`
+	Errors    int     `json:"errors"`
+	QPS       float64 `json:"offered_qps"`
+	Achieved  float64 `json:"achieved_qps"`
+	P50Ms     float64 `json:"p50_ms"`
+	P90Ms     float64 `json:"p90_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MaxMs     float64 `json:"max_ms"`
+	MeanBatch float64 `json:"mean_batch"`
+}
+
+// renderServe turns the dsgld -loadtest JSON report array into the console
+// table, returning the process exit code: nonzero when the stream is
+// malformed, empty, recorded request errors, or any QPS point completed no
+// requests at all (a silently dead serving path should fail the bench, not
+// produce an empty table).
+func renderServe(in *os.File, out *os.File) int {
+	var reports []serveReport
+	if err := json.NewDecoder(bufio.NewReader(in)).Decode(&reports); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfmt -serve:", err)
+		return 1
+	}
+	if len(reports) == 0 {
+		fmt.Fprintln(os.Stderr, "benchfmt -serve: no load reports in stream")
+		return 1
+	}
+	fmt.Fprintf(out, "%-10s %9s %9s %6s %5s %8s %8s %8s %8s %7s\n",
+		"model", "offered", "achieved", "ok", "shed", "p50 ms", "p90 ms", "p99 ms", "max ms", "batch")
+	code := 0
+	for _, r := range reports {
+		fmt.Fprintf(out, "%-10s %9.4g %9.4g %6d %5d %8.2f %8.2f %8.2f %8.2f %7.2f\n",
+			r.Model, r.QPS, r.Achieved, r.OK, r.Shed, r.P50Ms, r.P90Ms, r.P99Ms, r.MaxMs, r.MeanBatch)
+		if r.OK == 0 {
+			fmt.Fprintf(out, "serve bench: %s @ %g qps completed zero requests\n", r.Model, r.QPS)
+			code = 1
+		}
+		if r.Errors > 0 {
+			fmt.Fprintf(out, "serve bench: %s @ %g qps recorded %d request errors\n", r.Model, r.QPS, r.Errors)
+			code = 1
+		}
+	}
+	return code
 }
 
 // parseHitRate extracts the benchmark name and the value of the custom

@@ -27,13 +27,20 @@ import (
 	"dsgl/internal/obs/obshttp"
 )
 
-func main() {
-	if len(os.Args) < 2 {
+// main is a thin shell around realMain: os.Exit skips deferred functions,
+// so every error path returns an exit code instead of exiting directly —
+// otherwise an error during a run with -obs-addr would kill the process
+// without the deferred observability shutdown (and its -obs-linger window)
+// ever running.
+func main() { os.Exit(realMain(os.Args[1:])) }
+
+func realMain(args []string) int {
+	if len(args) < 1 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
-	cmd := os.Args[1]
-	rest := os.Args[2:]
+	cmd := args[0]
+	rest := args[1:]
 	// "inspect" and "eval" take an optional dataset name before the flags.
 	inspectName := "traffic"
 	if (cmd == "inspect" || cmd == "eval") && len(rest) > 0 && len(rest[0]) > 0 && rest[0][0] != '-' {
@@ -49,7 +56,7 @@ func main() {
 			rest = rest[1:]
 		}
 	}
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	n := fs.Int("n", 32, "graph nodes per dataset")
 	t := fs.Int("t", 0, "series length (0 = dataset default)")
 	evalWindows := fs.Int("eval", 30, "test windows evaluated per configuration")
@@ -64,18 +71,18 @@ func main() {
 	obsLinger := fs.Duration("obs-linger", 0,
 		"keep the -obs-addr server alive this long after the run completes, so scrapers can read the final state")
 	if err := fs.Parse(rest); err != nil {
-		os.Exit(2)
+		return 2
 	}
 	if !validBackend(*backend) {
 		fmt.Fprintf(os.Stderr, "dsgl: unknown backend %q (valid: %s)\n", *backend, strings.Join(dsgl.Backends(), ", "))
-		os.Exit(2)
+		return 2
 	}
 	if *obsAddr != "" {
 		dsgl.EnableMetrics()
 		bound, shutdown, err := obshttp.Serve(*obsAddr, obs.Default())
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dsgl: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "observability: http://%s (/metrics, /metricsz, /debug/pprof/)\n", bound)
 		defer func() {
@@ -101,17 +108,17 @@ func main() {
 	case "inspect":
 		if err := inspect(inspectName, cfg, *backend); err != nil {
 			fmt.Fprintf(os.Stderr, "dsgl inspect: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	case "eval":
 		if err := eval(inspectName, cfg, *backend); err != nil {
 			fmt.Fprintf(os.Stderr, "dsgl eval: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	case "verify":
 		if err := verify(verifyNames, cfg, *backend); err != nil {
 			fmt.Fprintf(os.Stderr, "dsgl verify: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	case "list":
 		ids := experiments.IDs()
@@ -121,25 +128,26 @@ func main() {
 		}
 	case "all":
 		for _, id := range experiments.IDs() {
-			if err := run(registry, id, cfg); err != nil {
+			if err := runExperiment(registry, id, cfg); err != nil {
 				fmt.Fprintf(os.Stderr, "dsgl %s: %v\n", id, err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	default:
 		if _, ok := registry[cmd]; !ok {
 			fmt.Fprintf(os.Stderr, "dsgl: unknown experiment %q\n\n", cmd)
 			usage()
-			os.Exit(2)
+			return 2
 		}
-		if err := run(registry, cmd, cfg); err != nil {
+		if err := runExperiment(registry, cmd, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "dsgl %s: %v\n", cmd, err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }
 
-func run(registry map[string]experiments.Runner, id string, cfg experiments.Config) error {
+func runExperiment(registry map[string]experiments.Runner, id string, cfg experiments.Config) error {
 	start := time.Now()
 	if err := registry[id](cfg, os.Stdout); err != nil {
 		return err

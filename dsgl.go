@@ -384,11 +384,13 @@ func Train(ds *Dataset, opts Options) (*Model, error) {
 // switching, so they settle well within 2 µs.
 const denseMaxInferNs = 2000
 
-// engine returns the inference engine of the model's backend. Both
+// Engine returns the inference engine of the model's backend. Both
 // backends expose the identical engine surface (InferSeeded, InferBatch,
 // EnsurePlan, plan-cache stats), so everything downstream of Train is
-// backend-agnostic.
-func (m *Model) engine() *engine.Engine {
+// backend-agnostic. The serving layer (internal/serve) drives models
+// through this handle: it is safe for concurrent use, and batch entry
+// points are bit-identical to their solo equivalents per seed.
+func (m *Model) Engine() *engine.Engine {
 	if m.Machine != nil {
 		return m.Machine.Engine()
 	}
@@ -418,7 +420,7 @@ type Prediction struct {
 // Predict clamps the window's observed entries and anneals the unknown
 // ones.
 func (m *Model) Predict(w datasets.Window) (*Prediction, error) {
-	return m.predictSeeded(w, m.engine().BaseSeed())
+	return m.predictSeeded(w, m.Engine().BaseSeed())
 }
 
 // predictSeeded is Predict with an explicit anneal seed. Evaluate and
@@ -431,9 +433,9 @@ func (m *Model) predictSeeded(w datasets.Window, seed uint64) (*Prediction, erro
 	}
 	var res *engine.Result
 	if m.shardedInference() {
-		res, err = m.engine().InferShardedSeeded(obs, seed)
+		res, err = m.Engine().InferShardedSeeded(obs, seed)
 	} else {
-		res, err = m.engine().InferSeeded(obs, seed)
+		res, err = m.Engine().InferSeeded(obs, seed)
 	}
 	if err != nil {
 		return nil, err
@@ -447,6 +449,14 @@ func (m *Model) predictSeeded(w datasets.Window, seed uint64) (*Prediction, erro
 // shard, so routing here only consults the user's knob and the backend.
 func (m *Model) shardedInference() bool {
 	return m.Machine != nil && m.Opts.ShardWorkers > 1
+}
+
+// WindowObservations builds the clamp list for one window: every observed
+// entry (per the dataset's observation mask) becomes one engine.Observation
+// clamping its node. The window length is validated against the model
+// dimension; a mismatched window is an error, never a silent partial clamp.
+func (m *Model) WindowObservations(w datasets.Window) ([]engine.Observation, error) {
+	return m.windowObservations(w)
 }
 
 // windowObservations builds the clamp list for one window.
@@ -508,7 +518,7 @@ func (m *Model) Evaluate(windows []datasets.Window) (*Report, error) {
 	if err := m.ensurePlan(); err != nil {
 		return nil, err
 	}
-	seed := m.engine().BaseSeed()
+	seed := m.Engine().BaseSeed()
 	// One accumulator carries both the squared and absolute error sums.
 	var acc metrics.Accumulator
 	var lat float64
@@ -553,9 +563,9 @@ func (m *Model) EvaluateParallel(windows []datasets.Window, workers int) (*Repor
 	var results []*engine.Result
 	var err error
 	if m.shardedInference() {
-		results, err = m.engine().InferShardedBatch(obsList, workers)
+		results, err = m.Engine().InferShardedBatch(obsList, workers)
 	} else {
-		results, err = m.engine().InferBatch(obsList, workers)
+		results, err = m.Engine().InferBatch(obsList, workers)
 	}
 	if err != nil {
 		return nil, err
@@ -568,6 +578,19 @@ func (m *Model) EvaluateParallel(windows []datasets.Window, workers int) (*Repor
 		lat += p.LatencyUs
 	}
 	return m.report(acc, lat, len(windows)), nil
+}
+
+// EnsurePlan pre-compiles the clamp plan for the model's fixed observation
+// pattern. The serving layer's model registry calls this at load time so a
+// model starts answering requests with a warm plan cache instead of
+// compiling inside the first request's anneal.
+func (m *Model) EnsurePlan() error { return m.ensurePlan() }
+
+// PlanCacheStats reports the model engine's cumulative clamp-plan cache
+// hit and miss counts (a miss compiles a plan). The registry warmup test
+// and the serving layer's /v1/models listing read these.
+func (m *Model) PlanCacheStats() (hits, misses uint64) {
+	return m.Engine().PlanCacheStats()
 }
 
 // ensurePlan pre-compiles the machine's clamp plan for the model's fixed
@@ -584,7 +607,7 @@ func (m *Model) ensurePlan() error {
 			obs = append(obs, engine.Observation{Index: i})
 		}
 	}
-	return m.engine().EnsurePlan(obs)
+	return m.Engine().EnsurePlan(obs)
 }
 
 // report assembles the aggregate evaluation report. A dense-backend model
@@ -691,6 +714,11 @@ func trainDensePhase(ds *Dataset, samples [][]float64, rowWeight []float64, opts
 // via DenseInfer or passed to Train as Options.DenseInit.
 func TrainDense(ds *Dataset, opts Options) (*train.Params, error) {
 	opts.fillDefaults()
+	// Same admission check Train performs: a malformed dataset must surface
+	// here as an error, not as a panic deep inside Split or the ridge solve.
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
 	trainWindows, _ := ds.Split()
 	samples := make([][]float64, len(trainWindows))
 	for i, w := range trainWindows {
@@ -713,6 +741,16 @@ func TrainDense(ds *Dataset, opts Options) (*train.Params, error) {
 // DenseInfer runs one window inference on a dense (single-PE) Real-Valued
 // DSPU built from params.
 func DenseInfer(ds *Dataset, params *train.Params, w datasets.Window, seed uint64) (*Prediction, error) {
+	// Same geometry check windowObservations performs on the model path: a
+	// window that does not match the parameter dimension would otherwise
+	// panic indexing w.Full (too short) or silently clamp garbage entries
+	// (too long).
+	if len(w.Full) != params.Dim() {
+		return nil, fmt.Errorf("dsgl: window has %d entries, parameters expect %d", len(w.Full), params.Dim())
+	}
+	if got := ds.WindowLen(); got != params.Dim() {
+		return nil, fmt.Errorf("dsgl: dataset window length %d, parameters expect %d", got, params.Dim())
+	}
 	d, err := dspu.New(params.J, params.H, dspu.Config{Seed: seed, MaxTimeNs: denseMaxInferNs})
 	if err != nil {
 		return nil, err

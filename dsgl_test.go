@@ -425,3 +425,55 @@ func TestValidationCountPinsSplit(t *testing.T) {
 		t.Fatal("test premise broken: n=20 no longer distinguishes n/7 from 15%")
 	}
 }
+
+// TestTrainDenseRejectsMalformedDataset pins the TrainDense admission
+// check: before the fix TrainDense skipped the ds.Validate() call Train
+// performs, so a malformed dataset panicked deep inside Split/ridge
+// instead of returning an error.
+func TestTrainDenseRejectsMalformedDataset(t *testing.T) {
+	ds := tinyDataset(t, "traffic")
+	ds.X = ds.X[:len(ds.X)-3] // truncated series: Validate must catch this
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("TrainDense panicked on a malformed dataset: %v", r)
+		}
+	}()
+	if _, err := TrainDense(ds, Options{Seed: 5}); err == nil {
+		t.Fatal("TrainDense accepted a dataset with a truncated series")
+	}
+	// Same malformed input through Train, as the reference behaviour the
+	// fix aligns TrainDense with.
+	if _, err := Train(ds, tinyOptions()); err == nil {
+		t.Fatal("Train accepted a dataset with a truncated series")
+	}
+}
+
+// TestDenseInferRejectsMismatchedWindow pins the DenseInfer geometry
+// check: a window shorter or longer than the parameter dimension must be
+// rejected up front (before the fix a short window panicked indexing
+// w.Full and a long one silently clamped garbage).
+func TestDenseInferRejectsMismatchedWindow(t *testing.T) {
+	ds := tinyDataset(t, "traffic")
+	dense, err := TrainDense(ds, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, test := ds.Split()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("DenseInfer panicked on a mismatched window: %v", r)
+		}
+	}()
+	short := Window{Full: test[0].Full[:len(test[0].Full)-1]}
+	if _, err := DenseInfer(ds, dense, short, 9); err == nil {
+		t.Fatal("DenseInfer accepted a short window")
+	}
+	long := Window{Full: append(append([]float64(nil), test[0].Full...), 0)}
+	if _, err := DenseInfer(ds, dense, long, 9); err == nil {
+		t.Fatal("DenseInfer accepted a long window")
+	}
+	// The matched window still works.
+	if _, err := DenseInfer(ds, dense, test[0], 9); err != nil {
+		t.Fatalf("DenseInfer rejected a well-formed window: %v", err)
+	}
+}

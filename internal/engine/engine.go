@@ -287,7 +287,21 @@ func (e *Engine) InferSeededNaive(obs []Observation, seed uint64) (*Result, erro
 // calling InferSeeded(obs[i], BaseSeed()+i) sequentially — regardless of
 // worker count or scheduling.
 func (e *Engine) InferBatch(obs [][]Observation, workers int) ([]*Result, error) {
-	return e.runBatch(obs, workers, e.InferWith)
+	base := e.b.BaseSeed()
+	return e.runBatch(obs, workers, e.InferWith, func(i int) uint64 { return base + uint64(i) })
+}
+
+// InferBatchSeeds is InferBatch with an explicit anneal seed per window:
+// window i runs with seeds[i] instead of BaseSeed()+i. This is the entry
+// point the serving layer's cross-request coalescing rides on — requests
+// that arrive with their own seeds are fanned out together yet each anneal
+// is bit-identical to the solo InferSeeded(obs[i], seeds[i]) call, because
+// the seed is the only per-window input the engine contributes.
+func (e *Engine) InferBatchSeeds(obs [][]Observation, seeds []uint64, workers int) ([]*Result, error) {
+	if len(seeds) != len(obs) {
+		return nil, fmt.Errorf("%s: batch has %d observation sets but %d seeds", e.b.Name(), len(obs), len(seeds))
+	}
+	return e.runBatch(obs, workers, e.InferWith, func(i int) uint64 { return seeds[i] })
 }
 
 // InferShardedBatch is InferBatch over the sharded anneal path (see
@@ -296,13 +310,14 @@ func (e *Engine) InferBatch(obs [][]Observation, workers int) ([]*Result, error)
 // semantics are identical to InferBatch; on a backend without sharding the
 // two entry points return bit-identical results.
 func (e *Engine) InferShardedBatch(obs [][]Observation, workers int) ([]*Result, error) {
-	return e.runBatch(obs, workers, e.InferShardedWith)
+	base := e.b.BaseSeed()
+	return e.runBatch(obs, workers, e.InferShardedWith, func(i int) uint64 { return base + uint64(i) })
 }
 
 // runBatch is the shared batch fan-out: acquire one pooled state per
-// worker, run every window through infer at seed BaseSeed()+i, return the
+// worker, run every window through infer at seed seedOf(i), return the
 // states to the free-list, and surface the first error in window order.
-func (e *Engine) runBatch(obs [][]Observation, workers int, infer func(*InferState, []Observation, uint64) (*Result, error)) ([]*Result, error) {
+func (e *Engine) runBatch(obs [][]Observation, workers int, infer func(*InferState, []Observation, uint64) (*Result, error), seedOf func(int) uint64) ([]*Result, error) {
 	n := len(obs)
 	results := make([]*Result, n)
 	errs := make([]error, n)
@@ -316,9 +331,8 @@ func (e *Engine) runBatch(obs [][]Observation, workers int, infer func(*InferSta
 		m.batchWindows.Add(uint64(n))
 		m.batchWorkers.Set(float64(w))
 	}
-	base := e.b.BaseSeed()
 	pool.RunWorkers(w, n, func(worker, i int) {
-		res, err := infer(states[worker], obs[i], base+uint64(i))
+		res, err := infer(states[worker], obs[i], seedOf(i))
 		if err != nil {
 			errs[i] = err
 			return

@@ -185,6 +185,43 @@ func TestInferBatchMatchesSequential(t *testing.T) {
 	}
 }
 
+func TestInferBatchSeedsMatchesSolo(t *testing.T) {
+	_, e := newStub(6)
+	obsList := make([][]Observation, 7)
+	seeds := make([]uint64, len(obsList))
+	for i := range obsList {
+		obsList[i] = []Observation{{Index: i % 3, Value: 0.1 * float64(i%4)}}
+		// Non-contiguous, out-of-order seeds: the serving layer hands the
+		// engine whatever seeds its requests arrived with.
+		seeds[i] = uint64(1000 - 17*i)
+	}
+	solo := make([]*Result, len(obsList))
+	for i, obs := range obsList {
+		r, err := e.InferSeeded(obs, seeds[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo[i] = r
+	}
+	for _, workers := range []int{1, 4} {
+		par, err := e.InferBatchSeeds(obsList, seeds, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range solo {
+			for k := range solo[i].Voltage {
+				if math.Float64bits(par[i].Voltage[k]) != math.Float64bits(solo[i].Voltage[k]) {
+					t.Fatalf("workers=%d window %d node %d: %v vs %v",
+						workers, i, k, par[i].Voltage[k], solo[i].Voltage[k])
+				}
+			}
+		}
+	}
+	if _, err := e.InferBatchSeeds(obsList, seeds[:3], 2); err == nil || !strings.Contains(err.Error(), "seeds") {
+		t.Fatalf("seed-count mismatch: got %v, want an error naming the seeds", err)
+	}
+}
+
 func TestPlanCacheCountersAndEviction(t *testing.T) {
 	b, e := newStub(32)
 	st := e.NewInferState()

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// maxTenantBuckets bounds the limiter's tenant map. When the cap is hit,
+// buckets that have fully refilled (idle long enough that dropping them
+// loses nothing — a fresh bucket starts full anyway) are swept before a
+// new tenant is admitted.
+const maxTenantBuckets = 4096
+
+// tenantLimiter is a per-tenant token bucket: each tenant refills at rate
+// tokens/second up to burst, and one request costs one token. A nil
+// limiter admits everything (rate limiting disabled).
+type tenantLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64 // bucket capacity
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newTenantLimiter builds a limiter, or nil (unlimited) when rate <= 0.
+// burst <= 0 defaults to max(1, rate): one second of refill, never less
+// than a single request.
+func newTenantLimiter(rate, burst float64) *tenantLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = rate
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &tenantLimiter{rate: rate, burst: burst, buckets: make(map[string]*bucket)}
+}
+
+// allow reports whether tenant may proceed at time now, consuming one
+// token when it may. New tenants start with a full bucket.
+func (l *tenantLimiter) allow(tenant string, now time.Time) bool {
+	if l == nil {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[tenant]
+	if !ok {
+		if len(l.buckets) >= maxTenantBuckets {
+			l.sweepLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+	} else {
+		b.tokens += l.rate * now.Sub(b.last).Seconds()
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// sweepLocked drops tenants whose buckets have refilled to capacity — they
+// have been idle for at least burst/rate seconds and lose nothing by being
+// re-created full. Caller holds mu.
+func (l *tenantLimiter) sweepLocked(now time.Time) {
+	for tenant, b := range l.buckets {
+		if b.tokens+l.rate*now.Sub(b.last).Seconds() >= l.burst {
+			delete(l.buckets, tenant)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"sync"
+
+	"dsgl/internal/obs"
+)
+
+// serveObs bundles the serving layer's instruments. The binding is built
+// once at Server construction from the default registry: a server exists to
+// be scraped, so unlike the engine's per-call rebinding there is no
+// hot-path reason to chase registry swaps — tests that want an isolated
+// registry install it (obs.SetDefault) before constructing the Server.
+// All instruments follow the obs nil-is-no-op contract, so a server built
+// with observability disabled records nothing at zero cost.
+type serveObs struct {
+	reg *obs.Registry
+
+	admitted    *obs.Counter // dsgl_serve_requests_admitted_total
+	rateLimited *obs.Counter // dsgl_serve_requests_rate_limited_total
+	queueFull   *obs.Counter // dsgl_serve_requests_queue_full_total
+	draining    *obs.Counter // dsgl_serve_requests_draining_total
+	badRequest  *obs.Counter // dsgl_serve_requests_bad_total
+	inferErrors *obs.Counter // dsgl_serve_infer_errors_total
+
+	queueDepth *obs.Gauge     // dsgl_serve_queue_depth
+	inflight   *obs.Gauge     // dsgl_serve_inflight
+	batchSize  *obs.Histogram // dsgl_serve_batch_size
+	batches    *obs.Counter   // dsgl_serve_batches_total
+	solo       *obs.Counter   // dsgl_serve_solo_total
+	coalesced  *obs.Counter   // dsgl_serve_coalesced_requests_total
+
+	// latency holds the per-model request-latency summaries
+	// (dsgl_serve_request_seconds{model=...}, P-squared p50/p90/p99),
+	// registered lazily on a model's first served request.
+	mu      sync.Mutex
+	latency map[string]*obs.Summary
+}
+
+func newServeObs(r *obs.Registry) *serveObs {
+	m := &serveObs{reg: r, latency: make(map[string]*obs.Summary)}
+	if r == nil {
+		return m
+	}
+	m.admitted = r.Counter("dsgl_serve_requests_admitted_total", "requests admitted and answered")
+	m.rateLimited = r.Counter("dsgl_serve_requests_rate_limited_total", "requests shed with 429 by the per-tenant token bucket")
+	m.queueFull = r.Counter("dsgl_serve_requests_queue_full_total", "requests shed with 503 because the batch queue was full")
+	m.draining = r.Counter("dsgl_serve_requests_draining_total", "requests refused with 503 during drain")
+	m.badRequest = r.Counter("dsgl_serve_requests_bad_total", "requests rejected as malformed (unknown model, bad window, invalid observations)")
+	m.inferErrors = r.Counter("dsgl_serve_infer_errors_total", "admitted requests whose anneal failed")
+	m.queueDepth = r.Gauge("dsgl_serve_queue_depth", "requests currently waiting in batch groups")
+	m.inflight = r.Gauge("dsgl_serve_inflight", "requests currently inside the serve layer")
+	m.batchSize = r.Histogram("dsgl_serve_batch_size", "requests coalesced per engine call")
+	m.batches = r.Counter("dsgl_serve_batches_total", "engine calls that coalesced two or more requests")
+	m.solo = r.Counter("dsgl_serve_solo_total", "engine calls that served a single request")
+	m.coalesced = r.Counter("dsgl_serve_coalesced_requests_total", "requests that rode in a coalesced batch")
+	return m
+}
+
+// requestLatency returns the P-squared latency summary for model,
+// registering it on first use. Nil when observability is disabled.
+func (m *serveObs) requestLatency(model string) *obs.Summary {
+	if m.reg == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.latency[model]
+	if !ok {
+		s = m.reg.Summary("dsgl_serve_request_seconds",
+			"serve-layer request latency (admission to response body)", obs.L("model", model))
+		m.latency[model] = s
+	}
+	return s
+}

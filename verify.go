@@ -115,7 +115,7 @@ func Verify(m *Model, opts VerifyOptions) (*VerifyReport, error) {
 		}
 		obsList[i] = obs
 	}
-	seed := m.engine().BaseSeed()
+	seed := m.Engine().BaseSeed()
 
 	rep := &VerifyReport{Target: m.Dataset.Name}
 	rep.Add(m.checkEnergyDescent(obsList[:opts.EnergyProbes], seed))
@@ -123,7 +123,7 @@ func Verify(m *Model, opts VerifyOptions) (*VerifyReport, error) {
 	// One sequential reference pass feeds checks 2-4.
 	seq := make([]*engine.Result, len(probes))
 	for i, obs := range obsList {
-		res, err := m.engine().InferSeeded(obs, seed+uint64(i))
+		res, err := m.Engine().InferSeeded(obs, seed+uint64(i))
 		if err != nil {
 			return nil, fmt.Errorf("dsgl: probe inference %d: %w", i, err)
 		}
@@ -207,7 +207,7 @@ func (m *Model) checkEnergyDescent(obsList [][]engine.Observation, seed uint64) 
 	// a Lyapunov function of the clamped dynamics.
 	clamped := make([]bool, m.Tuned.Dim())
 	copy(clamped, m.observed)
-	st := m.engine().NewInferState()
+	st := m.Engine().NewInferState()
 	var trace []float64
 	st.SetObserver(func(si engine.StepInfo) {
 		if si.Step%stride == 0 {
@@ -217,7 +217,7 @@ func (m *Model) checkEnergyDescent(obsList [][]engine.Observation, seed uint64) 
 	steps := 0
 	for i, obs := range obsList {
 		trace = trace[:0]
-		if _, err := m.engine().InferWith(st, obs, seed+uint64(i)); err != nil {
+		if _, err := m.Engine().InferWith(st, obs, seed+uint64(i)); err != nil {
 			c.Violations = append(c.Violations, VerifyViolation{
 				Invariant: verify.InvEnergyDescent,
 				Detail:    fmt.Sprintf("probe %d: %v", i, err),
@@ -315,7 +315,7 @@ func (m *Model) checkSnapshotRoundTrip(obsList [][]engine.Observation, seq []*en
 		}
 	}
 	for i, obs := range obsList {
-		res, err := loaded.engine().InferSeeded(obs, seed+uint64(i))
+		res, err := loaded.Engine().InferSeeded(obs, seed+uint64(i))
 		if err != nil {
 			return c, fmt.Errorf("dsgl: verify probe %d on loaded machine: %w", i, err)
 		}
@@ -334,7 +334,7 @@ func (m *Model) checkSeqParIdentity(probes []datasets.Window, obsList [][]engine
 	if workers <= 0 {
 		workers = m.Opts.Workers
 	}
-	par, err := m.engine().InferBatch(obsList, workers)
+	par, err := m.Engine().InferBatch(obsList, workers)
 	if err != nil {
 		return c, fmt.Errorf("dsgl: verify parallel batch: %w", err)
 	}
@@ -371,14 +371,14 @@ func (m *Model) checkSeqParIdentity(probes []datasets.Window, obsList [][]engine
 func (m *Model) checkPlanNaiveIdentity(obsList [][]engine.Observation, seq []*engine.Result, seed uint64) (VerifyCheck, error) {
 	c := VerifyCheck{Invariant: verify.InvPlanNaiveIdentity, Name: "clamp-plan/naive bit-identity"}
 	for i, obs := range obsList {
-		naive, err := m.engine().InferSeededNaive(obs, seed+uint64(i))
+		naive, err := m.Engine().InferSeededNaive(obs, seed+uint64(i))
 		if err != nil {
 			return c, fmt.Errorf("dsgl: verify naive probe %d: %w", i, err)
 		}
 		c.Violations = append(c.Violations,
 			verify.ResultsEqual(verify.InvPlanNaiveIdentity, fmt.Sprintf("probe %d", i), naive, seq[i])...)
 	}
-	hits, misses := m.engine().PlanCacheStats()
+	hits, misses := m.Engine().PlanCacheStats()
 	c.Detail = fmt.Sprintf("%d probe windows re-inferred naively; plan cache %d hits / %d misses", len(obsList), hits, misses)
 	return c, nil
 }
