@@ -33,10 +33,10 @@ race:
 	$(GO) test -race ./...
 
 # verify trains the standard pipeline on every built-in dataset and checks
-# the seven runtime invariants (energy descent, settle residual, snapshot
+# the eight runtime invariants (energy descent, settle residual, snapshot
 # round trip, seq/par bit-identity, lossless compilation, plan/naive
-# bit-identity, sharded fixed-point agreement). Nonzero exit on any
-# violation; small -n keeps it CI-cheap.
+# bit-identity, sharded fixed-point agreement, warm-start fixed-point
+# agreement). Nonzero exit on any violation; small -n keeps it CI-cheap.
 verify:
 	$(GO) run ./cmd/dsgl verify -n 16 -eval 8
 
@@ -45,7 +45,7 @@ verify:
 # BENCH_infer.json for machine consumption, while the human-readable table
 # still lands on stdout via BENCH_infer.txt.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkInfer(Batch|With|Plan|Fresh|Observer|Sharded)|BenchmarkEvaluateParallel' \
+	$(GO) test -run '^$$' -bench 'BenchmarkInfer(Batch|With|Plan|Fresh|Observer|Sharded|Stream)|BenchmarkEvaluateParallel' \
 		-benchmem -benchtime=10x -json . | tee BENCH_infer.json | \
 		$(GO) run ./cmd/benchfmt -guard
 	@echo "wrote BENCH_infer.json"

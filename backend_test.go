@@ -99,7 +99,7 @@ func TestDenseBackendSeqParIdentity(t *testing.T) {
 // TestDenseBackendVerify runs the invariant harness against a dense model.
 // Since the v3 snapshot format the formerly scalable-only checks — snapshot
 // round-trip and lossless compilation — run on the dense backend too:
-// invariants 1-6 must execute (not skip) and hold. Only the sharded
+// invariants 1-6 and 8 must execute (not skip) and hold. Only the sharded
 // fixed-point check skips: a dense model has no community structure to
 // shard.
 func TestDenseBackendVerify(t *testing.T) {
@@ -128,6 +128,7 @@ func TestDenseBackendVerify(t *testing.T) {
 		verify.InvEnergyDescent, verify.InvSettleResidual,
 		verify.InvSnapshotRoundTrip, verify.InvSeqParIdentity,
 		verify.InvLosslessCompile, verify.InvPlanNaiveIdentity,
+		verify.InvWarmStartFixedPoint,
 	} {
 		if !ran[inv] {
 			t.Errorf("check %s did not run on the dense backend", inv)

@@ -5,16 +5,26 @@
 //
 //	go test -run '^$' -bench . -json . | tee BENCH.json | go run ./cmd/benchfmt
 //
-// Beyond reformatting, benchfmt computes the batch-scaling summary: for
-// every BenchmarkInferBatch regime it reports the workers=4 vs workers=1
-// speedup. With -guard that summary becomes an anti-scaling tripwire — the
-// run (or a replayed BENCH_infer.json) fails when any regime's speedup
-// drops below the threshold, which is how CI catches a worker pool that
-// parallelizes into a slowdown. The threshold sits just under parity
-// because a single-core box (GOMAXPROCS=1, as the committed artifacts are
-// generated on) can at best break even, minus scheduling noise; a true
-// scaling collapse (the 0.7x regression this guard was built against)
-// lands far below it on any machine.
+// Beyond reformatting, benchfmt computes two scaling summaries. The
+// batch-scaling summary reports every BenchmarkInferBatch regime's
+// workers=4 vs workers=1 speedup; with -guard it becomes an anti-scaling
+// tripwire — the run (or a replayed BENCH_infer.json) fails when any
+// regime's speedup drops below the threshold, which is how CI catches a
+// worker pool that parallelizes into a slowdown. The threshold sits just
+// under parity because a single-core box (GOMAXPROCS=1, as the committed
+// artifacts are generated on) can at best break even, minus scheduling
+// noise; a true scaling collapse (the 0.7x regression this guard was built
+// against) lands far below it on any machine.
+//
+// The stream summary compares BenchmarkInferStream/cold against /warm:
+// with -guard a warm streaming tick must beat the cold planned path by at
+// least streamGuardThreshold, so a regression that silently disables the
+// warm-start (or the delta-compile) path fails the build instead of
+// quietly serving cold-anneal latencies. Each guard only engages when its
+// benchmark's rows are present — the CI batch smoke pipes only InferBatch
+// rows through -guard and must not trip the stream check vacuously — but a
+// guarded run with a *partial* stream pair (cold without warm, or vice
+// versa) fails loudly as a misconfigured run.
 package main
 
 import (
@@ -31,6 +41,14 @@ import (
 // See the package comment for why it sits just below parity rather than at
 // the >1.3x a multi-core box should deliver.
 const guardThreshold = 0.93
+
+// streamGuardThreshold is the minimum BenchmarkInferStream cold/warm ns/op
+// ratio: a warm streaming tick must be at least this much faster than a
+// cold planned inference of the same observation set. The measured win is
+// severalfold (the warm anneal skips the multi-cycle cold transient), so
+// 1.5x is a regression tripwire with headroom for machine variance, not a
+// performance target.
+const streamGuardThreshold = 1.5
 
 // event is the subset of test2json's event schema we care about.
 type event struct {
@@ -72,12 +90,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchfmt:", err)
 		os.Exit(1)
 	}
-	type hitRate struct {
-		bench string
-		rate  float64
-	}
-	var hitRates []hitRate
+	var customs []customMetric
 	batch := newBatchScaling()
+	stream := newStreamScaling()
 	for _, out := range strings.SplitAfter(raw.String(), "\n") {
 		// Keep benchmark result lines, headers, and the final verdict;
 		// drop run announcements and per-test chatter.
@@ -92,18 +107,20 @@ func main() {
 		if keep {
 			fmt.Print(out)
 		}
-		// Record the clamp-plan cache hit rate reported by the plan-path
-		// benchmarks (b.ReportMetric(..., "plan-hit-rate")) so the steady-
-		// state cache behavior is visible at a glance below the table.
-		if name, rate, ok := parseHitRate(out); ok {
-			hitRates = append(hitRates, hitRate{name, rate})
-		}
+		// Record every custom b.ReportMetric value (plan-hit-rate,
+		// steps/tick, plan-delta-hit-rate, ...) so per-benchmark gauges are
+		// visible at a glance below the table.
+		customs = append(customs, parseCustomMetrics(out)...)
 		batch.add(out)
+		stream.add(out)
 	}
-	for _, hr := range hitRates {
-		fmt.Printf("plan-cache hit rate: %-40s %.1f%%\n", hr.bench, hr.rate*100)
+	for _, cm := range customs {
+		fmt.Printf("metric: %-44s %-20s %.4g\n", cm.bench, cm.unit, cm.value)
 	}
 	ok := batch.report(os.Stdout, *guard)
+	if !stream.report(os.Stdout, *guard) {
+		ok = false
+	}
 	if *guard && !ok {
 		os.Exit(1)
 	}
@@ -160,21 +177,42 @@ func renderServe(in *os.File, out *os.File) int {
 	return code
 }
 
-// parseHitRate extracts the benchmark name and the value of the custom
-// "plan-hit-rate" metric from a benchmark result line, if present.
-func parseHitRate(line string) (string, float64, bool) {
+// customMetric is one b.ReportMetric value extracted from a benchmark
+// result row: the benchmark name, the metric's unit string, and its value.
+type customMetric struct {
+	bench string
+	unit  string
+	value float64
+}
+
+// standardUnits are the value/unit pairs go test emits on its own; anything
+// else on a result row came from an explicit b.ReportMetric call.
+var standardUnits = map[string]bool{
+	"ns/op": true, "B/op": true, "allocs/op": true, "MB/s": true,
+}
+
+// parseCustomMetrics extracts every custom b.ReportMetric pair from a
+// benchmark result line. A result row is "BenchmarkName iterations
+// (value unit)..."; each pair whose unit is not one of go test's standard
+// columns is a custom metric. Earlier this extractor knew only the literal
+// "plan-hit-rate" key and silently dropped every other reported metric.
+func parseCustomMetrics(line string) []customMetric {
 	fields := strings.Fields(line)
-	for i, f := range fields {
-		if f != "plan-hit-rate" || i == 0 {
-			continue
-		}
-		rate, err := strconv.ParseFloat(fields[i-1], 64)
-		if err != nil {
-			return "", 0, false
-		}
-		return fields[0], rate, true
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") ||
+		strings.Contains(fields[0], "#") { // duplicate configuration re-run
+		return nil
 	}
-	return "", 0, false
+	var out []customMetric
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil // not a result row after all
+		}
+		if !standardUnits[fields[i+1]] {
+			out = append(out, customMetric{fields[0], fields[i+1], v})
+		}
+	}
+	return out
 }
 
 // batchScaling accumulates BenchmarkInferBatch timings keyed by
@@ -215,15 +253,7 @@ func (b *batchScaling) add(line string) {
 	if strings.Contains(name, "#") {
 		return // duplicate of an earlier configuration
 	}
-	// Split off the -GOMAXPROCS suffix go test appends when GOMAXPROCS > 1
-	// (or under -cpu): it distinguishes the groups of a -cpu=1,4 sweep.
-	cpu := ""
-	if i := strings.LastIndex(name, "-"); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
-			cpu = name[i:]
-			name = name[:i]
-		}
-	}
+	name, cpu := splitCPUSuffix(name)
 	parts := strings.Split(name, "/") // BenchmarkInferBatch / regime / workers=N
 	if len(parts) != 3 || !strings.HasPrefix(parts[2], "workers=") {
 		return
@@ -271,6 +301,104 @@ func (b *batchScaling) report(w *os.File, guarding bool) bool {
 	if guarding && compared == 0 {
 		fmt.Fprintln(w, "batch scaling: no BenchmarkInferBatch workers=1/workers=4 pairs found; nothing to guard")
 		return false
+	}
+	return ok
+}
+
+// splitCPUSuffix splits off the -GOMAXPROCS suffix go test appends when
+// GOMAXPROCS > 1 (or under -cpu): it distinguishes the groups of a
+// -cpu=1,4 sweep.
+func splitCPUSuffix(name string) (base, cpu string) {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i], name[i:]
+		}
+	}
+	return name, ""
+}
+
+// streamScaling accumulates BenchmarkInferStream timings keyed by -cpu
+// suffix: cold is the stateless planned inference of each tick, warm the
+// streaming session tick, and the guarded quantity is their ns/op ratio.
+type streamScaling struct {
+	ns    map[string]map[string]float64 // cpu suffix -> cold|warm -> ns/op
+	order []string                      // cpu suffixes in first-seen order
+}
+
+func newStreamScaling() *streamScaling {
+	return &streamScaling{ns: make(map[string]map[string]float64)}
+}
+
+// add parses one reassembled console line and records it if it is an
+// InferStream result row.
+func (s *streamScaling) add(line string) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "BenchmarkInferStream/") {
+		return
+	}
+	ns := -1.0
+	for i, f := range fields {
+		if f == "ns/op" && i > 0 {
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				return
+			}
+			ns = v
+			break
+		}
+	}
+	if ns < 0 {
+		return
+	}
+	name := fields[0]
+	if strings.Contains(name, "#") {
+		return // duplicate of an earlier configuration
+	}
+	name, cpu := splitCPUSuffix(name)
+	mode := strings.TrimPrefix(name, "BenchmarkInferStream/")
+	if mode != "cold" && mode != "warm" {
+		return
+	}
+	g, ok := s.ns[cpu]
+	if !ok {
+		g = make(map[string]float64)
+		s.ns[cpu] = g
+		s.order = append(s.order, cpu)
+	}
+	if _, seen := g[mode]; !seen {
+		g[mode] = ns
+	}
+}
+
+// report prints the warm-tick speedup per -cpu group and returns whether
+// every group clears the stream guard threshold. An event stream with no
+// InferStream rows at all passes vacuously — the CI batch-scaling smoke
+// pipes only InferBatch rows through -guard — but a guarded run that
+// measured one side of the pair without the other fails loudly: that is a
+// misconfigured -bench regex, not an empty run.
+func (s *streamScaling) report(w *os.File, guarding bool) bool {
+	ok := true
+	for _, cpu := range s.order {
+		g := s.ns[cpu]
+		cold, hasCold := g["cold"]
+		warm, hasWarm := g["warm"]
+		if !hasCold || !hasWarm {
+			if guarding {
+				fmt.Fprintf(w, "stream speedup: BenchmarkInferStream%s measured only one of cold/warm; cannot guard\n", cpu)
+				ok = false
+			}
+			continue
+		}
+		if warm == 0 {
+			continue
+		}
+		speedup := cold / warm
+		verdict := ""
+		if speedup < streamGuardThreshold {
+			ok = false
+			verdict = fmt.Sprintf("  TOO SLOW (threshold %.2fx)", streamGuardThreshold)
+		}
+		fmt.Fprintf(w, "stream speedup: warm tick vs cold planned%s: %.2fx%s\n", cpu, speedup, verdict)
 	}
 	return ok
 }

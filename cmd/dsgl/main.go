@@ -8,7 +8,7 @@
 //	dsgl fig10 -n 32 -eval 30 # accuracy vs density (Fig. 10)
 //	dsgl table2               # RMSE vs SOTA GNNs (Table II)
 //	dsgl eval -backend dense  # train + evaluate one dataset end to end
-//	dsgl verify               # check the seven runtime invariants
+//	dsgl verify               # check the eight runtime invariants
 //	dsgl all                  # run the full suite in paper order
 package main
 
@@ -271,7 +271,7 @@ experiments:
   eval     train one dataset and report test-split RMSE/MAE/latency
            (honors -backend: compare dense vs scalable end to end)
   verify   train on the named (default: all) datasets and check the
-           seven runtime invariants; nonzero exit on any violation
+           eight runtime invariants; nonzero exit on any violation
   list     print experiment ids
 
 flags: -n, -t, -eval, -gnn-epochs, -seed, -workers, -backend,

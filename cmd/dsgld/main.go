@@ -15,6 +15,11 @@
 //
 //	curl -s localhost:8080/v1/example?model=traffic > req.json
 //	curl -s -d @req.json localhost:8080/v1/infer
+//
+// Consecutive windows of one series stream over /v1/stream (open with
+// "model", tick with the returned "session", end with "close"): each tick
+// warm-starts from the previous tick's equilibrium, so slowly varying
+// series settle in far fewer anneal steps than stateless /v1/infer pays.
 package main
 
 import (
@@ -55,6 +60,8 @@ func realMain(args []string) int {
 	rate := fs.Float64("rate", 0, "per-tenant token-bucket rate in requests/second (0 = unlimited)")
 	burst := fs.Float64("burst", 0, "per-tenant burst capacity (0 = one second of -rate)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "bound on waiting for in-flight requests at shutdown")
+	streamTTL := fs.Duration("stream-ttl", time.Minute, "evict /v1/stream sessions idle longer than this")
+	maxStreams := fs.Int("max-streams", 256, "bound on concurrently open /v1/stream sessions (503 beyond)")
 
 	loadtest := fs.Bool("loadtest", false, "run the open-loop load generator in-process instead of serving, and print LoadReport JSON on stdout")
 	qpsList := fs.String("qps", "150,600", "loadtest: comma-separated offered-QPS points")
@@ -119,6 +126,8 @@ func realMain(args []string) int {
 		Burst:        *burst,
 		Workers:      *workers,
 		DrainTimeout: *drainTimeout,
+		StreamTTL:    *streamTTL,
+		MaxStreams:   *maxStreams,
 	})
 
 	if *loadtest {
@@ -138,11 +147,12 @@ func realMain(args []string) int {
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 	s := <-sig
 	fmt.Fprintf(os.Stderr, "dsgld: %v received, draining (in-flight finishes, new requests get 503)\n", s)
+	sessions := srv.StreamCount()
 	if err := srv.Drain(); err != nil {
 		fmt.Fprintf(os.Stderr, "dsgld: %v\n", err)
 		return 1
 	}
-	fmt.Fprintln(os.Stderr, "dsgld: drained cleanly")
+	fmt.Fprintf(os.Stderr, "dsgld: drained cleanly (%d stream sessions closed)\n", sessions)
 	return 0
 }
 

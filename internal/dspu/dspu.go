@@ -89,6 +89,11 @@ type DSPU struct {
 	// scalable.Machine: tests may construct literals that never infer.
 	engOnce sync.Once
 	eng     *engine.Engine
+
+	// Column→rows adjacency of J, built lazily on the first plan-delta
+	// compile (plan.go).
+	colRowsOnce sync.Once
+	jColRows    [][]int32
 }
 
 // Engine returns the inference engine driving this DSPU, creating it on
@@ -210,6 +215,9 @@ func (d *DSPU) BaseSeed() uint64 { return d.cfg.Seed }
 
 // CompilePlan compiles the clamp pattern into a *clampPlan (see plan.go).
 func (d *DSPU) CompilePlan(clamped []bool) any { return d.compilePlan(clamped) }
+
+// The DSPU delta-compiles clamp plans for streaming inference (plan.go).
+var _ engine.DeltaBackend = (*DSPU)(nil)
 
 // RunPlanned runs the integration loop over the clamp-plan system.
 func (d *DSPU) RunPlanned(st *InferState, plan any) (*Result, error) {

@@ -55,30 +55,52 @@ func (d *DSPU) compilePlan(clamped []bool) *clampPlan {
 }
 
 // compilePlanMat splits one coupling matrix into static (fully-clamped free
-// rows) and dyn (mixed free rows, kept whole) parts. SplitCols supplies the
-// per-row free-column census; a folding row's clamped-column part IS the
-// original row, order included.
+// rows) and dyn (mixed free rows, kept whole) parts via mat.SplitRowPlan,
+// which carries each stored row over verbatim — order included.
 func compilePlanMat(s *mat.CSR, clamped []bool) planMat {
-	freePart, clampPart := s.SplitCols(clamped)
-	static := &mat.CSR{Rows: s.Rows, Cols: s.Cols, RowPtr: make([]int, s.Rows+1)}
-	dyn := &mat.CSR{Rows: s.Rows, Cols: s.Cols, RowPtr: make([]int, s.Rows+1)}
-	for i := 0; i < s.Rows; i++ {
-		lo, hi := s.RowPtr[i], s.RowPtr[i+1]
-		switch {
-		case clamped[i] || lo == hi:
-			// Clamped or empty rows are dropped.
-		case freePart.RowNNZ(i) == 0:
-			cl, ch := clampPart.RowPtr[i], clampPart.RowPtr[i+1]
-			static.ColIdx = append(static.ColIdx, clampPart.ColIdx[cl:ch]...)
-			static.Val = append(static.Val, clampPart.Val[cl:ch]...)
-		default:
-			dyn.ColIdx = append(dyn.ColIdx, s.ColIdx[lo:hi]...)
-			dyn.Val = append(dyn.Val, s.Val[lo:hi]...)
-		}
-		static.RowPtr[i+1] = len(static.Val)
-		dyn.RowPtr[i+1] = len(dyn.Val)
-	}
+	static, dyn := mat.SplitRowPlan(s, clamped)
 	return planMat{static: static, dyn: dyn}
+}
+
+// maxPlanDeltaBits bounds the clamp-mask symmetric difference the delta
+// compiler accepts; see the scalable backend's constant of the same name.
+const maxPlanDeltaBits = 4
+
+// CompilePlanDelta implements engine.DeltaBackend for the dense-path DSPU:
+// it patches a previously compiled plan for oldClamped into the plan for
+// newClamped, reclassifying only the rows the mask delta touches. The
+// product is structurally identical to a full compilePlan — the previous
+// plan is never mutated — and nil declines the delta (empty, too large, or
+// a foreign plan type), sending the engine to the full compile.
+func (d *DSPU) CompilePlanDelta(prev any, oldClamped, newClamped []bool) any {
+	pl, ok := prev.(*clampPlan)
+	if !ok || len(oldClamped) != d.N || len(newClamped) != d.N {
+		return nil
+	}
+	changed := 0
+	for i := range newClamped {
+		if oldClamped[i] != newClamped[i] {
+			changed++
+		}
+	}
+	if changed == 0 || changed > maxPlanDeltaBits {
+		return nil
+	}
+	d.colRowsOnce.Do(func() { d.jColRows = d.Net.J.ColRows() })
+	static, dyn := mat.PatchRowPlan(d.Net.J, pl.j.static, pl.j.dyn, d.jColRows, oldClamped, newClamped)
+	np := &clampPlan{
+		j:        planMat{static: static, dyn: dyn},
+		freeIdx:  make([]int, 0, len(pl.freeIdx)),
+		clampIdx: make([]int, 0, len(pl.clampIdx)),
+	}
+	for i, c := range newClamped {
+		if c {
+			np.clampIdx = append(np.clampIdx, i)
+		} else {
+			np.freeIdx = append(np.freeIdx, i)
+		}
+	}
+	return np
 }
 
 // planSys is a clamp plan bound to one inference's state buffers, exposed as

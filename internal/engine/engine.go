@@ -39,7 +39,7 @@
 // the clamp values, and hands off to the backend's RunPlanned/RunNaive. A
 // backend extracted onto this engine therefore produces bit-identical
 // results to its pre-extraction form — enforced for the scalable backend by
-// the golden-voltage regression fixture and the seven verify invariants.
+// the golden-voltage regression fixture and the eight verify invariants.
 // The sharded anneal path (InferSharded*) is the one deliberate exception:
 // it is deterministic per seed but only tolerance-equivalent to the exact
 // path, a contract the sharded-fixed-point invariant verifies.
@@ -163,6 +163,12 @@ type Engine struct {
 	// resolution is a hit, regardless of worker interleaving.
 	planHits   atomic.Uint64
 	planMisses atomic.Uint64
+
+	// Streaming plan-delta counters (stream.go): hits patched a
+	// predecessor plan on a shifted pattern's cache miss, fallbacks fully
+	// compiled one.
+	planDeltaHits      atomic.Uint64
+	planDeltaFallbacks atomic.Uint64
 
 	// statePool recycles InferStates across InferBatch calls so repeated
 	// batch windows stop re-allocating per-worker scratch arenas. Reuse is

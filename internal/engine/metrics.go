@@ -42,6 +42,15 @@ type engineObs struct {
 	shardSyncRounds       *obs.Counter // dsgl_shard_sync_rounds_total
 	shardAnnealSteps      *obs.Counter // dsgl_shard_anneal_steps_total
 	shardWorkers          *obs.Gauge   // dsgl_shard_workers
+
+	// Streaming-inference instruments (stream.go): delta-compile outcomes
+	// and the warm-vs-cold steps-to-settle comparison the warm-start path
+	// is judged by.
+	planDeltaHits      *obs.Counter // dsgl_plan_delta_hits_total
+	planDeltaFallbacks *obs.Counter // dsgl_plan_delta_fallbacks_total
+	streamTicks        *obs.Counter // dsgl_stream_ticks_total
+	streamColdSteps    *obs.Summary // dsgl_stream_cold_steps
+	streamWarmSteps    *obs.Summary // dsgl_stream_warm_steps
 }
 
 // newEngineObs registers (or re-binds, registration being idempotent) the
@@ -76,6 +85,12 @@ func newEngineObs(r *obs.Registry, backend string) *engineObs {
 		shardSyncRounds:       r.Counter("dsgl_shard_sync_rounds_total", "cross-shard synchronization rounds across all sharded inferences", l),
 		shardAnnealSteps:      r.Counter("dsgl_shard_anneal_steps_total", "integration steps taken on the sharded anneal path", l),
 		shardWorkers:          r.Gauge("dsgl_shard_workers", "shard count of the most recent sharded inference", l),
+
+		planDeltaHits:      r.Counter("dsgl_plan_delta_hits_total", "clamp plans resolved by patching the predecessor pattern's plan", l),
+		planDeltaFallbacks: r.Counter("dsgl_plan_delta_fallbacks_total", "shifted-pattern plan misses that fell back to a full compile", l),
+		streamTicks:        r.Counter("dsgl_stream_ticks_total", "streaming inference ticks (cold first ticks included)", l),
+		streamColdSteps:    r.Summary("dsgl_stream_cold_steps", "integration steps to settle on a stream's cold first tick", l),
+		streamWarmSteps:    r.Summary("dsgl_stream_warm_steps", "integration steps to settle on warm-started stream ticks", l),
 	}
 }
 

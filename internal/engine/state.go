@@ -98,6 +98,14 @@ type InferState struct {
 	RNG rng.RNG
 	// Res is the in-place result of the last inference on this state.
 	Res Result
+	// WarmStart marks the state as carrying a previous equilibrium into
+	// this run (a streaming warm tick): X's free entries are the settled
+	// voltages of the predecessor tick, not a fresh random init. Backends
+	// may exploit it — the scalable machine seeds every held slice from
+	// the warm state up front and settles on a fine-grained check instead
+	// of waiting out a full slice cycle. Every entry point clears it
+	// (applyObservations); only InferShifted arms it.
+	WarmStart bool
 	// Observer, when non-nil, receives StepInfo after every step.
 	Observer StepObserver
 	// EnergyFn is the pre-bound lazy Hamiltonian closure handed to
@@ -135,6 +143,7 @@ func (st *InferState) Result() *Result { return &st.Res }
 // applyObservations resets the clamp mask and clamps each observation onto
 // the state via the shared validator.
 func (st *InferState) applyObservations(obs []Observation) error {
+	st.WarmStart = false // every entry point runs cold; InferShifted re-arms
 	b := st.eng.b
 	return validateObservations(b.Name(), obs, len(st.X), b.Rails(), st.X, st.Clamped, &st.ClampIdx)
 }

@@ -1,0 +1,135 @@
+package mat
+
+import "fmt"
+
+// SplitRowPlan classifies the rows of a square CSR against a clamp mask the
+// way the clamp-plan compilers need them: rows whose stored entries all sit
+// on clamped columns land in static (their coupling sum is a constant that
+// can be folded once per inference), rows touching at least one free column
+// land in dyn (they must be re-evaluated every anneal step). Clamped rows
+// and empty rows land in neither. Both output matrices keep the full
+// original row verbatim — same entries, same within-row order — so running
+// a static row's fold or a dyn row's per-step sum accumulates in exactly
+// the original order, which is what keeps the planned path bit-identical
+// to the naive loop.
+func SplitRowPlan(s *CSR, clamped []bool) (static, dyn *CSR) {
+	if len(clamped) != s.Cols || s.Rows != s.Cols {
+		panic(fmt.Sprintf("mat: SplitRowPlan wants a square matrix and a matching mask: %dx%d matrix, %d mask", s.Rows, s.Cols, len(clamped)))
+	}
+	static = &CSR{Rows: s.Rows, Cols: s.Cols, RowPtr: make([]int, s.Rows+1)}
+	dyn = &CSR{Rows: s.Rows, Cols: s.Cols, RowPtr: make([]int, s.Rows+1)}
+	for i := 0; i < s.Rows; i++ {
+		classifyRow(s, i, clamped, static, dyn)
+		static.RowPtr[i+1] = len(static.Val)
+		dyn.RowPtr[i+1] = len(dyn.Val)
+	}
+	return static, dyn
+}
+
+// classifyRow appends row i of s to static or dyn (or neither) under the
+// SplitRowPlan rules. RowPtr bookkeeping is the caller's.
+func classifyRow(s *CSR, i int, clamped []bool, static, dyn *CSR) {
+	lo, hi := s.RowPtr[i], s.RowPtr[i+1]
+	if clamped[i] || lo == hi {
+		return
+	}
+	free := 0
+	for p := lo; p < hi; p++ {
+		if !clamped[s.ColIdx[p]] {
+			free++
+		}
+	}
+	dst := dyn
+	if free == 0 {
+		dst = static
+	}
+	dst.ColIdx = append(dst.ColIdx, s.ColIdx[lo:hi]...)
+	dst.Val = append(dst.Val, s.Val[lo:hi]...)
+}
+
+// ColRows returns, for every column, the ascending list of rows that store
+// an entry in that column — the transpose adjacency PatchRowPlan uses to
+// find the rows a clamp-mask delta touches without rescanning the matrix.
+// The lists share one backing array; treat the result as read-only.
+func (s *CSR) ColRows() [][]int32 {
+	counts := make([]int32, s.Cols)
+	for _, j := range s.ColIdx {
+		counts[j]++
+	}
+	flat := make([]int32, 0, len(s.ColIdx))
+	out := make([][]int32, s.Cols)
+	pos := 0
+	for j, c := range counts {
+		out[j] = flat[pos : pos : pos+int(c)]
+		pos += int(c)
+	}
+	for i := 0; i < s.Rows; i++ {
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			j := s.ColIdx[p]
+			out[j] = append(out[j], int32(i))
+		}
+	}
+	return out
+}
+
+// PatchRowPlan rebuilds SplitRowPlan(s, newClamped) from the split computed
+// for oldClamped, reclassifying only the rows the mask delta can affect: the
+// rows whose own clamp bit flipped plus every row with an entry in a flipped
+// column (found through colRows, which must be s.ColRows()). All other rows
+// are carried over from the previous split verbatim, so the result is
+// structurally identical — RowPtr, ColIdx, and Val bit for bit — to a fresh
+// SplitRowPlan of the new mask. The previous split is never mutated (it may
+// still be resident in a plan cache under the old mask's key). When the
+// masks are equal the previous matrices are returned as-is.
+func PatchRowPlan(s *CSR, static, dyn *CSR, colRows [][]int32, oldClamped, newClamped []bool) (*CSR, *CSR) {
+	if len(oldClamped) != s.Cols || len(newClamped) != s.Cols || s.Rows != s.Cols {
+		panic(fmt.Sprintf("mat: PatchRowPlan wants a square matrix and matching masks: %dx%d matrix, %d/%d masks", s.Rows, s.Cols, len(oldClamped), len(newClamped)))
+	}
+	if len(colRows) != s.Cols {
+		panic(fmt.Sprintf("mat: PatchRowPlan colRows has %d columns, want %d", len(colRows), s.Cols))
+	}
+	affected := make([]bool, s.Rows)
+	changed := false
+	for j := range newClamped {
+		if oldClamped[j] == newClamped[j] {
+			continue
+		}
+		changed = true
+		affected[j] = true
+		for _, r := range colRows[j] {
+			affected[r] = true
+		}
+	}
+	if !changed {
+		return static, dyn
+	}
+	ns := &CSR{
+		Rows: s.Rows, Cols: s.Cols,
+		RowPtr: make([]int, s.Rows+1),
+		ColIdx: make([]int, 0, len(static.Val)),
+		Val:    make([]float64, 0, len(static.Val)),
+	}
+	nd := &CSR{
+		Rows: s.Rows, Cols: s.Cols,
+		RowPtr: make([]int, s.Rows+1),
+		ColIdx: make([]int, 0, len(dyn.Val)),
+		Val:    make([]float64, 0, len(dyn.Val)),
+	}
+	for i := 0; i < s.Rows; i++ {
+		if affected[i] {
+			classifyRow(s, i, newClamped, ns, nd)
+		} else {
+			if lo, hi := static.RowPtr[i], static.RowPtr[i+1]; hi > lo {
+				ns.ColIdx = append(ns.ColIdx, static.ColIdx[lo:hi]...)
+				ns.Val = append(ns.Val, static.Val[lo:hi]...)
+			}
+			if lo, hi := dyn.RowPtr[i], dyn.RowPtr[i+1]; hi > lo {
+				nd.ColIdx = append(nd.ColIdx, dyn.ColIdx[lo:hi]...)
+				nd.Val = append(nd.Val, dyn.Val[lo:hi]...)
+			}
+		}
+		ns.RowPtr[i+1] = len(ns.Val)
+		nd.RowPtr[i+1] = len(nd.Val)
+	}
+	return ns, nd
+}

@@ -1,0 +1,172 @@
+package mat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// csrIdentical is bit-level structural equality: the property PatchRowPlan
+// promises relative to a fresh SplitRowPlan.
+func csrIdentical(a, b *CSR) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols ||
+		len(a.RowPtr) != len(b.RowPtr) || len(a.ColIdx) != len(b.ColIdx) || len(a.Val) != len(b.Val) {
+		return false
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for i := range a.ColIdx {
+		if a.ColIdx[i] != b.ColIdx[i] {
+			return false
+		}
+	}
+	for i := range a.Val {
+		if a.Val[i] != b.Val[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func randSquareCSR(r *testRand, n int, density float64) *CSR {
+	m := NewDense(n, n)
+	for i := range m.Data {
+		if r.next() < density {
+			m.Data[i] = r.next()*2 - 1
+		}
+	}
+	return FromDense(m, 0)
+}
+
+// TestSplitRowPlanMatchesSplitCols pins SplitRowPlan to the original
+// SplitCols-based construction the plan compilers used: static rows are the
+// rows whose free part is empty (content = the full row, since every entry
+// is clamped), dyn rows are the mixed rows kept whole, clamped and empty
+// rows appear in neither.
+func TestSplitRowPlanMatchesSplitCols(t *testing.T) {
+	f := func(seed int64) bool {
+		r := newTestRand(seed)
+		n := 8
+		s := randSquareCSR(r, n, 0.35)
+		clamped := make([]bool, n)
+		for j := range clamped {
+			clamped[j] = r.next() < 0.5
+		}
+		static, dyn := SplitRowPlan(s, clamped)
+
+		freePart, clampPart := s.SplitCols(clamped)
+		refStatic := &CSR{Rows: n, Cols: n, RowPtr: make([]int, n+1)}
+		refDyn := &CSR{Rows: n, Cols: n, RowPtr: make([]int, n+1)}
+		for i := 0; i < n; i++ {
+			lo, hi := s.RowPtr[i], s.RowPtr[i+1]
+			switch {
+			case clamped[i] || lo == hi:
+			case freePart.RowNNZ(i) == 0:
+				clo, chi := clampPart.RowPtr[i], clampPart.RowPtr[i+1]
+				refStatic.ColIdx = append(refStatic.ColIdx, clampPart.ColIdx[clo:chi]...)
+				refStatic.Val = append(refStatic.Val, clampPart.Val[clo:chi]...)
+			default:
+				refDyn.ColIdx = append(refDyn.ColIdx, s.ColIdx[lo:hi]...)
+				refDyn.Val = append(refDyn.Val, s.Val[lo:hi]...)
+			}
+			refStatic.RowPtr[i+1] = len(refStatic.Val)
+			refDyn.RowPtr[i+1] = len(refDyn.Val)
+		}
+		return csrIdentical(static, refStatic) && csrIdentical(dyn, refDyn)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColRows(t *testing.T) {
+	s := FromDense(NewDenseFrom(3, 3, []float64{
+		1, 0, 2,
+		0, 3, 0,
+		4, 0, 5,
+	}), 0)
+	cr := s.ColRows()
+	want := [][]int32{{0, 2}, {1}, {0, 2}}
+	for j := range want {
+		if len(cr[j]) != len(want[j]) {
+			t.Fatalf("col %d rows = %v, want %v", j, cr[j], want[j])
+		}
+		for k := range want[j] {
+			if cr[j][k] != want[j][k] {
+				t.Fatalf("col %d rows = %v, want %v", j, cr[j], want[j])
+			}
+		}
+	}
+}
+
+// TestPatchRowPlanMatchesFull walks a random clamp mask through a sequence
+// of small deltas (1–3 bits flipped per step, the sliding-window shape) and
+// checks after every step that the patched split is structurally identical
+// to a from-scratch SplitRowPlan of the new mask.
+func TestPatchRowPlanMatchesFull(t *testing.T) {
+	f := func(seed int64) bool {
+		r := newTestRand(seed)
+		n := 10
+		s := randSquareCSR(r, n, 0.3)
+		colRows := s.ColRows()
+		clamped := make([]bool, n)
+		for j := range clamped {
+			clamped[j] = r.next() < 0.5
+		}
+		static, dyn := SplitRowPlan(s, clamped)
+		for step := 0; step < 12; step++ {
+			next := append([]bool(nil), clamped...)
+			flips := 1 + int(r.next()*3)
+			for f := 0; f < flips; f++ {
+				j := int(r.next() * float64(n))
+				if j >= n {
+					j = n - 1
+				}
+				next[j] = !next[j]
+			}
+			ps, pd := PatchRowPlan(s, static, dyn, colRows, clamped, next)
+			fs, fd := SplitRowPlan(s, next)
+			if !csrIdentical(ps, fs) || !csrIdentical(pd, fd) {
+				return false
+			}
+			clamped, static, dyn = next, ps, pd
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPatchRowPlanEqualMasksReturnsPrev: a no-op delta must hand back the
+// previous split untouched (same pointers, zero work).
+func TestPatchRowPlanEqualMasksReturnsPrev(t *testing.T) {
+	r := newTestRand(3)
+	s := randSquareCSR(r, 6, 0.4)
+	clamped := []bool{true, false, true, false, false, true}
+	static, dyn := SplitRowPlan(s, clamped)
+	ps, pd := PatchRowPlan(s, static, dyn, s.ColRows(), clamped, append([]bool(nil), clamped...))
+	if ps != static || pd != dyn {
+		t.Fatal("equal masks should return the previous split unchanged")
+	}
+}
+
+// TestPatchRowPlanDoesNotMutatePrev: the old split may still sit in a plan
+// cache under its own key, so patching must never write into it.
+func TestPatchRowPlanDoesNotMutatePrev(t *testing.T) {
+	r := newTestRand(9)
+	n := 8
+	s := randSquareCSR(r, n, 0.4)
+	clamped := make([]bool, n)
+	clamped[0], clamped[3] = true, true
+	static, dyn := SplitRowPlan(s, clamped)
+	snapS, snapD := SplitRowPlan(s, clamped)
+	next := append([]bool(nil), clamped...)
+	next[0], next[5] = false, true
+	PatchRowPlan(s, static, dyn, s.ColRows(), clamped, next)
+	if !csrIdentical(static, snapS) || !csrIdentical(dyn, snapD) {
+		t.Fatal("PatchRowPlan mutated the previous split")
+	}
+}

@@ -140,6 +140,14 @@ var errNoSteps = errors.New("scalable: MaxTimeNs shorter than one timestep")
 // staleness in temporal mode — must beat SettleTol * settleResidualFactor.
 const settleResidualFactor = 10
 
+// warmFineBackoff is the step gap between failed fine-grained settle checks
+// on a warm-started temporal tick: once a vanished live-slice derivative
+// turns out not to be a true equilibrium (held slices still stale), the
+// next full-residual evaluation waits this many steps. Bounds the check
+// overhead at one O(nnz) evaluation per backoff window while keeping warm
+// ticks free of the one-check-per-slice-cycle floor cold runs have.
+const warmFineBackoff = 32
+
 // Stats describes how a mapping compiled onto the hardware.
 type Stats struct {
 	Mode              Mode
@@ -177,6 +185,13 @@ type Machine struct {
 	shardOnce   sync.Once
 	shardGroups [][]int
 	combined    *mat.CSR
+
+	// Column→rows adjacency of every coupling matrix, built lazily on the
+	// first plan-delta compile (plan.go): the patcher uses it to find the
+	// rows a clamp-mask flip touches without rescanning the matrices.
+	colRowsOnce  sync.Once
+	intraColRows [][]int32
+	phaseColRows [][][]int32
 }
 
 // Engine returns the inference engine driving this machine, creating it on
@@ -362,6 +377,9 @@ func (m *Machine) InferShardedBatch(obs [][]Observation, workers int) ([]*Result
 // The Machine is the sharding-capable backend of the shared engine.
 var _ engine.ShardedBackend = (*Machine)(nil)
 
+// The Machine also delta-compiles clamp plans for streaming inference.
+var _ engine.DeltaBackend = (*Machine)(nil)
+
 // InferWithNaive is InferWith running the naive reference loop: no clamp
 // plan, every coupling matrix re-evaluated in full each step. The
 // plan-naive-identity invariant asserts InferWith and InferWithNaive return
@@ -430,6 +448,17 @@ func (m *Machine) inferNaive(st *InferState) (*Result, error) {
 	for i, v := range sc.contrib[0] {
 		interSum[i] += v
 	}
+	if st.WarmStart {
+		// Streaming warm tick: x is the previous tick's equilibrium, so
+		// every held slice is seeded from it up front — exactly the
+		// sample-and-hold current a settled past state would be carrying —
+		// instead of contributing nothing until the rotation first reaches
+		// it. Without this a warm tick pays a full slice cycle before the
+		// dynamics even see all couplings, no matter how close its init is.
+		for k := 1; k < len(m.phases); k++ {
+			m.refreshPhase(st, sc, k)
+		}
+	}
 
 	noisy := m.cfg.NodeNoise > 0 || m.cfg.CouplerNoise > 0
 	var couplerScale float64
@@ -450,6 +479,7 @@ func (m *Machine) inferNaive(st *InferState) (*Result, error) {
 	if checkEvery < 32 {
 		checkEvery = 32
 	}
+	nextFine := 0 // earliest step for the next warm fine-grained check
 
 	for s := 0; s < steps; s++ {
 		m.intra.MulVec(x, intraCur)
@@ -508,11 +538,28 @@ func (m *Machine) inferNaive(st *InferState) (*Result, error) {
 					break
 				}
 			}
-		} else if s%checkEvery == checkEvery-1 {
-			lastResidual = m.fullResidual(x, clamped, sc.resBuf)
-			if lastResidual < m.cfg.SettleTol*settleResidualFactor {
-				settled = true
-				break
+		} else {
+			// Warm ticks start near the fixed point, so they additionally
+			// get the single-slice criterion: a vanished live-slice
+			// derivative triggers a full-residual confirmation mid-cycle.
+			// A failed confirmation (stale-held pseudo-equilibrium) backs
+			// off warmFineBackoff steps so it cannot buy an O(nnz) residual
+			// evaluation every step. Cold runs keep the once-per-cycle
+			// check only, bit-for-bit as before.
+			if st.WarmStart && s >= nextFine && maxD < m.cfg.SettleTol {
+				lastResidual = m.fullResidual(x, clamped, sc.resBuf)
+				if lastResidual < m.cfg.SettleTol*settleResidualFactor {
+					settled = true
+					break
+				}
+				nextFine = s + warmFineBackoff
+			}
+			if s%checkEvery == checkEvery-1 {
+				lastResidual = m.fullResidual(x, clamped, sc.resBuf)
+				if lastResidual < m.cfg.SettleTol*settleResidualFactor {
+					settled = true
+					break
+				}
 			}
 		}
 		if len(m.phases) > 1 && annealT >= nextSwitch {

@@ -91,37 +91,75 @@ func (m *Machine) compilePlan(clamped []bool) *clampPlan {
 }
 
 // compilePlanMat splits one coupling matrix into its static (fully-clamped
-// free rows) and dyn (mixed free rows, kept whole) parts. SplitCols supplies
-// the per-row free-column census; for a row that folds, its clamped-column
-// part IS the original row (SplitCols preserves row structure and in-row
-// order), so the static matrix carries the exact accumulation order the
-// naive loop would use.
+// free rows) and dyn (mixed free rows, kept whole) parts. mat.SplitRowPlan
+// carries each stored row over verbatim — same entries, same in-row order —
+// so the static matrix folds, and the dyn matrix re-evaluates, the exact
+// accumulation order the naive loop would use.
 func compilePlanMat(s *mat.CSR, clamped []bool) planMat {
-	freePart, clampPart := s.SplitCols(clamped)
-	static := &mat.CSR{Rows: s.Rows, Cols: s.Cols, RowPtr: make([]int, s.Rows+1)}
-	dyn := &mat.CSR{Rows: s.Rows, Cols: s.Cols, RowPtr: make([]int, s.Rows+1)}
-	for i := 0; i < s.Rows; i++ {
-		lo, hi := s.RowPtr[i], s.RowPtr[i+1]
-		switch {
-		case clamped[i] || lo == hi:
-			// Clamped rows feed nodes whose derivative is pinned to
-			// zero; empty rows contribute nothing. Neither is stored.
-		case freePart.RowNNZ(i) == 0:
-			// Every stored column is observed: the row is one constant
-			// per inference. clampPart's row equals the original row
-			// here, order included.
-			cl, ch := clampPart.RowPtr[i], clampPart.RowPtr[i+1]
-			static.ColIdx = append(static.ColIdx, clampPart.ColIdx[cl:ch]...)
-			static.Val = append(static.Val, clampPart.Val[cl:ch]...)
-		default:
-			// At least one live column: keep the whole original row so
-			// the per-step sum reassociates nothing.
-			dyn.ColIdx = append(dyn.ColIdx, s.ColIdx[lo:hi]...)
-			dyn.Val = append(dyn.Val, s.Val[lo:hi]...)
-		}
-		static.RowPtr[i+1] = len(static.Val)
-		dyn.RowPtr[i+1] = len(dyn.Val)
+	static, dyn := mat.SplitRowPlan(s, clamped)
+	return planMat{static: static, dyn: dyn}
+}
+
+// maxPlanDeltaBits bounds how large a clamp-mask symmetric difference the
+// delta compiler accepts. A sliding observation window shifts two bits per
+// tick (one index leaves, one enters); beyond a handful of flips the
+// affected-row set approaches the whole matrix and a full compile is both
+// simpler and no slower.
+const maxPlanDeltaBits = 4
+
+// CompilePlanDelta implements engine.DeltaBackend: it patches a previously
+// compiled plan for oldClamped into the plan for newClamped, reclassifying
+// only the rows the mask delta touches. The product is structurally
+// identical to a full compilePlan of newClamped — bit for bit, so the
+// planned-vs-naive identity invariant holds for patched plans too — and the
+// previous plan is never mutated (it may still be cached under its own
+// key). Returns nil to decline when the delta is empty, too large, or prev
+// is not this machine's plan type; the engine then falls back to a full
+// compile.
+func (m *Machine) CompilePlanDelta(prev any, oldClamped, newClamped []bool) any {
+	pl, ok := prev.(*clampPlan)
+	if !ok || len(oldClamped) != m.N || len(newClamped) != m.N {
+		return nil
 	}
+	changed := 0
+	for i := range newClamped {
+		if oldClamped[i] != newClamped[i] {
+			changed++
+		}
+	}
+	if changed == 0 || changed > maxPlanDeltaBits {
+		return nil
+	}
+	m.colRowsOnce.Do(func() {
+		m.intraColRows = m.intra.ColRows()
+		m.phaseColRows = make([][][]int32, len(m.phases))
+		for k, ph := range m.phases {
+			m.phaseColRows[k] = ph.ColRows()
+		}
+	})
+	np := &clampPlan{
+		intra:  patchPlanMat(m.intra, pl.intra, m.intraColRows, oldClamped, newClamped),
+		phases: make([]planMat, len(m.phases)),
+	}
+	for k, ph := range m.phases {
+		np.phases[k] = patchPlanMat(ph, pl.phases[k], m.phaseColRows[k], oldClamped, newClamped)
+	}
+	np.freeIdx = make([]int, 0, len(pl.freeIdx))
+	np.clampIdx = make([]int, 0, len(pl.clampIdx))
+	for i, c := range newClamped {
+		if c {
+			np.clampIdx = append(np.clampIdx, i)
+		} else {
+			np.freeIdx = append(np.freeIdx, i)
+		}
+	}
+	return np
+}
+
+// patchPlanMat is compilePlanMat through mat.PatchRowPlan: unaffected rows
+// are copied from the previous split wholesale.
+func patchPlanMat(s *mat.CSR, prev planMat, colRows [][]int32, oldClamped, newClamped []bool) planMat {
+	static, dyn := mat.PatchRowPlan(s, prev.static, prev.dyn, colRows, oldClamped, newClamped)
 	return planMat{static: static, dyn: dyn}
 }
 
@@ -182,6 +220,14 @@ func (m *Machine) inferPlanned(st *InferState, pl *clampPlan) (*Result, error) {
 	for _, i := range free {
 		interSum[i] += sc.contrib[0][i]
 	}
+	if st.WarmStart {
+		// Streaming warm tick: seed every held slice from the warm-start
+		// equilibrium up front instead of waiting for the rotation to
+		// first reach it — mirrors inferNaive's warm init exactly.
+		for k := 1; k < len(m.phases); k++ {
+			refreshPhasePlanned(st, sc, pl, k)
+		}
+	}
 
 	noisy := m.cfg.NodeNoise > 0 || m.cfg.CouplerNoise > 0
 	var couplerScale float64
@@ -201,6 +247,7 @@ func (m *Machine) inferPlanned(st *InferState, pl *clampPlan) (*Result, error) {
 	if checkEvery < 32 {
 		checkEvery = 32
 	}
+	nextFine := 0 // earliest step for the next warm fine-grained check
 
 	for s := 0; s < steps; s++ {
 		pl.intra.dyn.MulVecAdd(x, sc.biasIntra, intraCur)
@@ -261,11 +308,25 @@ func (m *Machine) inferPlanned(st *InferState, pl *clampPlan) (*Result, error) {
 					break
 				}
 			}
-		} else if s%checkEvery == checkEvery-1 {
-			lastResidual = m.planResidual(pl, sc, x, sc.resBuf)
-			if lastResidual < m.cfg.SettleTol*settleResidualFactor {
-				settled = true
-				break
+		} else {
+			// Warm-tick fine-grained settle check, mirroring inferNaive's
+			// structure (and backoff) exactly; planResidual equals
+			// fullResidual bit-for-bit, so warm naive and warm planned
+			// runs settle on the same step with the same residual.
+			if st.WarmStart && s >= nextFine && maxD < m.cfg.SettleTol {
+				lastResidual = m.planResidual(pl, sc, x, sc.resBuf)
+				if lastResidual < m.cfg.SettleTol*settleResidualFactor {
+					settled = true
+					break
+				}
+				nextFine = s + warmFineBackoff
+			}
+			if s%checkEvery == checkEvery-1 {
+				lastResidual = m.planResidual(pl, sc, x, sc.resBuf)
+				if lastResidual < m.cfg.SettleTol*settleResidualFactor {
+					settled = true
+					break
+				}
 			}
 		}
 		if len(m.phases) > 1 && annealT >= nextSwitch {

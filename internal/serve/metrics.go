@@ -30,6 +30,12 @@ type serveObs struct {
 	solo       *obs.Counter   // dsgl_serve_solo_total
 	coalesced  *obs.Counter   // dsgl_serve_coalesced_requests_total
 
+	// Streaming-session instruments (stream.go).
+	streamSessions *obs.Gauge   // dsgl_serve_stream_sessions
+	streamOpens    *obs.Counter // dsgl_serve_stream_opens_total
+	streamTicks    *obs.Counter // dsgl_serve_stream_ticks_total
+	streamEvicted  *obs.Counter // dsgl_serve_stream_evicted_total
+
 	// latency holds the per-model request-latency summaries
 	// (dsgl_serve_request_seconds{model=...}, P-squared p50/p90/p99),
 	// registered lazily on a model's first served request.
@@ -54,6 +60,10 @@ func newServeObs(r *obs.Registry) *serveObs {
 	m.batches = r.Counter("dsgl_serve_batches_total", "engine calls that coalesced two or more requests")
 	m.solo = r.Counter("dsgl_serve_solo_total", "engine calls that served a single request")
 	m.coalesced = r.Counter("dsgl_serve_coalesced_requests_total", "requests that rode in a coalesced batch")
+	m.streamSessions = r.Gauge("dsgl_serve_stream_sessions", "streaming sessions currently open")
+	m.streamOpens = r.Counter("dsgl_serve_stream_opens_total", "streaming sessions opened")
+	m.streamTicks = r.Counter("dsgl_serve_stream_ticks_total", "streaming ticks served (session opens included)")
+	m.streamEvicted = r.Counter("dsgl_serve_stream_evicted_total", "streaming sessions evicted after sitting idle past the TTL")
 	return m
 }
 

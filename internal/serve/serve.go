@@ -43,6 +43,12 @@ type Config struct {
 	// DrainTimeout bounds Drain's wait for in-flight requests. 0 selects
 	// 10s.
 	DrainTimeout time.Duration
+	// StreamTTL evicts /v1/stream sessions idle longer than this (sweep is
+	// lazy, on stream traffic). 0 selects 60s.
+	StreamTTL time.Duration
+	// MaxStreams bounds concurrently open /v1/stream sessions; beyond it
+	// (after expiring idle ones) opens are refused with 503. 0 selects 256.
+	MaxStreams int
 }
 
 func (c *Config) fillDefaults() {
@@ -60,6 +66,12 @@ func (c *Config) fillDefaults() {
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 10 * time.Second
+	}
+	if c.StreamTTL <= 0 {
+		c.StreamTTL = 60 * time.Second
+	}
+	if c.MaxStreams <= 0 {
+		c.MaxStreams = 256
 	}
 }
 
@@ -89,6 +101,12 @@ type Server struct {
 	groups  map[string]*batchGroup
 	queued  int
 
+	// Streaming sessions (stream.go), keyed by session id; streamSeq mints
+	// ids. Guarded by streamMu.
+	streamMu  sync.Mutex
+	streams   map[string]*streamSession
+	streamSeq uint64
+
 	httpSrv *http.Server
 	ln      net.Listener
 }
@@ -103,9 +121,11 @@ func New(models *Registry, cfg Config) *Server {
 		m:       newServeObs(obs.Default()),
 		limiter: newTenantLimiter(cfg.RatePerSec, cfg.Burst),
 		groups:  make(map[string]*batchGroup),
+		streams: make(map[string]*streamSession),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/infer", s.handleInfer)
+	mux.HandleFunc("/v1/stream", s.handleStream)
 	mux.HandleFunc("/v1/models", s.handleModels)
 	mux.HandleFunc("/v1/evict", s.handleEvict)
 	mux.HandleFunc("/v1/example", s.handleExample)
@@ -162,6 +182,11 @@ func (s *Server) Drain() error {
 	// Flush queued batches now rather than letting their windows expire —
 	// the in-flight handlers parked on those batches unblock immediately.
 	s.flushAll()
+
+	// Close every streaming session: the drain gate already refuses new
+	// stream ticks, and closeAllStreams serializes on each session's mutex,
+	// so in-flight ticks finish before their state returns to the pool.
+	s.closeAllStreams()
 
 	done := make(chan struct{})
 	go func() {

@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// postStream is the shared JSON round trip for /v1/stream tests.
+func postStream(t *testing.T, url string, req StreamRequest) (int, StreamResponse, string) {
+	t.Helper()
+	b, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/v1/stream", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	var out StreamResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+			t.Fatalf("decode stream response: %v (%s)", err, buf.Bytes())
+		}
+	}
+	return resp.StatusCode, out, buf.String()
+}
+
+// TestStreamHTTPEndToEnd drives a full session over HTTP: open (cold first
+// tick), warm ticks with the session id, close. Warm ticks must echo the
+// session, advance the tick counter and the seed, and flag themselves warm.
+func TestStreamHTTPEndToEnd(t *testing.T) {
+	m := testModel(t)
+	s := New(testRegistry(t), Config{BatchWindow: -1})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	_, test := m.Dataset.Split()
+	base := m.Engine().BaseSeed()
+
+	code, open, body := postStream(t, srv.URL, StreamRequest{Model: "traffic", Window: test[0].Full})
+	if code != http.StatusOK {
+		t.Fatalf("open status %d: %s", code, body)
+	}
+	if open.Session == "" || open.Tick != 0 || open.Warm || open.Seed != base {
+		t.Fatalf("bad open response: %+v", open)
+	}
+	if len(open.Values) != len(open.Indices) || len(open.Indices) != len(m.Dataset.UnknownIndices()) {
+		t.Fatalf("open predicted %d values over %d indices", len(open.Values), len(open.Indices))
+	}
+	if got := s.StreamCount(); got != 1 {
+		t.Fatalf("StreamCount=%d after open", got)
+	}
+
+	for i := 1; i <= 3; i++ {
+		code, tick, body := postStream(t, srv.URL, StreamRequest{Session: open.Session, Window: test[i].Full})
+		if code != http.StatusOK {
+			t.Fatalf("tick %d status %d: %s", i, code, body)
+		}
+		if tick.Session != open.Session || tick.Tick != uint64(i) || !tick.Warm {
+			t.Fatalf("tick %d response: %+v", i, tick)
+		}
+		if tick.Seed != base+uint64(i) {
+			t.Fatalf("tick %d seeded %d, want %d", i, tick.Seed, base+uint64(i))
+		}
+		for k, v := range tick.Values {
+			if math.IsNaN(v) {
+				t.Fatalf("tick %d value %d is NaN", i, k)
+			}
+		}
+	}
+
+	code, closed, body := postStream(t, srv.URL, StreamRequest{Session: open.Session, Close: true})
+	if code != http.StatusOK || !closed.Closed || closed.Tick != 4 {
+		t.Fatalf("close status %d: %+v (%s)", code, closed, body)
+	}
+	if got := s.StreamCount(); got != 0 {
+		t.Fatalf("StreamCount=%d after close", got)
+	}
+	if code, _, _ := postStream(t, srv.URL, StreamRequest{Session: open.Session, Window: test[4].Full}); code != http.StatusNotFound {
+		t.Fatalf("tick on a closed session: status %d, want 404", code)
+	}
+}
+
+// TestStreamHTTPErrors walks the endpoint's refusal paths, including the
+// no-leak guarantee: an open whose first tick fails must not leave a
+// session behind.
+func TestStreamHTTPErrors(t *testing.T) {
+	m := testModel(t)
+	s := New(testRegistry(t), Config{BatchWindow: -1})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	_, test := m.Dataset.Split()
+
+	if resp, err := http.Get(srv.URL + "/v1/stream"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d, want 405", resp.StatusCode)
+	}
+	for _, tc := range []struct {
+		name string
+		req  StreamRequest
+		code int
+	}{
+		{"unknown model", StreamRequest{Model: "nope", Window: test[0].Full}, http.StatusNotFound},
+		{"no clamps on open", StreamRequest{Model: "traffic"}, http.StatusBadRequest},
+		{"short window on open", StreamRequest{Model: "traffic", Window: []float64{1, 2}}, http.StatusBadRequest},
+		{"unknown session", StreamRequest{Session: "st-404", Window: test[0].Full}, http.StatusNotFound},
+		{"close without session", StreamRequest{Close: true}, http.StatusBadRequest},
+		{"close unknown session", StreamRequest{Session: "st-404", Close: true}, http.StatusNotFound},
+	} {
+		if code, _, body := postStream(t, srv.URL, tc.req); code != tc.code {
+			t.Fatalf("%s: status %d, want %d (%s)", tc.name, code, tc.code, body)
+		}
+	}
+	if got := s.StreamCount(); got != 0 {
+		t.Fatalf("failed opens leaked %d sessions", got)
+	}
+
+	// A live session refuses ticks naming a different model.
+	code, open, body := postStream(t, srv.URL, StreamRequest{Model: "traffic", Window: test[0].Full})
+	if code != http.StatusOK {
+		t.Fatalf("open status %d: %s", code, body)
+	}
+	if code, _, _ := postStream(t, srv.URL, StreamRequest{Model: "other", Session: open.Session, Window: test[1].Full}); code != http.StatusBadRequest {
+		t.Fatalf("model mismatch: status %d, want 400", code)
+	}
+}
+
+// TestStreamSessionLimitAndTTL pins both session bounds: the MaxStreams cap
+// refuses further opens with 503, and a session idle past StreamTTL is
+// swept by the next stream request.
+func TestStreamSessionLimitAndTTL(t *testing.T) {
+	m := testModel(t)
+	s := New(testRegistry(t), Config{BatchWindow: -1, MaxStreams: 1, StreamTTL: 30 * time.Millisecond})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	_, test := m.Dataset.Split()
+
+	code, open, body := postStream(t, srv.URL, StreamRequest{Model: "traffic", Window: test[0].Full})
+	if code != http.StatusOK {
+		t.Fatalf("open status %d: %s", code, body)
+	}
+	if code, _, body := postStream(t, srv.URL, StreamRequest{Model: "traffic", Window: test[0].Full}); code != http.StatusServiceUnavailable {
+		t.Fatalf("open past MaxStreams: status %d, want 503 (%s)", code, body)
+	}
+
+	// Let the session go idle past the TTL; the next request sweeps it,
+	// freeing its slot for a new open.
+	time.Sleep(60 * time.Millisecond)
+	code, open2, body := postStream(t, srv.URL, StreamRequest{Model: "traffic", Window: test[0].Full})
+	if code != http.StatusOK {
+		t.Fatalf("open after TTL sweep: status %d (%s)", code, body)
+	}
+	if open2.Session == open.Session {
+		t.Fatalf("swept session id %q reused", open.Session)
+	}
+	if code, _, _ := postStream(t, srv.URL, StreamRequest{Session: open.Session, Window: test[1].Full}); code != http.StatusNotFound {
+		t.Fatalf("tick on an expired session: status %d, want 404", code)
+	}
+	if got := s.StreamCount(); got != 1 {
+		t.Fatalf("StreamCount=%d, want 1 (old evicted, new live)", got)
+	}
+}
+
+// TestStreamDrainClosesSessions checks the drain contract for streams: open
+// sessions are closed (their state returns to the engine pool) and stream
+// requests during the drain get 503.
+func TestStreamDrainClosesSessions(t *testing.T) {
+	m := testModel(t)
+	s := New(testRegistry(t), Config{BatchWindow: -1})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	_, test := m.Dataset.Split()
+
+	code, open, body := postStream(t, srv.URL, StreamRequest{Model: "traffic", Window: test[0].Full})
+	if code != http.StatusOK {
+		t.Fatalf("open status %d: %s", code, body)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if got := s.StreamCount(); got != 0 {
+		t.Fatalf("drain left %d sessions open", got)
+	}
+	if code, _, _ := postStream(t, srv.URL, StreamRequest{Session: open.Session, Window: test[1].Full}); code != http.StatusServiceUnavailable {
+		t.Fatalf("stream tick during drain: status %d, want 503", code)
+	}
+}
+
+// TestRunLoadOffersConfiguredRate is the pacing regression: the generator
+// used to sleep each Pareto gap *after* the per-request spawn work, so
+// spawn overhead and timer slack accumulated and the campaign silently
+// under-offered (119.7 achieved of 150 offered with nothing shed). With
+// the absolute arrival schedule the sent count must track offered QPS ×
+// duration closely even at low rates, where long gaps maximize timer
+// slack.
+func TestRunLoadOffersConfiguredRate(t *testing.T) {
+	s := New(testRegistry(t), Config{BatchWindow: 2 * time.Millisecond, MaxBatch: 16})
+	cfg := LoadConfig{Model: "traffic", QPS: 150, Duration: 400 * time.Millisecond, Alpha: 3, Seed: 7}
+	rep, err := RunLoad(s, cfg)
+	if err != nil {
+		t.Fatalf("run load: %v", err)
+	}
+	offered := cfg.QPS * cfg.Duration.Seconds()
+	if low := 0.85 * offered; float64(rep.Sent) < low {
+		t.Fatalf("sent %d of ~%.0f scheduled arrivals — generator is under-offering again", rep.Sent, offered)
+	}
+	if high := 1.35 * offered; float64(rep.Sent) > high {
+		t.Fatalf("sent %d of ~%.0f scheduled arrivals — generator is over-offering", rep.Sent, offered)
+	}
+	// With nothing shed, achieved throughput over the send window must sit
+	// near the offered rate instead of being diluted by the tail drain.
+	if rep.Shed == 0 && rep.Errors == 0 && rep.Achieved < 0.85*cfg.QPS {
+		t.Fatalf("achieved %.1f qps of %g offered with nothing shed", rep.Achieved, cfg.QPS)
+	}
+}

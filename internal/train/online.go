@@ -1,0 +1,161 @@
+// Online (streaming) ridge refits via Sherman–Morrison rank-one updates.
+//
+// RidgeInit solves W = (XᵀX + λI)⁻¹ XᵀY from a fixed training set, which
+// costs O(no³) in the observed count every time the set changes. A live
+// stream appends one sample per tick, and re-solving from scratch per tick
+// is the same pathology the plan cache fixes for inference: all but one row
+// of the work is identical to the previous tick's. OnlineRidge instead
+// maintains the INVERSE Gram matrix directly. Appending sample x to the
+// design matrix is the rank-one update G ← G + x xᵀ, whose inverse follows
+// from the Sherman–Morrison identity
+//
+//	(G + x xᵀ)⁻¹ = G⁻¹ − (G⁻¹ x)(xᵀ G⁻¹) / (1 + xᵀ G⁻¹ x)
+//
+// at O(no²) per sample, with B ← B + x yᵀ the matching rank-one cross-term
+// update. Seeding G₀ = λI (so G₀⁻¹ = I/λ) bakes the ridge penalty in once;
+// after m samples the maintained inverse is exactly (XᵀX + λI)⁻¹ and
+// Params() reproduces RidgeInit over the same samples up to inversion
+// round-off (pinned to 1e-9 by TestOnlineRidgeMatchesFullRefit).
+package train
+
+import (
+	"fmt"
+
+	"dsgl/internal/mat"
+)
+
+// OnlineRidge accumulates streamed training samples into a ridge regression
+// whose closed-form solution stays one O(no²·nu) readout away. Not safe for
+// concurrent use.
+type OnlineRidge struct {
+	n      int
+	obsIdx []int
+	unkIdx []int
+	lambda float64
+
+	ginv    *mat.Dense // (XᵀX + λI)⁻¹ over observed columns, no×no
+	b       *mat.Dense // XᵀY cross term, no×nu
+	samples int
+
+	// Per-Add scratch, so steady-state updates allocate nothing.
+	xo []float64 // sample packed to observed columns
+	xu []float64 // sample packed to unknown columns
+	u  []float64 // G⁻¹x (symmetric G⁻¹, so also (xᵀG⁻¹)ᵀ)
+}
+
+// NewOnlineRidge starts an empty streaming fit for the given observed mask
+// and ridge penalty. The validation mirrors RidgeInit's.
+func NewOnlineRidge(observed []bool, lambda float64) (*OnlineRidge, error) {
+	n := len(observed)
+	if lambda <= 0 {
+		return nil, fmt.Errorf("train: ridge lambda must be positive, got %g", lambda)
+	}
+	var obsIdx, unkIdx []int
+	for i, o := range observed {
+		if o {
+			obsIdx = append(obsIdx, i)
+		} else {
+			unkIdx = append(unkIdx, i)
+		}
+	}
+	if len(obsIdx) == 0 || len(unkIdx) == 0 {
+		return nil, fmt.Errorf("train: need both observed and unknown variables (%d/%d)", len(obsIdx), len(unkIdx))
+	}
+	no, nu := len(obsIdx), len(unkIdx)
+	o := &OnlineRidge{
+		n:      n,
+		obsIdx: obsIdx,
+		unkIdx: unkIdx,
+		lambda: lambda,
+		ginv:   mat.NewDense(no, no),
+		b:      mat.NewDense(no, nu),
+		xo:     make([]float64, no),
+		xu:     make([]float64, nu),
+		u:      make([]float64, no),
+	}
+	for i := 0; i < no; i++ {
+		o.ginv.Set(i, i, 1/lambda)
+	}
+	return o, nil
+}
+
+// Samples is the number of samples folded in so far.
+func (o *OnlineRidge) Samples() int { return o.samples }
+
+// Add folds one full-width sample into the fit: a Sherman–Morrison update
+// of the inverse Gram matrix plus a rank-one cross-term update, O(no²+no·nu)
+// total and allocation-free.
+func (o *OnlineRidge) Add(sample []float64) error {
+	if len(sample) != o.n {
+		return fmt.Errorf("train: sample has %d entries, want %d", len(sample), o.n)
+	}
+	no, nu := len(o.obsIdx), len(o.unkIdx)
+	for i, gi := range o.obsIdx {
+		o.xo[i] = sample[gi]
+	}
+	for u, gu := range o.unkIdx {
+		o.xu[u] = sample[gu]
+	}
+	// u = G⁻¹x; the denominator 1 + xᵀG⁻¹x is ≥ 1 for the positive-definite
+	// inverse this type maintains, so the update never divides by ~0.
+	var denom float64 = 1
+	for i := 0; i < no; i++ {
+		row := o.ginv.Row(i)
+		var s float64
+		for j := 0; j < no; j++ {
+			s += row[j] * o.xo[j]
+		}
+		o.u[i] = s
+		denom += o.xo[i] * s
+	}
+	for i := 0; i < no; i++ {
+		f := o.u[i] / denom
+		if f == 0 {
+			continue
+		}
+		row := o.ginv.Row(i)
+		for j := 0; j < no; j++ {
+			row[j] -= f * o.u[j]
+		}
+	}
+	for i := 0; i < no; i++ {
+		vi := o.xo[i]
+		if vi == 0 {
+			continue
+		}
+		brow := o.b.Row(i)
+		for u := 0; u < nu; u++ {
+			brow[u] += vi * o.xu[u]
+		}
+	}
+	o.samples++
+	return nil
+}
+
+// Params reads out the current fit as inference parameters, installing the
+// weights exactly as RidgeInit does: J[u][obs_i] = W[i][u], every h = -1,
+// zero diagonal. W = G⁻¹B costs O(no²·nu); the accumulated state is left
+// untouched, so streaming can continue after a readout.
+func (o *OnlineRidge) Params() (*Params, error) {
+	if o.samples == 0 {
+		return nil, fmt.Errorf("train: no samples")
+	}
+	no, nu := len(o.obsIdx), len(o.unkIdx)
+	j := mat.NewDense(o.n, o.n)
+	h := make([]float64, o.n)
+	for i := range h {
+		h[i] = -1
+	}
+	for i := 0; i < no; i++ {
+		grow := o.ginv.Row(i)
+		for u := 0; u < nu; u++ {
+			var w float64
+			for k := 0; k < no; k++ {
+				w += grow[k] * o.b.At(k, u)
+			}
+			j.Set(o.unkIdx[u], o.obsIdx[i], w)
+		}
+	}
+	j.ZeroDiagonal()
+	return &Params{J: j, H: h}, nil
+}

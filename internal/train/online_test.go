@@ -1,0 +1,136 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"dsgl/internal/rng"
+)
+
+// onlineRidgeTol is the agreement bound between the Sherman–Morrison
+// maintained fit and a full RidgeInit re-solve over the same samples. The
+// two take different numerical routes to the same closed form (maintained
+// inverse vs. Gaussian elimination), so bit identity is not on the table;
+// 1e-9 is the streaming-refit acceptance bound.
+const onlineRidgeTol = 1e-9
+
+func TestOnlineRidgeMatchesFullRefit(t *testing.T) {
+	r := rng.New(7)
+	_, observed, samples := genObservedUnknown(r, 9, 5, 48, 0.05)
+	const lambda = 0.25
+
+	o, err := NewOnlineRidge(observed, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check the stream against the batch solver at several prefixes, not
+	// just the end: an update that drifts and recovers would pass a single
+	// final comparison.
+	for k, smp := range samples {
+		if err := o.Add(smp); err != nil {
+			t.Fatal(err)
+		}
+		m := k + 1
+		if m != 1 && m != 7 && m != 20 && m != len(samples) {
+			continue
+		}
+		want, err := RidgeInit(samples[:m], observed, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := o.Params()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Samples() != m {
+			t.Fatalf("Samples()=%d after %d adds", o.Samples(), m)
+		}
+		for i := 0; i < len(observed); i++ {
+			if got.H[i] != want.H[i] {
+				t.Fatalf("m=%d: H[%d]=%g, want %g", m, i, got.H[i], want.H[i])
+			}
+			for j := 0; j < len(observed); j++ {
+				d := math.Abs(got.J.At(i, j) - want.J.At(i, j))
+				if d > onlineRidgeTol || math.IsNaN(d) {
+					t.Fatalf("m=%d: J[%d][%d] online %.15g vs full %.15g (|Δ|=%.3g > %g)",
+						m, i, j, got.J.At(i, j), want.J.At(i, j), d, onlineRidgeTol)
+				}
+			}
+		}
+	}
+}
+
+func TestOnlineRidgeReadoutDoesNotDisturbStream(t *testing.T) {
+	r := rng.New(3)
+	_, observed, samples := genObservedUnknown(r, 6, 3, 24, 0)
+	o, err := NewOnlineRidge(observed, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, smp := range samples {
+		if err := o.Add(smp); err != nil {
+			t.Fatal(err)
+		}
+		if i == len(samples)/2 {
+			if _, err := o.Params(); err != nil { // mid-stream readout
+				t.Fatal(err)
+			}
+		}
+	}
+	got, err := o.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RidgeInit(samples, observed, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(observed); i++ {
+		for j := 0; j < len(observed); j++ {
+			if d := math.Abs(got.J.At(i, j) - want.J.At(i, j)); d > onlineRidgeTol {
+				t.Fatalf("mid-stream readout disturbed the fit: J[%d][%d] off by %g", i, j, d)
+			}
+		}
+	}
+}
+
+func TestOnlineRidgeValidation(t *testing.T) {
+	if _, err := NewOnlineRidge([]bool{true, false}, 0); err == nil {
+		t.Fatal("zero lambda accepted")
+	}
+	if _, err := NewOnlineRidge([]bool{true, true}, 1); err == nil {
+		t.Fatal("mask without unknowns accepted")
+	}
+	if _, err := NewOnlineRidge([]bool{false, false}, 1); err == nil {
+		t.Fatal("mask without observed accepted")
+	}
+	o, err := NewOnlineRidge([]bool{true, false}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Add([]float64{1, 2, 3}); err == nil {
+		t.Fatal("wrong-width sample accepted")
+	}
+	if _, err := o.Params(); err == nil {
+		t.Fatal("Params with no samples accepted")
+	}
+}
+
+func TestOnlineRidgeAddAllocationFree(t *testing.T) {
+	r := rng.New(9)
+	_, observed, samples := genObservedUnknown(r, 8, 4, 8, 0)
+	o, err := NewOnlineRidge(observed, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 0
+	allocs := testing.AllocsPerRun(32, func() {
+		if err := o.Add(samples[k%len(samples)]); err != nil {
+			t.Fatal(err)
+		}
+		k++
+	})
+	if allocs != 0 {
+		t.Fatalf("Add allocated %v per op, want 0", allocs)
+	}
+}

@@ -63,7 +63,7 @@ const (
 	descentNetRel    = 0 // every trace must end no higher than it began
 )
 
-// Verify checks the seven runtime contracts of the DS-GL system (paper
+// Verify checks the eight runtime contracts of the DS-GL system (paper
 // Sec. III, Eqs. 6-8) against the trained model:
 //
 //  1. monotone energy descent while annealing probe windows;
@@ -79,7 +79,11 @@ const (
 //  7. sharded fixed-point agreement (the community-sharded parallel anneal
 //     settles to the sequential equilibrium within the settle-residual
 //     tolerance — checked on a sharding-enabled twin of the machine, so it
-//     guards the sharded path even for models that run with sharding off).
+//     guards the sharded path even for models that run with sharding off);
+//  8. warm-start fixed-point agreement (a streaming tick warm-started from
+//     the previous window's equilibrium settles to the same fixed point a
+//     cold inference of that window reaches, within the same
+//     settle-residual tolerance style as 7).
 //
 // The returned report is structured: rep.Ok() is the overall verdict,
 // rep.Fprint renders it for terminals, and rep.Violations() flattens every
@@ -87,13 +91,14 @@ const (
 // checks at all (no test windows, snapshot I/O failure); contract
 // violations are reported, not returned as errors.
 //
-// Verify runs against either backend. Checks 1-6 run on a BackendDense
-// model too: the snapshot round-trip (3) exercises the dense (v3) snapshot
-// format, and lossless compilation (5) compares the dense network's
-// realized coupling matrix against the tuned J; the remaining checks go
-// through the same engine entry points as on the scalable machine. The
-// sharded fixed-point check (7) is scalable-only — the dense backend has no
-// community structure to shard — and reports itself skipped there.
+// Verify runs against either backend. Checks 1-6 and 8 run on a
+// BackendDense model too: the snapshot round-trip (3) exercises the dense
+// (v3) snapshot format, and lossless compilation (5) compares the dense
+// network's realized coupling matrix against the tuned J; the remaining
+// checks go through the same engine entry points as on the scalable
+// machine. The sharded fixed-point check (7) is scalable-only — the dense
+// backend has no community structure to shard — and reports itself skipped
+// there.
 func Verify(m *Model, opts VerifyOptions) (*VerifyReport, error) {
 	if m == nil || m.Dataset == nil || (m.Machine == nil && m.Dspu == nil) {
 		return nil, errors.New("dsgl: Verify needs a trained model")
@@ -151,6 +156,11 @@ func Verify(m *Model, opts VerifyOptions) (*VerifyReport, error) {
 		return nil, err
 	}
 	rep.Add(shardFP)
+	warmFP, err := m.checkWarmStartFixedPoint(obsList, seq, seed)
+	if err != nil {
+		return nil, err
+	}
+	rep.Add(warmFP)
 	return rep, nil
 }
 
@@ -459,6 +469,63 @@ func (m *Model) checkShardedFixedPoint(obsList [][]engine.Observation, seq []*en
 	}
 	c.Detail = fmt.Sprintf("%d shards, %d/%d settled probes compared, node tolerance %.2g",
 		twin.ShardCount(), settled, len(obsList), tol)
+	return c, nil
+}
+
+// checkWarmStartFixedPoint verifies invariant 8: streaming the probe
+// windows as consecutive warm-started ticks (each free node initialized
+// from the previous window's equilibrium; see engine.Stream) settles every
+// tick to the same fixed point the cold reference inference of that window
+// reached. The first tick of a stream IS a cold inference and must match
+// the reference bit-for-bit; the warm ticks carry a different trajectory to
+// the same attractor and are compared within the invariant-7 tolerance.
+// The check runs on both backends — the stream is an engine-level facility
+// — and is skipped under injected analog noise, where warm and cold runs
+// draw different noise streams along their different-length trajectories.
+func (m *Model) checkWarmStartFixedPoint(obsList [][]engine.Observation, seq []*engine.Result, seed uint64) (VerifyCheck, error) {
+	c := VerifyCheck{Invariant: verify.InvWarmStartFixedPoint, Name: "warm-start/cold fixed-point agreement"}
+	if m.Opts.NodeNoise > 0 || m.Opts.CouplerNoise > 0 {
+		c.Skipped = true
+		c.Detail = "analog noise injected; warm and cold anneals draw diverging noise streams"
+		return c, nil
+	}
+	if len(obsList) < 2 {
+		c.Skipped = true
+		c.Detail = "need at least two probe windows to take a warm-started tick"
+		return c, nil
+	}
+	tol := shardedFixedPointTol(m.Tuned.H, m.residualChecker().SettleResidualTol())
+	s := m.Engine().OpenStream()
+	defer s.Close()
+	settled := 0
+	var coldSteps, warmSteps int
+	for i, obs := range obsList {
+		res, err := s.Tick(obs, seed+uint64(i))
+		if err != nil {
+			return c, fmt.Errorf("dsgl: verify stream tick %d: %w", i, err)
+		}
+		if i == 0 {
+			// Cold first tick: same seed, same init — bit-identity, not
+			// tolerance.
+			c.Violations = append(c.Violations,
+				verify.ResultsEqual(verify.InvWarmStartFixedPoint, "tick 0 (cold)", seq[0], res)...)
+			continue
+		}
+		if seq[i].Settled {
+			settled++
+			coldSteps += seq[i].Steps
+			warmSteps += res.Steps
+		}
+		c.Violations = append(c.Violations,
+			verify.WarmStartFixedPoint(fmt.Sprintf("tick %d", i), seq[i], res, tol)...)
+	}
+	if settled == 0 {
+		c.Skipped = true
+		c.Detail = fmt.Sprintf("none of the %d cold references settled; no fixed-point claim made", len(obsList))
+		return c, nil
+	}
+	c.Detail = fmt.Sprintf("%d warm ticks against settled cold references (steps %d warm vs %d cold), node tolerance %.2g",
+		settled, warmSteps, coldSteps, tol)
 	return c, nil
 }
 

@@ -37,7 +37,7 @@ func TestVerifyAllInvariantsGreen(t *testing.T) {
 			[]string{verify.InvLosslessCompile}},
 		{"noise",
 			func() Options { o := tinyOptions(); o.NodeNoise = 0.05; return o }(),
-			[]string{verify.InvEnergyDescent, verify.InvShardedFixedPoint}},
+			[]string{verify.InvEnergyDescent, verify.InvShardedFixedPoint, verify.InvWarmStartFixedPoint}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -55,8 +55,8 @@ func TestVerifyAllInvariantsGreen(t *testing.T) {
 				rep.Fprint(&sb)
 				t.Fatalf("verification failed on a healthy model:\n%s", sb.String())
 			}
-			if len(rep.Checks) != 7 {
-				t.Fatalf("report has %d checks, want all 7 invariants", len(rep.Checks))
+			if len(rep.Checks) != 8 {
+				t.Fatalf("report has %d checks, want all 8 invariants", len(rep.Checks))
 			}
 			// The plan/naive identity must hold in every regime, noise
 			// included (the plan path replicates the noise stream).
@@ -78,6 +78,11 @@ func TestVerifyAllInvariantsGreen(t *testing.T) {
 				// The tiny model spans several PEs, so unless noise forces
 				// the exact path the sharded check must actively compare.
 				if c.Invariant == verify.InvShardedFixedPoint && !mustSkip[c.Invariant] && c.Skipped {
+					t.Errorf("%s unexpectedly skipped: %s", c.Invariant, c.Detail)
+				}
+				// The warm-start check must actively compare whenever noise
+				// does not void it.
+				if c.Invariant == verify.InvWarmStartFixedPoint && !mustSkip[c.Invariant] && c.Skipped {
 					t.Errorf("%s unexpectedly skipped: %s", c.Invariant, c.Detail)
 				}
 			}
