@@ -33,10 +33,11 @@ race:
 	$(GO) test -race ./...
 
 # verify trains the standard pipeline on every built-in dataset and checks
-# the eight runtime invariants (energy descent, settle residual, snapshot
+# the nine runtime invariants (energy descent, settle residual, snapshot
 # round trip, seq/par bit-identity, lossless compilation, plan/naive
 # bit-identity, sharded fixed-point agreement, warm-start fixed-point
-# agreement). Nonzero exit on any violation; small -n keeps it CI-cheap.
+# agreement, opt best-energy consistency). Nonzero exit on any violation;
+# small -n keeps it CI-cheap.
 verify:
 	$(GO) run ./cmd/dsgl verify -n 16 -eval 8
 
@@ -49,6 +50,10 @@ bench:
 		-benchmem -benchtime=10x -json . | tee BENCH_infer.json | \
 		$(GO) run ./cmd/benchfmt -guard
 	@echo "wrote BENCH_infer.json"
+	$(GO) test -run '^$$' -bench 'BenchmarkOptSolve' \
+		-benchmem -benchtime=5x -json . | tee BENCH_opt.json | \
+		$(GO) run ./cmd/benchfmt -guard
+	@echo "wrote BENCH_opt.json"
 
 # serve-bench drives the serving layer with the synthetic open-loop load
 # generator (heavy-tail Pareto arrivals, two offered-QPS points) and
@@ -61,4 +66,4 @@ serve-bench:
 	@echo "wrote BENCH_serve.json"
 
 clean:
-	rm -f BENCH_infer.json BENCH_serve.json
+	rm -f BENCH_infer.json BENCH_opt.json BENCH_serve.json

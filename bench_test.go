@@ -980,6 +980,39 @@ func BenchmarkInferSharded(b *testing.B) {
 	})
 }
 
+// BenchmarkOptSolve anneals a 256-node Gset-style MaxCut instance through
+// the engine's seeded multi-restart fan-out, once per selectable solver
+// dynamics. Besides wall cost it reports solution quality as custom metrics:
+// best-energy (the Ising ground-energy proxy; lower is better), the cut it
+// maps back to, and restarts-to-best (how deep into the restart fan-out the
+// winner appeared — 1 means the first seed already won). Deterministic in
+// the pinned seed, so the metric columns are comparable across runs.
+func BenchmarkOptSolve(b *testing.B) {
+	g, err := dsgl.GsetInstance(256, 6, false, 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, dyn := range dsgl.OptDynamics() {
+		b.Run(dyn, func(b *testing.B) {
+			b.ReportAllocs()
+			var rep *dsgl.OptReport
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err = dsgl.SolveMaxCut(g, dsgl.OptOptions{
+					Dynamics: dyn, Steps: 60, Restarts: 4, Workers: 4, Seed: 9,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(rep.Run.Best.Energy, "best-energy")
+			b.ReportMetric(rep.Cut, "cut")
+			b.ReportMetric(float64(rep.Run.BestRestart+1), "restarts-to-best")
+		})
+	}
+}
+
 // BenchmarkEvaluateParallel contrasts the sequential Evaluate loop with the
 // pooled EvaluateParallel at 1 and GOMAXPROCS workers over the same windows.
 func BenchmarkEvaluateParallel(b *testing.B) {

@@ -32,6 +32,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -93,6 +94,7 @@ func main() {
 	var customs []customMetric
 	batch := newBatchScaling()
 	stream := newStreamScaling()
+	opt := newOptSolve()
 	for _, out := range strings.SplitAfter(raw.String(), "\n") {
 		// Keep benchmark result lines, headers, and the final verdict;
 		// drop run announcements and per-test chatter.
@@ -113,12 +115,19 @@ func main() {
 		customs = append(customs, parseCustomMetrics(out)...)
 		batch.add(out)
 		stream.add(out)
+		opt.add(out)
 	}
 	for _, cm := range customs {
 		fmt.Printf("metric: %-44s %-20s %.4g\n", cm.bench, cm.unit, cm.value)
 	}
-	ok := batch.report(os.Stdout, *guard)
+	// The batch guard is required only when the stream carried no
+	// optimization rows: replaying BENCH_opt.json (OptSolve rows only)
+	// through -guard must not demand InferBatch pairs it never ran.
+	ok := batch.report(os.Stdout, *guard, opt.count() == 0)
 	if !stream.report(os.Stdout, *guard) {
+		ok = false
+	}
+	if !opt.report(os.Stdout, *guard) {
 		ok = false
 	}
 	if *guard && !ok {
@@ -276,10 +285,12 @@ func (b *batchScaling) add(line string) {
 
 // report prints the per-regime workers=4 vs workers=1 speedups and returns
 // whether every regime clears the anti-scaling threshold. guarding only
-// changes the messaging: measurement and verdict are identical either way,
-// and a guarded run with no InferBatch rows at all fails loudly rather
-// than vacuously passing.
-func (b *batchScaling) report(w *os.File, guarding bool) bool {
+// changes the messaging: measurement and verdict are identical either way.
+// A guarded run with no InferBatch rows at all fails loudly rather than
+// vacuously passing — unless required is false (the stream carried other
+// recognized rows, e.g. a BENCH_opt.json replay), in which case the absent
+// guard is reported as skipped and passes.
+func (b *batchScaling) report(w io.Writer, guarding, required bool) bool {
 	compared := 0
 	ok := true
 	for _, key := range b.order {
@@ -299,6 +310,10 @@ func (b *batchScaling) report(w *os.File, guarding bool) bool {
 		fmt.Fprintf(w, "batch scaling: %-28s workers=4 vs 1: %.2fx%s\n", key, speedup, verdict)
 	}
 	if guarding && compared == 0 {
+		if !required {
+			fmt.Fprintln(w, "batch scaling: no BenchmarkInferBatch rows; optimization rows present, batch guard skipped")
+			return true
+		}
 		fmt.Fprintln(w, "batch scaling: no BenchmarkInferBatch workers=1/workers=4 pairs found; nothing to guard")
 		return false
 	}
@@ -370,13 +385,91 @@ func (s *streamScaling) add(line string) {
 	}
 }
 
+// optSolve accumulates BenchmarkOptSolve rows keyed by (dynamics, -cpu
+// suffix) and renders the solution-quality metrics the benchmark reports —
+// best-energy, the cut it maps to, and restarts-to-best — as one summary
+// line per dynamics, so the quality columns of a BENCH_opt.json replay are
+// readable next to the wall costs.
+type optSolve struct {
+	rows  map[string]map[string]float64 // dynamics+cpu -> unit -> value
+	order []string                      // keys in first-seen order
+}
+
+func newOptSolve() *optSolve {
+	return &optSolve{rows: make(map[string]map[string]float64)}
+}
+
+// add parses one reassembled console line and records it if it is an
+// OptSolve result row.
+func (o *optSolve) add(line string) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "BenchmarkOptSolve/") ||
+		strings.Contains(fields[0], "#") {
+		return
+	}
+	name, cpu := splitCPUSuffix(fields[0])
+	key := strings.TrimPrefix(name, "BenchmarkOptSolve/") + cpu
+	g, ok := o.rows[key]
+	if !ok {
+		g = make(map[string]float64)
+	}
+	parsed := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return // not a result row after all
+		}
+		if _, seen := g[fields[i+1]]; !seen {
+			g[fields[i+1]] = v
+		}
+		parsed = true
+	}
+	if !parsed {
+		return
+	}
+	if !ok {
+		o.rows[key] = g
+		o.order = append(o.order, key)
+	}
+}
+
+// count reports how many OptSolve configurations were recognized.
+func (o *optSolve) count() int { return len(o.order) }
+
+// report prints one quality line per dynamics and returns whether the rows
+// are well-formed. An event stream with no OptSolve rows passes vacuously
+// (the infer bench run never produces them); a guarded run whose OptSolve
+// row is missing the reported quality metrics fails loudly — that is a
+// benchmark that stopped calling ReportMetric, not an empty run.
+func (o *optSolve) report(w io.Writer, guarding bool) bool {
+	ok := true
+	for _, key := range o.order {
+		g := o.rows[key]
+		best, hasBest := g["best-energy"]
+		restarts, hasRestarts := g["restarts-to-best"]
+		if !hasBest || !hasRestarts {
+			if guarding {
+				fmt.Fprintf(w, "opt solve: %s missing best-energy/restarts-to-best metrics; cannot summarize\n", key)
+				ok = false
+			}
+			continue
+		}
+		line := fmt.Sprintf("opt solve: %-24s best energy %.6g", key, best)
+		if cut, hasCut := g["cut"]; hasCut {
+			line += fmt.Sprintf("  cut %.6g", cut)
+		}
+		fmt.Fprintf(w, "%s  restarts-to-best %g\n", line, restarts)
+	}
+	return ok
+}
+
 // report prints the warm-tick speedup per -cpu group and returns whether
 // every group clears the stream guard threshold. An event stream with no
 // InferStream rows at all passes vacuously — the CI batch-scaling smoke
 // pipes only InferBatch rows through -guard — but a guarded run that
 // measured one side of the pair without the other fails loudly: that is a
 // misconfigured -bench regex, not an empty run.
-func (s *streamScaling) report(w *os.File, guarding bool) bool {
+func (s *streamScaling) report(w io.Writer, guarding bool) bool {
 	ok := true
 	for _, cpu := range s.order {
 		g := s.ns[cpu]

@@ -8,7 +8,8 @@
 //	dsgl fig10 -n 32 -eval 30 # accuracy vs density (Fig. 10)
 //	dsgl table2               # RMSE vs SOTA GNNs (Table II)
 //	dsgl eval -backend dense  # train + evaluate one dataset end to end
-//	dsgl verify               # check the eight runtime invariants
+//	dsgl verify               # check the nine runtime invariants
+//	dsgl opt -nodes 800       # solve a Gset-style MaxCut instance
 //	dsgl all                  # run the full suite in paper order
 package main
 
@@ -41,6 +42,12 @@ func realMain(args []string) int {
 	}
 	cmd := args[0]
 	rest := args[1:]
+	// "opt" has a disjoint flag surface (instance generators and annealing
+	// controls rather than dataset/training knobs), so it dispatches before
+	// the shared experiment FlagSet.
+	if cmd == "opt" {
+		return optCmd(rest, os.Stdout)
+	}
 	// "inspect" and "eval" take an optional dataset name before the flags.
 	inspectName := "traffic"
 	if (cmd == "inspect" || cmd == "eval") && len(rest) > 0 && len(rest[0]) > 0 && rest[0][0] != '-' {
@@ -271,7 +278,9 @@ experiments:
   eval     train one dataset and report test-split RMSE/MAE/latency
            (honors -backend: compare dense vs scalable end to end)
   verify   train on the named (default: all) datasets and check the
-           eight runtime invariants; nonzero exit on any violation
+           nine runtime invariants; nonzero exit on any violation
+  opt      solve a Gset-style MaxCut instance on the Ising backends
+           (own flags: see 'dsgl opt -h'; -dynamics brim|metropolis|oim)
   list     print experiment ids
 
 flags: -n, -t, -eval, -gnn-epochs, -seed, -workers, -backend,

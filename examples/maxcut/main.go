@@ -33,8 +33,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	_, bestE := model.GroundState()
-	best := ising.CutValue(w, mustGround(model))
+	ground, bestE, err := model.GroundState()
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := ising.CutValue(w, ground)
 
 	brim, err := ising.NewBRIM(model, ising.DefaultAnnealSchedule(), rng.New(7))
 	if err != nil {
@@ -47,9 +50,4 @@ func main() {
 		fmt.Printf("%12.0f %12.3f %12.3f %9.1f%%\n", dur, cut, best, 100*cut/best)
 	}
 	fmt.Printf("\nground-state Ising energy: %.3f\n", bestE)
-}
-
-func mustGround(m *ising.Model) []int8 {
-	s, _ := m.GroundState()
-	return s
 }

@@ -166,9 +166,9 @@ func TestStatePoolRecyclesAndCapped(t *testing.T) {
 	if _, err := e.InferBatch(obs, 2); err != nil {
 		t.Fatal(err)
 	}
-	e.stateMu.Lock()
-	pooled := len(e.statePool)
-	e.stateMu.Unlock()
+	e.states.mu.Lock()
+	pooled := len(e.states.items)
+	e.states.mu.Unlock()
 	if pooled < 2 {
 		t.Fatalf("free-list holds %d states after a 2-worker batch, want >= 2", pooled)
 	}
@@ -176,9 +176,9 @@ func TestStatePoolRecyclesAndCapped(t *testing.T) {
 	for i := 0; i < 2*maxPooledStates; i++ {
 		e.putState(e.NewInferState())
 	}
-	e.stateMu.Lock()
-	pooled = len(e.statePool)
-	e.stateMu.Unlock()
+	e.states.mu.Lock()
+	pooled = len(e.states.items)
+	e.states.mu.Unlock()
 	if pooled > maxPooledStates {
 		t.Fatalf("free-list grew to %d, cap is %d", pooled, maxPooledStates)
 	}

@@ -39,7 +39,7 @@
 // the clamp values, and hands off to the backend's RunPlanned/RunNaive. A
 // backend extracted onto this engine therefore produces bit-identical
 // results to its pre-extraction form — enforced for the scalable backend by
-// the golden-voltage regression fixture and the eight verify invariants.
+// the golden-voltage regression fixture and the nine verify invariants.
 // The sharded anneal path (InferSharded*) is the one deliberate exception:
 // it is deterministic per seed but only tolerance-equivalent to the exact
 // path, a contract the sharded-fixed-point invariant verifies.
@@ -51,7 +51,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"dsgl/internal/lru"
 	"dsgl/internal/pool"
 )
 
@@ -134,35 +133,16 @@ type ShardedBackend interface {
 	ShardCount() int
 }
 
-// planCall is an in-flight plan compilation other resolvers of the same
-// key wait on instead of compiling again (per-key singleflight).
-type planCall struct {
-	done chan struct{} // closed once pl is published
-	pl   any
-}
-
 // Engine drives inference for one Backend: validation, plan caching,
 // seeding, and batch fan-out. Safe for concurrent use.
 type Engine struct {
 	b Backend
 
-	// Clamp-plan cache. planMu guards the bounded LRU, the in-flight
-	// compile table, and snapshot publication — but never a compile:
-	// planFor registers an in-flight call, releases the lock, compiles,
-	// and re-locks only to insert and republish. Warm lookups bypass the
-	// lock entirely via planSnap, an immutable map snapshot of the
-	// resident entries rebuilt (O(capacity)) on every insert or eviction.
-	planMu   sync.Mutex
-	plans    *lru.Cache[any]
-	inflight map[string]*planCall
-	planSnap atomic.Pointer[map[string]any]
-
-	// Cumulative cache counters. Atomic because the warm path runs
-	// lock-free; still deterministic for a fixed call sequence: misses
-	// counts compiles (one per pattern residency) and every other
-	// resolution is a hit, regardless of worker interleaving.
-	planHits   atomic.Uint64
-	planMisses atomic.Uint64
+	// plans is the clamp-plan cache: a bounded LRU behind a lock-free read
+	// snapshot, per-key singleflight compilation, deterministic hit/miss
+	// counters. The machinery lives in plancache.go because the OptEngine
+	// resolves its schedule plans through the identical cache.
+	plans planCache
 
 	// Streaming plan-delta counters (stream.go): hits patched a
 	// predecessor plan on a shifted pattern's cache miss, fallbacks fully
@@ -170,12 +150,11 @@ type Engine struct {
 	planDeltaHits      atomic.Uint64
 	planDeltaFallbacks atomic.Uint64
 
-	// statePool recycles InferStates across InferBatch calls so repeated
+	// states recycles InferStates across InferBatch calls so repeated
 	// batch windows stop re-allocating per-worker scratch arenas. Reuse is
 	// safe because every inference fully re-seeds the state (voltages,
 	// clamp mask, RNG, backend scratch).
-	stateMu   sync.Mutex
-	statePool []*InferState
+	states freeList[*InferState]
 
 	// EnsurePlan scratch: validating a probe pattern must not allocate a
 	// fresh mask and key per call (EnsurePlan runs once per evaluation,
@@ -188,11 +167,6 @@ type Engine struct {
 	// obs registry; see metrics.go. Nil until the first inference.
 	obsBind atomic.Pointer[engineObs]
 }
-
-// maxPooledStates bounds the batch state free-list: enough for any
-// realistic worker count, small enough that an unusually wide one-off
-// batch cannot pin its arenas forever.
-const maxPooledStates = 32
 
 // New binds an engine to its backend.
 func New(b Backend) *Engine { return &Engine{b: b} }
@@ -359,16 +333,10 @@ func (e *Engine) runBatch(obs [][]Observation, workers int, infer func(*InferSta
 // getState draws a reusable InferState from the engine free-list,
 // allocating a fresh one only when the pool is dry.
 func (e *Engine) getState() *InferState {
-	e.stateMu.Lock()
-	if n := len(e.statePool); n > 0 {
-		st := e.statePool[n-1]
-		e.statePool[n-1] = nil
-		e.statePool = e.statePool[:n-1]
-		e.stateMu.Unlock()
+	if st, ok := e.states.get(); ok {
 		e.metrics().statePoolHits.Inc()
 		return st
 	}
-	e.stateMu.Unlock()
 	e.metrics().statePoolMisses.Inc()
 	return e.NewInferState()
 }
@@ -377,11 +345,7 @@ func (e *Engine) getState() *InferState {
 // survive pooling: a recycled state must behave exactly like a fresh one.
 func (e *Engine) putState(st *InferState) {
 	st.Observer = nil
-	e.stateMu.Lock()
-	if len(e.statePool) < maxPooledStates {
-		e.statePool = append(e.statePool, st)
-	}
-	e.stateMu.Unlock()
+	e.states.put(st)
 }
 
 // EnsurePlan validates the observation set (the same range / rail /
@@ -416,18 +380,13 @@ func (e *Engine) EnsurePlan(obs []Observation) error {
 // counts. A miss compiles a plan; the steady state of a batch whose windows
 // share one observation pattern is all hits.
 func (e *Engine) PlanCacheStats() (hits, misses uint64) {
-	return e.planHits.Load(), e.planMisses.Load()
+	return e.plans.stats()
 }
 
 // PlanCacheLen reports how many compiled plans are currently resident
 // (bounded by PlanCacheCapacity).
 func (e *Engine) PlanCacheLen() int {
-	e.planMu.Lock()
-	defer e.planMu.Unlock()
-	if e.plans == nil {
-		return 0
-	}
-	return e.plans.Len()
+	return e.plans.resident()
 }
 
 // checkState guards the reusable-state entry points against nil or foreign
@@ -526,78 +485,12 @@ func (e *Engine) InferShardedSeeded(obs []Observation, seed uint64) (*Result, er
 // trailing tag byte. Both variants of one pattern can be resident at once.
 const shardPlanTag = 1
 
-// planFor resolves the clamp pattern to a compiled plan. The warm path is
-// lock-free: an atomic snapshot of the resident entries is consulted
-// first, with an opportunistic (TryLock) LRU recency bump. The cold path
-// takes planMu only around bookkeeping — compile(clamped) itself runs
-// unlocked, coalesced per key: concurrent resolvers of one missing key
-// wait on the single in-flight compile (counted as hits — the pattern is
-// compiled once), while compiles of different keys proceed concurrently.
+// planFor resolves the clamp pattern to a compiled plan through the shared
+// plan cache (see plancache.go for the lock-free warm path, the per-key
+// singleflight compile, and the counter-determinism guarantee).
 func (e *Engine) planFor(clamped []bool, key []byte, compile func([]bool) any) any {
 	m := e.metrics()
-	if snap := e.planSnap.Load(); snap != nil {
-		if pl, ok := (*snap)[string(key)]; ok {
-			e.planHits.Add(1)
-			m.planHits.Inc()
-			// Refresh recency when the lock is free; skipping under
-			// contention only costs eviction-order fidelity, never
-			// correctness.
-			if e.planMu.TryLock() {
-				if e.plans != nil {
-					e.plans.Get(key)
-				}
-				e.planMu.Unlock()
-			}
-			return pl
-		}
-	}
-	e.planMu.Lock()
-	if e.plans == nil {
-		// Lazy: backends built as bare literals in tests never populate it.
-		e.plans = lru.New[any](PlanCacheCapacity)
-		e.inflight = make(map[string]*planCall)
-	}
-	if pl, ok := e.plans.Get(key); ok {
-		e.planMu.Unlock()
-		e.planHits.Add(1)
-		m.planHits.Inc()
-		return pl
-	}
-	if c, ok := e.inflight[string(key)]; ok {
-		e.planMu.Unlock()
-		e.planHits.Add(1)
-		m.planHits.Inc()
-		m.planSingleflightWaits.Inc()
-		<-c.done
-		return c.pl
-	}
-	c := &planCall{done: make(chan struct{})}
-	ks := string(key)
-	e.inflight[ks] = c
-	e.planMu.Unlock()
-
-	e.planMisses.Add(1)
-	m.planMisses.Inc()
-	c.pl = compile(clamped)
-
-	e.planMu.Lock()
-	if e.plans.Add(key, c.pl) {
-		m.planEvictions.Inc()
-	}
-	delete(e.inflight, ks)
-	e.publishSnapshotLocked()
-	m.planResident.Set(float64(e.plans.Len()))
-	e.planMu.Unlock()
-	close(c.done)
-	return c.pl
-}
-
-// publishSnapshotLocked rebuilds the lock-free read snapshot from the LRU.
-// Caller holds planMu.
-func (e *Engine) publishSnapshotLocked() {
-	snap := make(map[string]any, e.plans.Len())
-	e.plans.Each(func(k string, v any) { snap[k] = v })
-	e.planSnap.Store(&snap)
+	return e.plans.resolve(key, func() any { return compile(clamped) }, m.planObs())
 }
 
 // maskBytes is the packed-bitmask length for n nodes.

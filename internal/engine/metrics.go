@@ -97,6 +97,17 @@ func newEngineObs(r *obs.Registry, backend string) *engineObs {
 // enabled reports whether this binding records anywhere.
 func (m *engineObs) enabled() bool { return m.reg != nil }
 
+// planObs is the slice of the binding the shared plan cache records into.
+func (m *engineObs) planObs() planCacheObs {
+	return planCacheObs{
+		hits:              m.planHits,
+		misses:            m.planMisses,
+		evictions:         m.planEvictions,
+		singleflightWaits: m.planSingleflightWaits,
+		resident:          m.planResident,
+	}
+}
+
 // metrics returns the engine's instrument binding for the current default
 // registry, rebuilding it only when the registry changed (enable/disable/
 // test swap). The steady-state cost is one atomic load and one pointer
@@ -132,4 +143,97 @@ func (m *engineObs) recordInfer(res *Result, err error, start time.Time) {
 		// NaN, so the summary only aggregates real residuals.
 		m.settleResidual.Observe(res.Residual)
 	}
+}
+
+// optObs is the OptEngine's instrument binding — same caching discipline as
+// engineObs, same dsgl_plan_cache_* / dsgl_state_pool_* instrument names
+// (labeled by the solver backend), plus the solve-specific set. Instruments
+// record once per restart or batch, never per sweep.
+type optObs struct {
+	reg *obs.Registry // registry the instruments belong to (nil = disabled)
+
+	solves          *obs.Counter   // dsgl_opt_solves_total
+	solveErrors     *obs.Counter   // dsgl_opt_solve_errors_total
+	solveSteps      *obs.Counter   // dsgl_opt_steps_total
+	restarts        *obs.Counter   // dsgl_opt_restarts_total
+	batches         *obs.Counter   // dsgl_opt_batch_total
+	batchWorkers    *obs.Gauge     // dsgl_opt_batch_workers
+	bestEnergy      *obs.Gauge     // dsgl_opt_best_energy
+	wallSeconds     *obs.Histogram // dsgl_opt_wall_seconds
+	planHits        *obs.Counter   // dsgl_plan_cache_hits_total
+	planMisses      *obs.Counter   // dsgl_plan_cache_misses_total
+	planEvictions   *obs.Counter   // dsgl_plan_cache_evictions_total
+	planResident    *obs.Gauge     // dsgl_plan_cache_resident
+	planSFWaits     *obs.Counter   // dsgl_plan_singleflight_waits_total
+	statePoolHits   *obs.Counter   // dsgl_state_pool_hits_total
+	statePoolMisses *obs.Counter   // dsgl_state_pool_misses_total
+}
+
+// newOptObs registers the solver instrument set on r, labeled by backend.
+// Nil r yields a disabled binding of nil no-op instruments.
+func newOptObs(r *obs.Registry, backend string) *optObs {
+	if r == nil {
+		return &optObs{}
+	}
+	l := obs.L("backend", backend)
+	return &optObs{
+		reg:             r,
+		solves:          r.Counter("dsgl_opt_solves_total", "completed solver restarts", l),
+		solveErrors:     r.Counter("dsgl_opt_solve_errors_total", "solver restarts rejected or failed", l),
+		solveSteps:      r.Counter("dsgl_opt_steps_total", "sweeps or integration steps taken across all restarts", l),
+		restarts:        r.Counter("dsgl_opt_restarts_total", "restarts fanned out across all Solve batches", l),
+		batches:         r.Counter("dsgl_opt_batch_total", "multi-restart Solve invocations", l),
+		batchWorkers:    r.Gauge("dsgl_opt_batch_workers", "worker count of the most recent Solve batch", l),
+		bestEnergy:      r.Gauge("dsgl_opt_best_energy", "best Hamiltonian energy of the most recent Solve batch", l),
+		wallSeconds:     r.Histogram("dsgl_opt_wall_seconds", "host wall time per solver restart", l),
+		planHits:        r.Counter("dsgl_plan_cache_hits_total", "solver-plan cache hits", l),
+		planMisses:      r.Counter("dsgl_plan_cache_misses_total", "solver-plan cache misses (each compiles a plan)", l),
+		planEvictions:   r.Counter("dsgl_plan_cache_evictions_total", "solver-plan cache evictions", l),
+		planResident:    r.Gauge("dsgl_plan_cache_resident", "compiled solver plans currently resident", l),
+		planSFWaits:     r.Counter("dsgl_plan_singleflight_waits_total", "plan resolutions that waited on another worker's in-flight compile", l),
+		statePoolHits:   r.Counter("dsgl_state_pool_hits_total", "SolveStates served from the engine free-list", l),
+		statePoolMisses: r.Counter("dsgl_state_pool_misses_total", "SolveStates allocated because the free-list was dry", l),
+	}
+}
+
+// enabled reports whether this binding records anywhere.
+func (m *optObs) enabled() bool { return m.reg != nil }
+
+// planObs is the slice of the binding the shared plan cache records into.
+func (m *optObs) planObs() planCacheObs {
+	return planCacheObs{
+		hits:              m.planHits,
+		misses:            m.planMisses,
+		evictions:         m.planEvictions,
+		singleflightWaits: m.planSFWaits,
+		resident:          m.planResident,
+	}
+}
+
+// metrics returns the optimization engine's instrument binding for the
+// current default registry; same steady-state cost as Engine.metrics.
+func (e *OptEngine) metrics() *optObs {
+	m := e.obsBind.Load()
+	r := obs.Default()
+	if m != nil && m.reg == r {
+		return m
+	}
+	m = newOptObs(r, e.b.Name())
+	e.obsBind.Store(m)
+	return m
+}
+
+// recordSolve records the outcome of one restart. start is meaningful only
+// when the binding is enabled.
+func (m *optObs) recordSolve(res *OptResult, err error, start time.Time) {
+	if !m.enabled() {
+		return
+	}
+	if err != nil {
+		m.solveErrors.Inc()
+		return
+	}
+	m.solves.Inc()
+	m.wallSeconds.Observe(time.Since(start).Seconds())
+	m.solveSteps.Add(uint64(res.Steps))
 }

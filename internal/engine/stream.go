@@ -176,11 +176,7 @@ func (e *Engine) InferShifted(s *Stream, obs []Observation, seed uint64) (*Resul
 // never counts a hit or miss — it only answers "is the predecessor's plan
 // still around to patch from".
 func (e *Engine) residentPlan(key []byte) (any, bool) {
-	if snap := e.planSnap.Load(); snap != nil {
-		pl, ok := (*snap)[string(key)]
-		return pl, ok
-	}
-	return nil, false
+	return e.plans.peek(key)
 }
 
 // PlanDeltaStats reports the cumulative plan delta-compilation counts:

@@ -1,9 +1,11 @@
-// Package ising implements the Ising model and the BRIM bistable
-// resistively-coupled Ising machine that DS-GL takes as its architectural
-// baseline (paper Sec. II). BRIM here is the binary comparator in the
-// circuit-validation experiment (Fig. 4) and the cost baseline of Table I;
-// it also demonstrates the classical max-cut workload that motivated Ising
-// machines.
+// Package ising implements the Ising model and the family of Ising-machine
+// dynamics DS-GL takes as its architectural baseline (paper Sec. II): BRIM
+// (bistable resistively-coupled), Metropolis (digital annealer comparator),
+// and OIM (oscillator/Kuramoto family). BRIM is the binary comparator in
+// the circuit-validation experiment (Fig. 4) and the cost baseline of
+// Table I; Solver exposes all three dynamics as an engine.OptBackend so the
+// combinatorial-optimization workloads (max-cut, QUBO) run through the same
+// seeded multi-restart fan-out as the regression workloads.
 package ising
 
 import (
@@ -17,14 +19,25 @@ import (
 )
 
 // Model is the Ising model of Eq. 1: H = -Σ_{i≠j} J_ij σ_i σ_j - Σ h_i σ_i
-// over binary spins σ ∈ {-1, +1}.
+// over binary spins σ ∈ {-1, +1}. Internally the coupling is stored once,
+// symmetrized and sparse: W = J + Jᵀ in CSR form, under which the
+// Hamiltonian is
+//
+//	H = -½ Σ_ij W_ij σ_i σ_j - Σ h_i σ_i
+//
+// and one energy evaluation costs O(nnz) instead of the O(N²) a dense J
+// forces — the difference between toy graphs and Gset-scale instances.
 type Model struct {
 	N int
-	J *mat.Dense
+	// W is the symmetrized coupling J + Jᵀ: square, zero-diagonal, exactly
+	// symmetric CSR. All dynamics read it; none mutate it.
+	W *mat.CSR
 	H []float64
 }
 
-// NewModel builds an Ising model. j must be square with zero diagonal.
+// NewModel builds an Ising model from a dense coupling matrix. j must be
+// square with zero diagonal; it is symmetrized into W = J + Jᵀ and the
+// dense form is not retained.
 func NewModel(j *mat.Dense, h []float64) (*Model, error) {
 	if j.Rows != j.Cols {
 		return nil, fmt.Errorf("ising: J must be square, got %dx%d", j.Rows, j.Cols)
@@ -32,34 +45,71 @@ func NewModel(j *mat.Dense, h []float64) (*Model, error) {
 	if len(h) != j.Rows {
 		return nil, fmt.Errorf("ising: len(h)=%d, want %d", len(h), j.Rows)
 	}
-	for i := 0; i < j.Rows; i++ {
+	n := j.Rows
+	sym := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
 		if j.At(i, i) != 0 {
 			return nil, fmt.Errorf("ising: non-zero diagonal at %d", i)
 		}
+		for k := 0; k < n; k++ {
+			if v := j.At(i, k) + j.At(k, i); v != 0 {
+				sym.Set(i, k, v)
+			}
+		}
 	}
-	return &Model{N: j.Rows, J: j.Clone(), H: mat.CopyVec(h)}, nil
+	return &Model{N: n, W: mat.FromDense(sym, 0), H: mat.CopyVec(h)}, nil
 }
 
-// Energy evaluates the Hamiltonian for spin vector s (entries ±1).
+// NewModelCSR builds an Ising model directly from a symmetrized sparse
+// coupling W = J + Jᵀ — the path instance generators take, which never
+// materializes a dense matrix. w must be square, zero-diagonal, and exactly
+// symmetric (W_ij == W_ji bit-for-bit); the matrix is used directly, not
+// copied, and must not be mutated afterwards.
+func NewModelCSR(w *mat.CSR, h []float64) (*Model, error) {
+	if w.Rows != w.Cols {
+		return nil, fmt.Errorf("ising: W must be square, got %dx%d", w.Rows, w.Cols)
+	}
+	if len(h) != w.Rows {
+		return nil, fmt.Errorf("ising: len(h)=%d, want %d", len(h), w.Rows)
+	}
+	for i := 0; i < w.Rows; i++ {
+		for p := w.RowPtr[i]; p < w.RowPtr[i+1]; p++ {
+			j := w.ColIdx[p]
+			if j == i {
+				return nil, fmt.Errorf("ising: non-zero diagonal at %d", i)
+			}
+			if w.At(j, i) != w.Val[p] {
+				return nil, fmt.Errorf("ising: W not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	return &Model{N: w.Rows, W: w, H: mat.CopyVec(h)}, nil
+}
+
+// Energy evaluates the Hamiltonian for spin vector s (entries ±1) in
+// O(nnz): -½ Σ_i σ_i (W row_i · σ) - Σ h_i σ_i.
 func (m *Model) Energy(s []int8) float64 {
 	var e float64
 	for i := 0; i < m.N; i++ {
-		si := float64(s[i])
-		row := m.J.Row(i)
-		for j := i + 1; j < m.N; j++ {
-			// J_ij and J_ji both contribute in Eq. 1's i≠j sum.
-			e -= (row[j] + m.J.At(j, i)) * si * float64(s[j])
+		var row float64
+		for p := m.W.RowPtr[i]; p < m.W.RowPtr[i+1]; p++ {
+			row += m.W.Val[p] * float64(s[m.W.ColIdx[p]])
 		}
-		e -= m.H[i] * si
+		e -= (0.5*row + m.H[i]) * float64(s[i])
 	}
 	return e
 }
 
+// groundStateMaxN bounds the exhaustive search: 2^24 energy evaluations is
+// already seconds of work, and every doubling doubles it.
+const groundStateMaxN = 24
+
 // GroundState exhaustively searches all 2^N spin configurations and returns
-// the minimum-energy state. Only usable for small N (tests).
-func (m *Model) GroundState() ([]int8, float64) {
-	if m.N > 24 {
-		panic("ising: GroundState is exponential; N too large")
+// the minimum-energy state. The search is exponential, so models beyond
+// N=24 are rejected with an error rather than attempted.
+func (m *Model) GroundState() ([]int8, float64, error) {
+	if m.N > groundStateMaxN {
+		return nil, 0, fmt.Errorf("ising: GroundState is exponential; N=%d exceeds the %d-spin limit", m.N, groundStateMaxN)
 	}
 	best := make([]int8, m.N)
 	bestE := math.Inf(1)
@@ -77,7 +127,7 @@ func (m *Model) GroundState() ([]int8, float64) {
 			copy(best, s)
 		}
 	}
-	return best, bestE
+	return best, bestE, nil
 }
 
 // CutValue returns the weight of the graph cut induced by spin vector s on
@@ -126,7 +176,8 @@ func DefaultAnnealSchedule() AnnealSchedule {
 
 // BRIM simulates the bistable resistively-coupled Ising machine: capacitor
 // voltages driven by coupling currents (linear self-reaction), bistable
-// rails at ±1, periodic random flips for annealing.
+// rails at ±1, periodic random flips for annealing. The coupling network is
+// built over the sparse symmetrized W, so one derivative costs O(nnz).
 type BRIM struct {
 	Model    *Model
 	Net      *circuit.Network
@@ -138,7 +189,7 @@ type BRIM struct {
 
 // NewBRIM builds a BRIM machine for the given Ising model.
 func NewBRIM(m *Model, sched AnnealSchedule, r *rng.RNG) (*BRIM, error) {
-	net, err := circuit.NewNetwork(m.J, m.H, circuit.Config{Self: circuit.Linear})
+	net, err := circuit.NewNetworkCSR(m.W, m.H, circuit.Config{Self: circuit.Linear})
 	if err != nil {
 		return nil, err
 	}
@@ -217,4 +268,15 @@ func Quantize(x []float64) []int8 {
 		}
 	}
 	return s
+}
+
+// QuantizeInto is Quantize without the allocation: dst must have len(x).
+func QuantizeInto(dst []int8, x []float64) {
+	for i, v := range x {
+		if v < 0 {
+			dst[i] = -1
+		} else {
+			dst[i] = 1
+		}
+	}
 }

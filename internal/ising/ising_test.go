@@ -41,7 +41,10 @@ func TestNewModelValidation(t *testing.T) {
 
 func TestFerromagnetGroundState(t *testing.T) {
 	m := ferroModel(t, 4, 1)
-	s, e := m.GroundState()
+	s, e, err := m.GroundState()
+	if err != nil {
+		t.Fatal(err)
+	}
 	// All-aligned states minimize a ferromagnet.
 	for i := 1; i < 4; i++ {
 		if s[i] != s[0] {
@@ -61,7 +64,10 @@ func TestFieldBreaksTie(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, _ := m.GroundState()
+	s, _, err := m.GroundState()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s[0] != 1 || s[1] != 1 {
 		t.Fatalf("positive field should align spins up: %v", s)
 	}
@@ -145,7 +151,10 @@ func TestMaxCutModelGroundStateIsMaxCut(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, _ := m.GroundState()
+	s, _, err := m.GroundState()
+	if err != nil {
+		t.Fatal(err)
+	}
 	got := CutValue(w, s)
 
 	best := 0.0
@@ -192,7 +201,10 @@ func TestBRIMAnnealFindsGoodCut(t *testing.T) {
 	res := brim.Anneal(100)
 	got := CutValue(w, res.Spins)
 
-	s, _ := m.GroundState()
+	s, _, err := m.GroundState()
+	if err != nil {
+		t.Fatal(err)
+	}
 	best := CutValue(w, s)
 	if got < 0.85*best {
 		t.Fatalf("BRIM cut %g below 85%% of optimum %g", got, best)
@@ -220,15 +232,47 @@ func TestQuantize(t *testing.T) {
 	}
 }
 
-func TestGroundStatePanicsOnLargeN(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	m := ferroModel(t, 4, 1)
-	m.N = 30
-	m.GroundState()
+func TestGroundStateLargeNErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		n       int
+		wantErr bool
+	}{
+		{"small ok", 4, false},
+		{"at limit ok", 12, false},
+		{"just over limit", 25, true},
+		{"far over limit", 64, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var m *Model
+			if c.wantErr {
+				// GroundState gates on N before touching W, so an inflated
+				// N on a small model exercises the guard without building
+				// an impossible matrix.
+				m = ferroModel(t, 4, 1)
+				m.N = c.n
+			} else {
+				m = ferroModel(t, c.n, 1)
+			}
+			s, _, err := m.GroundState()
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("N=%d: expected error, got state %v", c.n, s)
+				}
+				if s != nil {
+					t.Fatalf("N=%d: error must not return a state", c.n)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("N=%d: unexpected error %v", c.n, err)
+			}
+			if len(s) != m.N {
+				t.Fatalf("N=%d: state length %d", c.n, len(s))
+			}
+		})
+	}
 }
 
 func TestBRIMDeterministicWithSeed(t *testing.T) {
@@ -262,7 +306,10 @@ func TestMetropolisFindsGroundStateSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, wantE := m.GroundState()
+	_, wantE, err := m.GroundState()
+	if err != nil {
+		t.Fatal(err)
+	}
 	res := NewMetropolis(m, rng.New(5)).Anneal(300)
 	if res.Energy > wantE+1e-9 && res.Energy > wantE*0.95 {
 		t.Fatalf("Metropolis energy %g, ground state %g", res.Energy, wantE)
@@ -319,7 +366,10 @@ func TestMetropolisMaxCutComparableToBRIM(t *testing.T) {
 	bres := brim.Anneal(150)
 	mcut := CutValue(w, mres.Spins)
 	bcut := CutValue(w, bres.Spins)
-	s, _ := m.GroundState()
+	s, _, err := m.GroundState()
+	if err != nil {
+		t.Fatal(err)
+	}
 	best := CutValue(w, s)
 	if mcut < 0.9*best {
 		t.Fatalf("Metropolis cut %g below 90%% of optimum %g", mcut, best)

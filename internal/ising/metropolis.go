@@ -10,14 +10,15 @@ import (
 // class of "digital annealers/accelerators" the paper's related-work
 // section contrasts with analog dynamical systems. It serves as a software
 // comparator for BRIM: same model, algorithmic instead of physical
-// annealing.
+// annealing. Local fields are maintained over the sparse symmetrized
+// coupling, so a flip costs O(degree) rather than O(N).
 type Metropolis struct {
 	Model *Model
 	// T0 and T1 are the initial and final temperatures of the geometric
 	// cooling schedule.
 	T0, T1 float64
 	rng    *rng.RNG
-	// local[i] caches Σ_j (J_ij + J_ji) σ_j for O(1) flip evaluation.
+	// local[i] caches Σ_j W_ij σ_j (W = J + Jᵀ) for O(1) flip evaluation.
 	local []float64
 }
 
@@ -38,7 +39,10 @@ func (a *Metropolis) Anneal(sweeps int) Result {
 			s[i] = 1
 		}
 	}
-	a.rebuildLocal(s)
+	if len(a.local) != n {
+		a.local = make([]float64, n)
+	}
+	rebuildLocal(a.Model, s, a.local)
 
 	best := make([]int8, n)
 	copy(best, s)
@@ -56,7 +60,7 @@ func (a *Metropolis) Anneal(sweeps int) Result {
 			// Flipping spin i changes energy by ΔE = 2 σ_i (local_i + h_i).
 			dE := 2 * float64(s[i]) * (a.local[i] + a.Model.H[i])
 			if dE <= 0 || a.rng.Float64() < math.Exp(-dE/temp) {
-				a.applyFlip(s, i)
+				applyFlip(a.Model, s, i, a.local)
 				curE += dE
 				if curE < bestE {
 					bestE = curE
@@ -69,30 +73,24 @@ func (a *Metropolis) Anneal(sweeps int) Result {
 	return Result{Spins: best, Energy: a.Model.Energy(best)}
 }
 
-// rebuildLocal recomputes the local-field cache from scratch.
-func (a *Metropolis) rebuildLocal(s []int8) {
-	n := a.Model.N
-	if len(a.local) != n {
-		a.local = make([]float64, n)
-	}
-	for i := 0; i < n; i++ {
+// rebuildLocal recomputes the local-field cache local[i] = Σ_j W_ij σ_j
+// from scratch in O(nnz).
+func rebuildLocal(m *Model, s []int8, local []float64) {
+	for i := 0; i < m.N; i++ {
 		var sum float64
-		for j := 0; j < n; j++ {
-			if j != i {
-				sum += (a.Model.J.At(i, j) + a.Model.J.At(j, i)) * float64(s[j])
-			}
+		for p := m.W.RowPtr[i]; p < m.W.RowPtr[i+1]; p++ {
+			sum += m.W.Val[p] * float64(s[m.W.ColIdx[p]])
 		}
-		a.local[i] = sum
+		local[i] = sum
 	}
 }
 
-// applyFlip flips spin i and incrementally updates every local field.
-func (a *Metropolis) applyFlip(s []int8, i int) {
+// applyFlip flips spin i and incrementally updates the local fields of its
+// neighbours in O(degree), using W's symmetry (W_ji = W_ij).
+func applyFlip(m *Model, s []int8, i int, local []float64) {
 	s[i] = -s[i]
 	delta := 2 * float64(s[i])
-	for j := 0; j < a.Model.N; j++ {
-		if j != i {
-			a.local[j] += (a.Model.J.At(j, i) + a.Model.J.At(i, j)) * delta
-		}
+	for p := m.W.RowPtr[i]; p < m.W.RowPtr[i+1]; p++ {
+		local[m.W.ColIdx[p]] += m.W.Val[p] * delta
 	}
 }

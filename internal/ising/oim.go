@@ -12,7 +12,7 @@ import (
 // Kuramoto/XY-model family of the paper's related-work section). Spins are
 // oscillator phases φ_i with Lyapunov function
 //
-//	H_XY = -Σ_{i<j} (J_ij + J_ji) cos(φ_i - φ_j) - K Σ cos(2 φ_i)
+//	H_XY = -½ Σ_{i≠j} W_ij cos(φ_i - φ_j) - K Σ cos(2 φ_i),  W = J + Jᵀ
 //
 // where the second term is sub-harmonic injection locking (SHIL) that
 // binarizes phases toward {0, π}. The paper argues these machines do not
@@ -32,26 +32,20 @@ func NewOIM(m *Model, r *rng.RNG) *OIM {
 	return &OIM{Model: m, ShilK: 1, Dt: 0.02, rng: r}
 }
 
-// phaseSystem implements the gradient flow dφ/dt = -∂H_XY/∂φ.
+// phaseSystem implements the gradient flow dφ/dt = -∂H_XY/∂φ over the
+// sparse symmetrized coupling: one derivative costs O(nnz).
 type phaseSystem struct {
-	j     *mat.Dense
+	w     *mat.CSR
 	shilK float64
 }
 
-func (p *phaseSystem) Dim() int { return p.j.Rows }
+func (p *phaseSystem) Dim() int { return p.w.Rows }
 
 func (p *phaseSystem) Derivative(_ float64, phi, dst []float64) {
-	n := p.j.Rows
-	for i := 0; i < n; i++ {
+	for i := 0; i < p.w.Rows; i++ {
 		var drive float64
-		for k := 0; k < n; k++ {
-			if k == i {
-				continue
-			}
-			w := p.j.At(i, k) + p.j.At(k, i)
-			if w != 0 {
-				drive -= w * math.Sin(phi[i]-phi[k])
-			}
+		for q := p.w.RowPtr[i]; q < p.w.RowPtr[i+1]; q++ {
+			drive -= p.w.Val[q] * math.Sin(phi[i]-phi[p.w.ColIdx[q]])
 		}
 		drive -= 2 * p.shilK * math.Sin(2*phi[i])
 		dst[i] = drive
@@ -67,7 +61,7 @@ func (o *OIM) Anneal(durationNs float64) Result {
 	for i := range phi {
 		phi[i] = o.rng.Uniform(0, 2*math.Pi)
 	}
-	sys := &phaseSystem{j: o.Model.J, shilK: 0}
+	sys := &phaseSystem{w: o.Model.W, shilK: 0}
 	ig := ode.NewRK4()
 	steps := int(durationNs / o.Dt)
 	t := 0.0
@@ -88,18 +82,24 @@ func (o *OIM) Anneal(durationNs float64) Result {
 // is within π/2 of 0 (mod 2π), −1 otherwise.
 func PhaseQuantize(phi []float64) []int8 {
 	s := make([]int8, len(phi))
+	PhaseQuantizeInto(s, phi)
+	return s
+}
+
+// PhaseQuantizeInto is PhaseQuantize without the allocation: dst must have
+// len(phi).
+func PhaseQuantizeInto(dst []int8, phi []float64) {
 	for i, p := range phi {
 		m := math.Mod(p, 2*math.Pi)
 		if m < 0 {
 			m += 2 * math.Pi
 		}
 		if m < math.Pi/2 || m > 3*math.Pi/2 {
-			s[i] = 1
+			dst[i] = 1
 		} else {
-			s[i] = -1
+			dst[i] = -1
 		}
 	}
-	return s
 }
 
 // XYEnergy evaluates the oscillator Lyapunov function at phases phi (with
@@ -107,11 +107,10 @@ func PhaseQuantize(phi []float64) []int8 {
 func XYEnergy(m *Model, phi []float64, k float64) float64 {
 	var e float64
 	for i := 0; i < m.N; i++ {
-		for j := i + 1; j < m.N; j++ {
-			w := m.J.At(i, j) + m.J.At(j, i)
-			if w != 0 {
-				e -= w * math.Cos(phi[i]-phi[j])
-			}
+		for q := m.W.RowPtr[i]; q < m.W.RowPtr[i+1]; q++ {
+			// Each undirected pair appears twice in the symmetric CSR; the
+			// ½ folds the double count back to the i<j sum.
+			e -= 0.5 * m.W.Val[q] * math.Cos(phi[i]-phi[m.W.ColIdx[q]])
 		}
 		e -= k * math.Cos(2*phi[i])
 	}

@@ -37,7 +37,10 @@ func TestOIMMaxCutQuality(t *testing.T) {
 	}
 	res := NewOIM(m, rng.New(8)).Anneal(120)
 	got := CutValue(w, res.Spins)
-	s, _ := m.GroundState()
+	s, _, err := m.GroundState()
+	if err != nil {
+		t.Fatal(err)
+	}
 	best := CutValue(w, s)
 	if got < 0.8*best {
 		t.Fatalf("OIM cut %g below 80%% of optimum %g", got, best)
@@ -88,7 +91,7 @@ func TestXYEnergyGradientConsistency(t *testing.T) {
 	}
 	phi := make([]float64, n)
 	r.FillUniform(phi, 0, 2*math.Pi)
-	sys := &phaseSystem{j: m.J, shilK: 0.7}
+	sys := &phaseSystem{w: m.W, shilK: 0.7}
 	dst := make([]float64, n)
 	sys.Derivative(0, phi, dst)
 	const eps = 1e-6

@@ -1,0 +1,257 @@
+package ising
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"dsgl/internal/engine"
+	"dsgl/internal/mat"
+	"dsgl/internal/rng"
+)
+
+// randomModel builds a seeded random coupling graph (symmetric, density p)
+// small enough for exhaustive GroundState reference.
+func randomModel(t *testing.T, n int, p float64, seed uint64) *Model {
+	t.Helper()
+	r := rng.New(seed)
+	j := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for k := i + 1; k < n; k++ {
+			if r.Float64() < p {
+				v := r.NormScaled(0, 1)
+				j.Set(i, k, v)
+				j.Set(k, i, v)
+			}
+		}
+	}
+	m, err := NewModel(j, make([]float64, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewModelCSRValidation(t *testing.T) {
+	b := mat.NewBuilder(3, 3)
+	b.Add(0, 1, 1)
+	b.Add(1, 0, 1)
+	w := b.Build()
+	if _, err := NewModelCSR(w, make([]float64, 3)); err != nil {
+		t.Fatalf("valid symmetric W rejected: %v", err)
+	}
+	if _, err := NewModelCSR(w, make([]float64, 2)); err == nil {
+		t.Fatal("h length mismatch must error")
+	}
+	asym := mat.NewBuilder(3, 3)
+	asym.Add(0, 1, 1)
+	asym.Add(1, 0, 2)
+	if _, err := NewModelCSR(asym.Build(), make([]float64, 3)); err == nil {
+		t.Fatal("asymmetric W must error")
+	}
+	diag := mat.NewBuilder(2, 2)
+	diag.Add(0, 0, 1)
+	if _, err := NewModelCSR(diag.Build(), make([]float64, 2)); err == nil {
+		t.Fatal("non-zero diagonal must error")
+	}
+	rect := &mat.CSR{Rows: 2, Cols: 3, RowPtr: []int{0, 0, 0}}
+	if _, err := NewModelCSR(rect, make([]float64, 2)); err == nil {
+		t.Fatal("non-square W must error")
+	}
+}
+
+// TestModelEnergySparseMatchesDense: the CSR Hamiltonian must agree with a
+// direct dense evaluation of Eq. 1 over random asymmetric couplings.
+func TestModelEnergySparseMatchesDense(t *testing.T) {
+	r := rng.New(13)
+	n := 9
+	j := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			if i != k && r.Float64() < 0.6 {
+				j.Set(i, k, r.NormScaled(0, 1))
+			}
+		}
+	}
+	h := make([]float64, n)
+	r.FillNorm(h, 0, 1)
+	m, err := NewModel(j, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := make([]int8, n)
+	for trial := 0; trial < 20; trial++ {
+		for i := range s {
+			if r.Float64() < 0.5 {
+				s[i] = -1
+			} else {
+				s[i] = 1
+			}
+		}
+		var want float64
+		for i := 0; i < n; i++ {
+			for k := 0; k < n; k++ {
+				if i != k {
+					want -= j.At(i, k) * float64(s[i]) * float64(s[k])
+				}
+			}
+			want -= h[i] * float64(s[i])
+		}
+		if got := m.Energy(s); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: sparse energy %g, dense %g", trial, got, want)
+		}
+	}
+}
+
+func TestNewSolverRejectsUnknownDynamics(t *testing.T) {
+	m := randomModel(t, 6, 0.5, 1)
+	if _, err := NewSolver(m, Dynamics("quantum"), 1); err == nil {
+		t.Fatal("unknown dynamics must error")
+	}
+}
+
+// TestMetropolisGeometricReachesGroundState: under a geometric cooling
+// schedule the Metropolis solver must hit the exhaustive GroundState
+// optimum on small random instances — seeded, so the check is
+// deterministic.
+func TestMetropolisGeometricReachesGroundState(t *testing.T) {
+	for _, seed := range []uint64{3, 17, 42} {
+		m := randomModel(t, 10, 0.5, seed)
+		_, wantE, err := m.GroundState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewSolver(m, MetropolisDynamics, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := engine.NewOpt(s).Solve(engine.GeometricSchedule(300, 2, 0.01), 4, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(run.Best.Energy-wantE) > 1e-9 {
+			t.Errorf("seed %d: metropolis best %g, ground state %g", seed, run.Best.Energy, wantE)
+		}
+	}
+}
+
+// TestSolverDynamicsAllFindGoodStates: every selectable dynamics must land
+// within a quality threshold of the exhaustive optimum on a small instance.
+func TestSolverDynamicsAllFindGoodStates(t *testing.T) {
+	m := randomModel(t, 12, 0.5, 7)
+	_, wantE, err := m.GroundState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground energies are negative; "within 90%" means at most 10% above.
+	for _, dyn := range SolverDynamics() {
+		s, err := NewSolver(m, dyn, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := engine.NewOpt(s).Solve(engine.GeometricSchedule(60, 2, 0.05), 6, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", dyn, err)
+		}
+		if run.Best.Energy > 0.85*wantE {
+			t.Errorf("%s: best energy %g too far above ground state %g", dyn, run.Best.Energy, wantE)
+		}
+		if got := m.Energy(run.Best.Spins); got != run.Best.Energy {
+			t.Errorf("%s: reported energy %g != recomputed %g", dyn, run.Best.Energy, got)
+		}
+	}
+}
+
+// TestSolverWorkerBitIdentity: the multi-restart fan-out must be
+// bit-identical across worker counts for every dynamics.
+func TestSolverWorkerBitIdentity(t *testing.T) {
+	m := randomModel(t, 16, 0.4, 23)
+	sched := engine.AdaptiveSchedule(20, 2, 0.05, 3, 0.5)
+	for _, dyn := range SolverDynamics() {
+		var ref *engine.OptRun
+		for _, workers := range []int{1, 2, 4} {
+			s, err := NewSolver(m, dyn, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run, err := engine.NewOpt(s).Solve(sched, 6, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", dyn, workers, err)
+			}
+			if ref == nil {
+				ref = run
+				continue
+			}
+			if !reflect.DeepEqual(run.Energies, ref.Energies) {
+				t.Errorf("%s workers=%d: energies %v != workers=1 %v", dyn, workers, run.Energies, ref.Energies)
+			}
+			if run.BestRestart != ref.BestRestart || !reflect.DeepEqual(run.Best.Spins, ref.Best.Spins) {
+				t.Errorf("%s workers=%d: best state differs from workers=1", dyn, workers)
+			}
+		}
+	}
+}
+
+// TestSolverObserverTrace: the best-energy observer must see a
+// non-increasing trace whose floor matches the restart's reported energy
+// or better (the observer samples checkpoints; the solver may keep a best
+// from any of them).
+func TestSolverObserverTrace(t *testing.T) {
+	m := randomModel(t, 10, 0.5, 9)
+	for _, dyn := range SolverDynamics() {
+		s, err := NewSolver(m, dyn, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := engine.NewOpt(s)
+		st := e.NewSolveState()
+		var trace engine.BestEnergyTrace
+		trace.Reset()
+		st.SetObserver(trace.Observer())
+		sched := engine.GeometricSchedule(30, 2, 0.05)
+		res, err := e.SolveWith(st, sched, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", dyn, err)
+		}
+		if len(trace.Trace) != sched.Steps {
+			t.Fatalf("%s: observer fired %d times, want %d", dyn, len(trace.Trace), sched.Steps)
+		}
+		for i := 1; i < len(trace.Trace); i++ {
+			if trace.Trace[i] > trace.Trace[i-1] {
+				t.Fatalf("%s: trace increases at %d", dyn, i)
+			}
+		}
+		if res.Energy > trace.Best+1e-9 {
+			t.Errorf("%s: reported best %g worse than observed floor %g", dyn, res.Energy, trace.Best)
+		}
+	}
+}
+
+// TestSolverPlanIsScheduleOnly: one plan compile serves all restarts of a
+// non-adaptive batch.
+func TestSolverPlanIsScheduleOnly(t *testing.T) {
+	m := randomModel(t, 8, 0.5, 2)
+	s, err := NewSolver(m, MetropolisDynamics, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.NewOpt(s)
+	if _, err := e.Solve(engine.GeometricSchedule(10, 2, 0.05), 8, 4); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := e.PlanCacheStats(); misses != 1 || hits != 7 {
+		t.Errorf("plan cache hits=%d misses=%d, want 7/1", hits, misses)
+	}
+}
+
+func TestSolverForeignPlanRejected(t *testing.T) {
+	m := randomModel(t, 6, 0.5, 2)
+	s, err := NewSolver(m, BRIMDynamics, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := engine.NewOpt(s).NewSolveState()
+	if _, err := s.RunSolve(st, "not a plan"); err == nil {
+		t.Fatal("foreign plan type must error")
+	}
+}

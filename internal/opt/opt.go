@@ -1,0 +1,267 @@
+// Package opt is the combinatorial-optimization workload layer: Gset-style
+// graph instances, generators, and converters that lower MaxCut, QUBO, and
+// penalty-encoded graph problems onto the Ising solver backends. The
+// package owns problem representation and exact conversion arithmetic; the
+// annealing itself runs through internal/ising's engine.OptBackend.
+package opt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dsgl/internal/ising"
+	"dsgl/internal/mat"
+	"dsgl/internal/rng"
+)
+
+// Instance is an undirected weighted graph in the Gset tradition: the
+// MaxCut workload format. The adjacency is stored symmetrized in CSR (both
+// triangles), zero diagonal.
+type Instance struct {
+	Name  string
+	N     int
+	Edges int
+	W     *mat.CSR
+}
+
+// edgeKey identifies an undirected edge with i < j.
+type edgeKey struct{ i, j int }
+
+// buildInstance assembles a symmetric CSR from an undirected edge-weight
+// map (keys i < j; weights summed per edge).
+func buildInstance(name string, n int, edges map[edgeKey]float64) *Instance {
+	keys := make([]edgeKey, 0, len(edges))
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].i != keys[b].i {
+			return keys[a].i < keys[b].i
+		}
+		return keys[a].j < keys[b].j
+	})
+	b := mat.NewBuilder(n, n)
+	for _, k := range keys {
+		w := edges[k]
+		b.Add(k.i, k.j, w)
+		b.Add(k.j, k.i, w)
+	}
+	return &Instance{Name: name, N: n, Edges: len(keys), W: b.Build()}
+}
+
+// CutValue returns the weight of the cut induced by spin vector s: the sum
+// of edge weights whose endpoints fall in opposite partitions. O(nnz).
+func (g *Instance) CutValue(s []int8) float64 {
+	var cut float64
+	for i := 0; i < g.N; i++ {
+		for p := g.W.RowPtr[i]; p < g.W.RowPtr[i+1]; p++ {
+			if j := g.W.ColIdx[p]; j > i && s[i] != s[j] {
+				cut += g.W.Val[p]
+			}
+		}
+	}
+	return cut
+}
+
+// TotalWeight sums all edge weights once per undirected edge.
+func (g *Instance) TotalWeight() float64 {
+	var tw float64
+	for i := 0; i < g.N; i++ {
+		for p := g.W.RowPtr[i]; p < g.W.RowPtr[i+1]; p++ {
+			if g.W.ColIdx[p] > i {
+				tw += g.W.Val[p]
+			}
+		}
+	}
+	return tw
+}
+
+// ToIsing lowers MaxCut to the Ising ground-state problem: with coupling
+// W_ising = -W_adj and no field, H(s) = ½ Σ_{(i,j)∈E} w_ij s_i s_j (up to
+// the constant), and cut(s) = (TotalWeight - H(s)) / 2 — minimizing energy
+// maximizes the cut. Use CutFromEnergy to map a solver energy back.
+func (g *Instance) ToIsing() (*ising.Model, error) {
+	w := &mat.CSR{
+		Rows:   g.W.Rows,
+		Cols:   g.W.Cols,
+		RowPtr: g.W.RowPtr,
+		ColIdx: g.W.ColIdx,
+		Val:    make([]float64, len(g.W.Val)),
+	}
+	for p, v := range g.W.Val {
+		w.Val[p] = -v
+	}
+	return ising.NewModelCSR(w, make([]float64, g.N))
+}
+
+// CutFromEnergy maps an Ising energy of the ToIsing model back to the cut
+// value of the same spin vector.
+func (g *Instance) CutFromEnergy(e float64) float64 {
+	return (g.TotalWeight() - e) / 2
+}
+
+// RandomGraph generates a seeded random regular-ish graph: n nodes, each
+// wired to `degree` distinct random partners (duplicate picks are re-drawn,
+// so the realized degree is at least `degree` per node counting both
+// directions). Unweighted graphs carry weight 1 per edge; weighted ones
+// draw uniformly from (0, 1]. Deterministic in (n, degree, weighted, seed).
+func RandomGraph(n, degree int, weighted bool, seed uint64) (*Instance, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("opt: RandomGraph needs n >= 2, got %d", n)
+	}
+	if degree < 1 || degree >= n {
+		return nil, fmt.Errorf("opt: RandomGraph needs 1 <= degree < n, got %d", degree)
+	}
+	r := rng.New(seed)
+	edges := make(map[edgeKey]float64, n*degree/2)
+	for i := 0; i < n; i++ {
+		for d := 0; d < degree; d++ {
+			j := r.Intn(n - 1)
+			if j >= i {
+				j++
+			}
+			k := edgeKey{i, j}
+			if j < i {
+				k = edgeKey{j, i}
+			}
+			if _, dup := edges[k]; dup {
+				continue
+			}
+			w := 1.0
+			if weighted {
+				w = 1 - r.Float64()
+			}
+			edges[k] = w
+		}
+	}
+	name := fmt.Sprintf("rand-n%d-d%d-s%d", n, degree, seed)
+	if weighted {
+		name += "-w"
+	}
+	return buildInstance(name, n, edges), nil
+}
+
+// Torus generates the rows×cols 2D torus lattice (4-regular, unit weights)
+// — the planted-structure family Gset's toroidal instances come from.
+func Torus(rows, cols int) (*Instance, error) {
+	if rows < 2 || cols < 2 {
+		return nil, fmt.Errorf("opt: Torus needs rows, cols >= 2, got %dx%d", rows, cols)
+	}
+	n := rows * cols
+	edges := make(map[edgeKey]float64, 2*n)
+	id := func(r, c int) int { return ((r+rows)%rows)*cols + (c+cols)%cols }
+	add := func(a, b int) {
+		if a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		edges[edgeKey{a, b}] = 1
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			add(id(r, c), id(r, c+1))
+			add(id(r, c), id(r+1, c))
+		}
+	}
+	return buildInstance(fmt.Sprintf("torus-%dx%d", rows, cols), n, edges), nil
+}
+
+// ParseGset reads the Gset text format: a "n m" header line, then m lines
+// "i j w" with 1-indexed endpoints. Duplicate edges sum; self-loops are
+// rejected. Blank lines and lines starting with '#' or '%' are skipped.
+func ParseGset(name string, rd io.Reader) (*Instance, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var n, m int
+	header := false
+	edges := map[edgeKey]float64{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if !header {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("opt: %s line %d: header wants \"n m\", got %q", name, line, text)
+			}
+			var err1, err2 error
+			n, err1 = strconv.Atoi(fields[0])
+			m, err2 = strconv.Atoi(fields[1])
+			if err1 != nil || err2 != nil || n < 1 || m < 0 {
+				return nil, fmt.Errorf("opt: %s line %d: bad header %q", name, line, text)
+			}
+			header = true
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("opt: %s line %d: edge wants \"i j w\", got %q", name, line, text)
+		}
+		i, err1 := strconv.Atoi(fields[0])
+		j, err2 := strconv.Atoi(fields[1])
+		w, err3 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("opt: %s line %d: bad edge %q", name, line, text)
+		}
+		if i < 1 || i > n || j < 1 || j > n {
+			return nil, fmt.Errorf("opt: %s line %d: endpoint out of range [1,%d]", name, line, n)
+		}
+		if i == j {
+			return nil, fmt.Errorf("opt: %s line %d: self-loop on node %d", name, line, i)
+		}
+		k := edgeKey{i - 1, j - 1}
+		if k.i > k.j {
+			k.i, k.j = k.j, k.i
+		}
+		edges[k] += w
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("opt: %s: %v", name, err)
+	}
+	if !header {
+		return nil, fmt.Errorf("opt: %s: empty instance (no header)", name)
+	}
+	if len(edges) != m {
+		return nil, fmt.Errorf("opt: %s: header declares %d edges, found %d distinct", name, m, len(edges))
+	}
+	return buildInstance(name, n, edges), nil
+}
+
+// LoadGset reads a Gset instance from a file, named after its basename.
+func LoadGset(path string) (*Instance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("opt: %v", err)
+	}
+	defer f.Close()
+	name := path
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		name = path[i+1:]
+	}
+	return ParseGset(name, f)
+}
+
+// WriteGset serializes the instance in the Gset text format (1-indexed,
+// upper-triangle edges in row order) so generated instances round-trip
+// through ParseGset.
+func (g *Instance) WriteGset(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d %d\n", g.N, g.Edges)
+	for i := 0; i < g.N; i++ {
+		for p := g.W.RowPtr[i]; p < g.W.RowPtr[i+1]; p++ {
+			if j := g.W.ColIdx[p]; j > i {
+				fmt.Fprintf(bw, "%d %d %s\n", i+1, j+1, strconv.FormatFloat(g.W.Val[p], 'g', -1, 64))
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,164 @@
+package opt
+
+import (
+	"fmt"
+
+	"dsgl/internal/ising"
+	"dsgl/internal/mat"
+)
+
+// QUBO is a quadratic unconstrained binary optimization instance: minimize
+// xᵀQx + Offset over x ∈ {0,1}ⁿ. Q is sparse and need not be symmetric
+// (Q_ij and Q_ji both weight the x_i x_j product).
+type QUBO struct {
+	N      int
+	Q      *mat.CSR
+	Offset float64
+}
+
+// NewQUBO wraps a coefficient matrix; q must be square.
+func NewQUBO(q *mat.CSR, offset float64) (*QUBO, error) {
+	if q.Rows != q.Cols {
+		return nil, fmt.Errorf("opt: QUBO matrix must be square, got %dx%d", q.Rows, q.Cols)
+	}
+	return &QUBO{N: q.Rows, Q: q, Offset: offset}, nil
+}
+
+// Value evaluates the objective at bit vector x (entries 0/1).
+func (q *QUBO) Value(x []int8) float64 {
+	v := q.Offset
+	for i := 0; i < q.N; i++ {
+		if x[i] == 0 {
+			continue
+		}
+		for p := q.Q.RowPtr[i]; p < q.Q.RowPtr[i+1]; p++ {
+			if x[q.Q.ColIdx[p]] != 0 {
+				v += q.Q.Val[p]
+			}
+		}
+	}
+	return v
+}
+
+// ToIsing lowers the QUBO to an Ising model via x = (1+s)/2. The returned
+// constant makes the correspondence exact:
+//
+//	Value(bits(s)) = Energy(s) + const
+//
+// with W_ij = -(Q_ij + Q_ji)/4 for i ≠ j, h_i = -(½Q_ii + ¼(R_i + C_i))
+// where R_i, C_i are the off-diagonal row and column sums of Q, and
+// const = Offset + ½ΣQ_ii + ¼Σ_{i≠j}Q_ij. Minimizing one minimizes the
+// other.
+func (q *QUBO) ToIsing() (*ising.Model, float64, error) {
+	n := q.N
+	h := make([]float64, n)
+	constant := q.Offset
+	b := mat.NewBuilder(n, n)
+	rowOff := make([]float64, n)
+	colOff := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for p := q.Q.RowPtr[i]; p < q.Q.RowPtr[i+1]; p++ {
+			j := q.Q.ColIdx[p]
+			v := q.Q.Val[p]
+			if j == i {
+				h[i] -= 0.5 * v
+				constant += 0.5 * v
+				continue
+			}
+			rowOff[i] += v
+			colOff[j] += v
+			constant += 0.25 * v
+			// Symmetrize: each ordered Q entry contributes -v/4 to both
+			// triangles; duplicates sum in the builder, so the final
+			// W_ij = -(Q_ij + Q_ji)/4.
+			b.Add(i, j, -0.25*v)
+			b.Add(j, i, -0.25*v)
+		}
+	}
+	for i := 0; i < n; i++ {
+		h[i] -= 0.25 * (rowOff[i] + colOff[i])
+	}
+	m, err := ising.NewModelCSR(b.Build(), h)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, constant, nil
+}
+
+// SpinsToBits maps Ising spins (±1) to QUBO bits (+1 → 1, -1 → 0).
+func SpinsToBits(s []int8) []int8 {
+	x := make([]int8, len(s))
+	for i, si := range s {
+		if si > 0 {
+			x[i] = 1
+		}
+	}
+	return x
+}
+
+// GraphColoring encodes k-coloring of the instance's graph as a one-hot
+// QUBO over n·k bits x[v*k+c] ("vertex v gets color c"): penalty a per
+// vertex for violating the one-hot constraint (a·(1 - Σ_c x_vc)² expanded),
+// penalty b per edge whose endpoints share a color. A zero-valued optimum
+// is a proper k-coloring.
+func GraphColoring(g *Instance, k int, a, b float64) (*QUBO, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("opt: GraphColoring needs k >= 1, got %d", k)
+	}
+	if a <= 0 || b <= 0 {
+		return nil, fmt.Errorf("opt: GraphColoring penalties must be positive, got a=%g b=%g", a, b)
+	}
+	n := g.N * k
+	bb := mat.NewBuilder(n, n)
+	idx := func(v, c int) int { return v*k + c }
+	for v := 0; v < g.N; v++ {
+		for c := 0; c < k; c++ {
+			// x² = x for bits, so -2a·x + a·x² folds to -a on the diagonal.
+			bb.Add(idx(v, c), idx(v, c), -a)
+			for c2 := c + 1; c2 < k; c2++ {
+				bb.Add(idx(v, c), idx(v, c2), a)
+				bb.Add(idx(v, c2), idx(v, c), a)
+			}
+		}
+	}
+	for u := 0; u < g.N; u++ {
+		for p := g.W.RowPtr[u]; p < g.W.RowPtr[u+1]; p++ {
+			if v := g.W.ColIdx[p]; v > u {
+				for c := 0; c < k; c++ {
+					bb.Add(idx(u, c), idx(v, c), 0.5*b)
+					bb.Add(idx(v, c), idx(u, c), 0.5*b)
+				}
+			}
+		}
+	}
+	// The +a per vertex from the expanded (1 - Σx)² penalty.
+	return NewQUBO(bb.Build(), a*float64(g.N))
+}
+
+// Partition encodes balanced graph bipartitioning as an Ising model:
+// minimize cut(s) + alpha·(Σ_i s_i)², the cut weight plus a quadratic
+// imbalance penalty. The returned constant maps energies back to the
+// objective: objective(s) = Energy(s) + const. The imbalance term couples
+// every pair, so the encoding is dense — intended for moderate n.
+func Partition(g *Instance, alpha float64) (*ising.Model, float64, error) {
+	if alpha <= 0 {
+		return nil, 0, fmt.Errorf("opt: Partition needs alpha > 0, got %g", alpha)
+	}
+	n := g.N
+	b := mat.NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				// cut = TW/2 - ½Σ_{i<j} w s s; (Σs)² = n + 2Σ_{i<j} s s —
+				// so the pair coupling under E = -Σ_{i<j} W_ij s_i s_j is
+				// W_ij = w_ij/2 - 2·alpha.
+				b.Add(i, j, 0.5*g.W.At(i, j)-2*alpha)
+			}
+		}
+	}
+	m, err := ising.NewModelCSR(b.Build(), make([]float64, n))
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, g.TotalWeight()/2 + alpha*float64(n), nil
+}

@@ -1,9 +1,9 @@
 // Package verify is the invariant-verification layer of the DS-GL
-// reproduction: small, composable checkers for the eight contracts the
+// reproduction: small, composable checkers for the nine contracts the
 // system claims (paper Sec. III, Eqs. 6-8), plus the structured report
 // they feed.
 //
-// The eight invariants, as checked by dsgl.(*Model).Verify and the
+// The nine invariants, as checked by dsgl.(*Model).Verify and the
 // `dsgl verify` CLI subcommand:
 //
 //  1. energy-descent      — the Lyapunov-designed dynamics anneal with
@@ -35,7 +35,16 @@
 //     contract: the clamped dynamics have a unique attracting equilibrium,
 //     so the init only moves where the trajectory starts, never where it
 //     ends — but the two trajectories differ, so the settled states agree
-//     only within the settle-residual bracket, not bit-for-bit.
+//     only within the settle-residual bracket, not bit-for-bit;
+//  9. opt-best-energy-monotone — a multi-restart combinatorial solve
+//     (engine.OptEngine over an ising.Solver) reports an internally
+//     consistent run: the best-energy-so-far trace is the exact running
+//     minimum of the per-restart energies (hence non-increasing), the
+//     reported best matches both the trace floor and its restart's energy,
+//     and recomputing the Hamiltonian at the reported best spins
+//     reproduces the reported energy bit-for-bit. Checked at two worker
+//     counts, whose runs must also be bit-identical (the optimization
+//     face of invariant 4's determinism contract).
 //
 // The package deliberately contains no pipeline logic: it consumes
 // machines, results, and energy traces produced by the caller, so the same
@@ -62,6 +71,8 @@ const (
 	InvPlanNaiveIdentity   = "plan-naive-identity"
 	InvShardedFixedPoint   = "sharded-fixed-point"
 	InvWarmStartFixedPoint = "warm-start-fixed-point"
+
+	InvOptBestEnergyMonotone = "opt-best-energy-monotone"
 )
 
 // maxViolationsPerCheck caps the per-check violation list; overflow is
@@ -343,4 +354,97 @@ func LosslessCompilation(m *scalable.Machine, tunedJ *mat.Dense) []Violation {
 		return nil
 	}
 	return DenseEqual(InvLosslessCompile, "EffectiveJ vs Tuned.J", m.EffectiveJ(), tunedJ)
+}
+
+// OptBestEnergyMonotone checks invariant 9 on one multi-restart solve:
+// BestTrace must be the exact running minimum of Energies (non-increasing
+// by construction), the reported Best must agree with both the trace floor
+// and its restart's recorded energy, and energyOf — the backend's
+// Hamiltonian — must reproduce Best.Energy from Best.Spins bit-for-bit.
+// label names the run in violation details (e.g. "workers=4").
+func OptBestEnergyMonotone(label string, run *engine.OptRun, energyOf func([]int8) float64) []Violation {
+	add := func(format string, args ...any) Violation {
+		return Violation{Invariant: InvOptBestEnergyMonotone, Detail: label + ": " + fmt.Sprintf(format, args...)}
+	}
+	if run == nil || run.Best == nil {
+		return []Violation{add("run has no best result")}
+	}
+	if len(run.Energies) != run.Restarts || len(run.BestTrace) != run.Restarts {
+		return []Violation{add("trace lengths %d/%d do not match %d restarts",
+			len(run.Energies), len(run.BestTrace), run.Restarts)}
+	}
+	var v []Violation
+	overflow := 0
+	best := math.Inf(1)
+	bestIdx := -1
+	for i, e := range run.Energies {
+		if e < best {
+			best = e
+			bestIdx = i
+		}
+		ok := run.BestTrace[i] == best
+		if i > 0 && run.BestTrace[i] > run.BestTrace[i-1] {
+			ok = false
+		}
+		if ok {
+			continue
+		}
+		if len(v) < maxViolationsPerCheck {
+			v = append(v, add("BestTrace[%d] = %.17g, want running min %.17g", i, run.BestTrace[i], best))
+		} else {
+			overflow++
+		}
+	}
+	if overflow > 0 {
+		v = append(v, add("... and %d more trace divergences", overflow))
+	}
+	if bestIdx >= 0 && run.BestRestart != bestIdx {
+		v = append(v, add("BestRestart = %d, want earliest minimum %d", run.BestRestart, bestIdx))
+	}
+	if run.Best.Energy != best {
+		v = append(v, add("Best.Energy = %.17g, want trace floor %.17g", run.Best.Energy, best))
+	}
+	if run.BestRestart >= 0 && run.BestRestart < len(run.Energies) &&
+		run.Energies[run.BestRestart] != run.Best.Energy {
+		v = append(v, add("Energies[%d] = %.17g != Best.Energy %.17g",
+			run.BestRestart, run.Energies[run.BestRestart], run.Best.Energy))
+	}
+	if got := energyOf(run.Best.Spins); got != run.Best.Energy {
+		v = append(v, add("recomputed Hamiltonian %.17g != reported Best.Energy %.17g", got, run.Best.Energy))
+	}
+	return v
+}
+
+// OptRunsIdentical checks that two multi-restart solves of the same
+// problem — typically at different worker counts — are bit-identical:
+// same per-restart energies, same best restart, same best spins.
+func OptRunsIdentical(label string, a, b *engine.OptRun) []Violation {
+	add := func(format string, args ...any) Violation {
+		return Violation{Invariant: InvOptBestEnergyMonotone, Detail: label + ": " + fmt.Sprintf(format, args...)}
+	}
+	if a == nil || b == nil || a.Best == nil || b.Best == nil {
+		return []Violation{add("run missing a best result")}
+	}
+	var v []Violation
+	if a.Restarts != b.Restarts {
+		return append(v, add("restart counts differ: %d vs %d", a.Restarts, b.Restarts))
+	}
+	for i := range a.Energies {
+		if a.Energies[i] != b.Energies[i] {
+			v = append(v, add("Energies[%d] differ: %.17g vs %.17g", i, a.Energies[i], b.Energies[i]))
+			if len(v) >= maxViolationsPerCheck {
+				break
+			}
+		}
+	}
+	if a.BestRestart != b.BestRestart {
+		v = append(v, add("BestRestart differs: %d vs %d", a.BestRestart, b.BestRestart))
+	}
+	for i := range a.Best.Spins {
+		if i < len(b.Best.Spins) && a.Best.Spins[i] != b.Best.Spins[i] {
+			v = append(v, add("Best.Spins[%d] differ: %d vs %d", i, a.Best.Spins[i], b.Best.Spins[i]))
+			break
+		}
+	}
+	return v
 }
