@@ -33,13 +33,16 @@ race:
 	$(GO) test -race ./...
 
 # verify trains the standard pipeline on every built-in dataset and checks
-# the nine runtime invariants (energy descent, settle residual, snapshot
+# the ten runtime invariants (energy descent, settle residual, snapshot
 # round trip, seq/par bit-identity, lossless compilation, plan/naive
 # bit-identity, sharded fixed-point agreement, warm-start fixed-point
-# agreement, opt best-energy consistency). Nonzero exit on any violation;
-# small -n keeps it CI-cheap.
+# agreement, opt best-energy consistency, decomposed K=1 / monolithic
+# bit-identity). The second line runs the decomposed pipeline itself
+# (K>1 classes on a heterogeneous workload) through the same harness.
+# Nonzero exit on any violation; small -n keeps it CI-cheap.
 verify:
 	$(GO) run ./cmd/dsgl verify -n 16 -eval 8
+	$(GO) run ./cmd/dsgl verify heteromix -n 16 -eval 8 -decompose -classes 3
 
 # bench runs the batch-inference benchmarks in steady state and captures the
 # full -json event stream (benchmark results ride in "output" events) as

@@ -128,7 +128,7 @@ func TestDenseBackendVerify(t *testing.T) {
 		verify.InvEnergyDescent, verify.InvSettleResidual,
 		verify.InvSnapshotRoundTrip, verify.InvSeqParIdentity,
 		verify.InvLosslessCompile, verify.InvPlanNaiveIdentity,
-		verify.InvWarmStartFixedPoint,
+		verify.InvWarmStartFixedPoint, verify.InvDecomposedK1Identity,
 	} {
 		if !ran[inv] {
 			t.Errorf("check %s did not run on the dense backend", inv)

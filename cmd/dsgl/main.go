@@ -8,7 +8,7 @@
 //	dsgl fig10 -n 32 -eval 30 # accuracy vs density (Fig. 10)
 //	dsgl table2               # RMSE vs SOTA GNNs (Table II)
 //	dsgl eval -backend dense  # train + evaluate one dataset end to end
-//	dsgl verify               # check the nine runtime invariants
+//	dsgl verify               # check the ten runtime invariants
 //	dsgl opt -nodes 800       # solve a Gset-style MaxCut instance
 //	dsgl all                  # run the full suite in paper order
 package main
@@ -73,6 +73,12 @@ func realMain(args []string) int {
 	backend := fs.String("backend", dsgl.BackendScalable,
 		fmt.Sprintf("inference backend for eval/verify/inspect: %q (full pipeline) or %q (single-PE phase-1 model)",
 			dsgl.BackendScalable, dsgl.BackendDense))
+	decompose := fs.Bool("decompose", false,
+		"train eval/verify/inspect models with heterogeneous decomposition (per-class interaction blocks)")
+	classes := fs.Int("classes", 0,
+		"interaction classes K for -decompose (0 = default 3; K=1 reproduces the monolithic fit bit-for-bit)")
+	classMode := fs.String("class-mode", "",
+		`class-assignment profile for -decompose: "stats" (default) or "embed"`)
 	obsAddr := fs.String("obs-addr", "",
 		"serve observability endpoints on this address during the run: Prometheus text on /metrics, JSON on /metricsz, pprof under /debug/pprof/ (e.g. :9137; empty = disabled)")
 	obsLinger := fs.Duration("obs-linger", 0,
@@ -109,21 +115,29 @@ func realMain(args []string) int {
 		Parallelism: *workers,
 		Workers:     *workers,
 	}
+	trainOpts := dsgl.Options{
+		Backend:   *backend,
+		Seed:      *seed,
+		Workers:   *workers,
+		Decompose: *decompose,
+		Classes:   *classes,
+		ClassMode: *classMode,
+	}
 
 	registry := experiments.Registry()
 	switch cmd {
 	case "inspect":
-		if err := inspect(inspectName, cfg, *backend); err != nil {
+		if err := inspect(inspectName, cfg, trainOpts); err != nil {
 			fmt.Fprintf(os.Stderr, "dsgl inspect: %v\n", err)
 			return 1
 		}
 	case "eval":
-		if err := eval(inspectName, cfg, *backend); err != nil {
+		if err := eval(inspectName, cfg, trainOpts); err != nil {
 			fmt.Fprintf(os.Stderr, "dsgl eval: %v\n", err)
 			return 1
 		}
 	case "verify":
-		if err := verify(verifyNames, cfg, *backend); err != nil {
+		if err := verify(verifyNames, cfg, trainOpts); err != nil {
 			fmt.Fprintf(os.Stderr, "dsgl verify: %v\n", err)
 			return 1
 		}
@@ -175,13 +189,16 @@ func validBackend(name string) bool {
 
 // inspect trains the standard pipeline on one dataset and dumps the
 // compiled hardware mapping (PE occupancy, slices, inter-PE traffic).
-func inspect(name string, cfg experiments.Config, backend string) error {
-	if backend == dsgl.BackendDense {
+func inspect(name string, cfg experiments.Config, opts dsgl.Options) error {
+	if opts.Backend == dsgl.BackendDense {
 		return fmt.Errorf("the %q backend has no compiled PE mapping to inspect; use -backend %s",
 			dsgl.BackendDense, dsgl.BackendScalable)
 	}
-	ds := dsgl.GenerateDataset(name, dsgl.DatasetConfig{N: cfg.N, T: cfg.T, Seed: cfg.Seed})
-	model, err := dsgl.Train(ds, dsgl.Options{Backend: backend, Seed: cfg.Seed, Workers: cfg.Workers})
+	ds, err := dsgl.NewDataset(name, dsgl.DatasetConfig{N: cfg.N, T: cfg.T, Seed: cfg.Seed})
+	if err != nil {
+		return err
+	}
+	model, err := dsgl.Train(ds, opts)
 	if err != nil {
 		return err
 	}
@@ -192,9 +209,12 @@ func inspect(name string, cfg experiments.Config, backend string) error {
 // eval trains one dataset end to end on the selected backend and reports
 // aggregate accuracy and latency over the test split — the quickest way to
 // compare the dense Sec. III model against the full scalable pipeline.
-func eval(name string, cfg experiments.Config, backend string) error {
-	ds := dsgl.GenerateDataset(name, dsgl.DatasetConfig{N: cfg.N, T: cfg.T, Seed: cfg.Seed})
-	model, err := dsgl.Train(ds, dsgl.Options{Backend: backend, Seed: cfg.Seed, Workers: cfg.Workers})
+func eval(name string, cfg experiments.Config, opts dsgl.Options) error {
+	ds, err := dsgl.NewDataset(name, dsgl.DatasetConfig{N: cfg.N, T: cfg.T, Seed: cfg.Seed})
+	if err != nil {
+		return err
+	}
+	model, err := dsgl.Train(ds, opts)
 	if err != nil {
 		return err
 	}
@@ -207,7 +227,7 @@ func eval(name string, cfg experiments.Config, backend string) error {
 		return err
 	}
 	fmt.Printf("%s (%s backend): RMSE %.4g  MAE %.4g  MAPE %s  %.3g µs/inference  (%d windows, mode %s)\n",
-		name, backend, rep.RMSE, rep.MAE, formatMAPE(rep), rep.MeanLatencyUs, rep.Windows, rep.Mode)
+		name, opts.Backend, rep.RMSE, rep.MAE, formatMAPE(rep), rep.MeanLatencyUs, rep.Windows, rep.Mode)
 	return nil
 }
 
@@ -230,14 +250,17 @@ func formatMAPE(rep *dsgl.Report) string {
 // residual at settle, Save/Load round-trip equivalence, sequential vs
 // parallel bit-identity, and lossless compilation. Any violation makes
 // the command exit nonzero.
-func verify(names []string, cfg experiments.Config, backend string) error {
+func verify(names []string, cfg experiments.Config, opts dsgl.Options) error {
 	if len(names) == 0 {
 		names = append(dsgl.DatasetNames(), dsgl.MultiDatasetNames()...)
 	}
 	failed := 0
 	for _, name := range names {
-		ds := dsgl.GenerateDataset(name, dsgl.DatasetConfig{N: cfg.N, T: cfg.T, Seed: cfg.Seed})
-		model, err := dsgl.Train(ds, dsgl.Options{Backend: backend, Seed: cfg.Seed, Workers: cfg.Workers})
+		ds, err := dsgl.NewDataset(name, dsgl.DatasetConfig{N: cfg.N, T: cfg.T, Seed: cfg.Seed})
+		if err != nil {
+			return err
+		}
+		model, err := dsgl.Train(ds, opts)
 		if err != nil {
 			return fmt.Errorf("%s: train: %w", name, err)
 		}
@@ -278,13 +301,15 @@ experiments:
   eval     train one dataset and report test-split RMSE/MAE/latency
            (honors -backend: compare dense vs scalable end to end)
   verify   train on the named (default: all) datasets and check the
-           nine runtime invariants; nonzero exit on any violation
+           ten runtime invariants; nonzero exit on any violation
   opt      solve a Gset-style MaxCut instance on the Ising backends
            (own flags: see 'dsgl opt -h'; -dynamics brim|metropolis|oim)
   list     print experiment ids
 
 flags: -n, -t, -eval, -gnn-epochs, -seed, -workers, -backend,
-       -obs-addr, -obs-linger
+       -decompose, -classes, -class-mode, -obs-addr, -obs-linger
        (see 'dsgl <exp> -h'; -backend accepts "scalable" or "dense";
+       -decompose trains eval/verify/inspect models with per-class
+       interaction blocks, K set by -classes;
        -obs-addr serves /metrics, /metricsz, and pprof during the run)`)
 }

@@ -84,7 +84,11 @@ func realMain(args []string) int {
 				continue
 			}
 			start := time.Now()
-			ds := dsgl.GenerateDataset(name, dsgl.DatasetConfig{N: *n, T: *t, Seed: *seed})
+			ds, err := dsgl.NewDataset(name, dsgl.DatasetConfig{N: *n, T: *t, Seed: *seed})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dsgld: %v\n", err)
+				return 1
+			}
 			model, err := dsgl.Train(ds, dsgl.Options{Backend: *backend, Seed: *seed, Workers: *workers})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "dsgld: train %s: %v\n", name, err)
@@ -105,7 +109,11 @@ func realMain(args []string) int {
 				fmt.Fprintf(os.Stderr, "dsgld: %v\n", err)
 				return 2
 			}
-			ds := dsgl.GenerateDataset(dataset, dsgl.DatasetConfig{N: *n, T: *t, Seed: *seed})
+			ds, err := dsgl.NewDataset(dataset, dsgl.DatasetConfig{N: *n, T: *t, Seed: *seed})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dsgld: %v\n", err)
+				return 1
+			}
 			if _, err := reg.LoadSnapshot(name, path, ds); err != nil {
 				fmt.Fprintf(os.Stderr, "dsgld: %v\n", err)
 				return 1

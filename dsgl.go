@@ -32,6 +32,7 @@ import (
 	"dsgl/internal/datasets"
 	"dsgl/internal/dspu"
 	"dsgl/internal/engine"
+	"dsgl/internal/hetero"
 	"dsgl/internal/mat"
 	"dsgl/internal/metrics"
 	"dsgl/internal/pattern"
@@ -61,9 +62,17 @@ type Window = datasets.Window
 
 // GenerateDataset builds one of the named evaluation workloads
 // ("traffic", "pm25", "pm10", "no2", "o3", "covid", "stock", "housing",
-// "climate").
+// "climate", "heteromix", "heterokinetics", "heteroflow"). It panics on an
+// unknown name; NewDataset is the error-returning variant every serving
+// entry point uses.
 func GenerateDataset(name string, cfg DatasetConfig) *Dataset {
 	return datasets.Generate(name, cfg)
+}
+
+// NewDataset builds one of the named evaluation workloads, returning an
+// error for unknown names instead of panicking.
+func NewDataset(name string, cfg DatasetConfig) (*Dataset, error) {
+	return datasets.New(name, cfg)
 }
 
 // DatasetNames lists the seven single-feature workloads.
@@ -172,6 +181,21 @@ type Options struct {
 	// integration step disable sharding rather than pretend a per-step
 	// exchange, which the exact path already is.
 	ShardSyncNs float64
+	// Decompose turns on heterogeneous decomposition (ROADMAP item 5):
+	// nodes are partitioned into interaction classes (internal/hetero),
+	// phase 1 and the masked refit fit per-class-pair J blocks
+	// (train.BlockRidge / train.BlockMaskedRidge), and the Louvain
+	// partition is refined along class boundaries before sharding so no
+	// shard mixes classes. With Classes == 1 the decomposed pipeline is
+	// bit-identical to the monolithic one (verify invariant 10).
+	Decompose bool
+	// Classes is K, the number of interaction classes when Decompose is
+	// set. 0 means the default of 3; ignored when Decompose is false.
+	Classes int
+	// ClassMode selects the node profile used for class assignment:
+	// "stats" (the default) or "embed" (graph-propagated statistics). See
+	// internal/hetero. Ignored when Decompose is false.
+	ClassMode string
 	// Seed makes the pipeline deterministic.
 	Seed uint64
 }
@@ -207,6 +231,9 @@ func (o *Options) fillDefaults() {
 	if o.Workers < 0 {
 		o.Workers = 1
 	}
+	if o.Decompose && o.Classes == 0 {
+		o.Classes = 3
+	}
 }
 
 // Model is a trained, decomposed, and hardware-compiled DS-GL system for
@@ -225,6 +252,11 @@ type Model struct {
 	Machine *scalable.Machine
 	// Dspu is the single-PE dense DSPU. Nil for BackendScalable.
 	Dspu *dspu.DSPU
+	// Classes holds the per-node interaction-class labels when the model
+	// was trained with Options.Decompose (length Dataset.N, labels
+	// first-occurrence canonical); nil for monolithic models. Persisted by
+	// snapshot format v4.
+	Classes []int
 
 	// mask is the interconnect coupling mask the machine was compiled
 	// under (pattern-legal ∩ density budget). It is retained verbatim so
@@ -271,13 +303,21 @@ func Train(ds *Dataset, opts Options) (*Model, error) {
 		rowWeight[idx] = 1
 	}
 
+	// Heterogeneous decomposition: assign every node an interaction class
+	// and expand the labels across the flattened window so the training
+	// and sharding stages below can consume them per variable.
+	classes, classVars, err := assignClasses(ds, opts)
+	if err != nil {
+		return nil, err
+	}
+
 	// Phase 1: dense real-valued training (Sec. III.B) — closed-form
 	// ridge solution for the observed-to-unknown block, then gradient
 	// refinement that may also grow unknown-to-unknown couplings.
 	dense := opts.DenseInit
 	if dense == nil {
 		var err error
-		dense, err = trainDensePhase(ds, samples, rowWeight, opts)
+		dense, err = trainDensePhase(ds, samples, rowWeight, opts, classVars)
 		if err != nil {
 			return nil, err
 		}
@@ -303,6 +343,7 @@ func Train(ds *Dataset, opts Options) (*Model, error) {
 			Dense:    dense,
 			Tuned:    dense,
 			Dspu:     d,
+			Classes:  classes,
 			unknown:  ds.UnknownIndices(),
 			observed: ds.ObservedMask(),
 		}, nil
@@ -312,6 +353,12 @@ func Train(ds *Dataset, opts Options) (*Model, error) {
 	pruned := community.PruneToDensity(dense.J, opts.Density)
 	weights := community.CouplingWeights(pruned)
 	part := community.Louvain(weights, 10)
+	if opts.Decompose {
+		// Shards must respect class boundaries: split every Louvain
+		// community along the class labels before redistribution. With a
+		// single class this returns the partition label-for-label.
+		part = community.RefineByClass(part, classVars)
+	}
 	assign, err := community.Redistribute(part, weights, opts.PECapacity)
 	if err != nil {
 		return nil, fmt.Errorf("dsgl: redistribution: %w", err)
@@ -332,7 +379,12 @@ func Train(ds *Dataset, opts Options) (*Model, error) {
 	// (FineTuneEpochs > 0) can follow to grow unknown-to-unknown
 	// couplings, but the closed-form refit is the default: it restores
 	// the accuracy the sparsification lost without exposure-bias risk.
-	tuned, err := train.MaskedRidge(samples, ds.ObservedMask(), mask, opts.RidgeLambda)
+	var tuned *train.Params
+	if opts.Decompose {
+		tuned, err = train.BlockMaskedRidge(samples, ds.ObservedMask(), classVars, mask, opts.RidgeLambda)
+	} else {
+		tuned, err = train.MaskedRidge(samples, ds.ObservedMask(), mask, opts.RidgeLambda)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("dsgl: fine-tune: %w", err)
 	}
@@ -373,10 +425,42 @@ func Train(ds *Dataset, opts Options) (*Model, error) {
 		Tuned:      tuned,
 		Assignment: assign,
 		Machine:    machine,
+		Classes:    classes,
 		mask:       mask,
 		unknown:    ds.UnknownIndices(),
 		observed:   ds.ObservedMask(),
 	}, nil
+}
+
+// assignClasses runs the class-assignment stage when Options.Decompose is
+// set: per-node labels from internal/hetero, plus their expansion across
+// the flattened window layout ((s*N+n)*F+f inherits node n's class). Both
+// slices are nil for monolithic training.
+func assignClasses(ds *Dataset, opts Options) (classes, classVars []int, err error) {
+	if !opts.Decompose {
+		return nil, nil, nil
+	}
+	asg, err := hetero.Assign(ds, hetero.Config{K: opts.Classes, Mode: opts.ClassMode, Seed: opts.Seed})
+	if err != nil {
+		return nil, nil, fmt.Errorf("dsgl: class assignment: %w", err)
+	}
+	return asg.NodeClass, classVariables(ds, asg.NodeClass), nil
+}
+
+// classVariables expands per-node class labels across every window step
+// and feature, matching the flattened window layout.
+func classVariables(ds *Dataset, nodeClass []int) []int {
+	out := make([]int, ds.WindowLen())
+	k := 0
+	for s := 0; s < ds.History+ds.Horizon; s++ {
+		for n := 0; n < ds.N; n++ {
+			for f := 0; f < ds.F; f++ {
+				out[k] = nodeClass[n]
+				k++
+			}
+		}
+	}
+	return out
 }
 
 // denseMaxInferNs is the anneal budget of the single-PE dense DSPU (used by
@@ -687,9 +771,18 @@ func selectLambda(ds *Dataset, samples [][]float64, workers int) (float64, error
 }
 
 // trainDensePhase runs phase 1: ridge closed form plus optional gradient
-// refinement (skipped when opts.TrainEpochs < 0).
-func trainDensePhase(ds *Dataset, samples [][]float64, rowWeight []float64, opts Options) (*train.Params, error) {
-	init, err := train.RidgeInit(samples, ds.ObservedMask(), opts.RidgeLambda)
+// refinement (skipped when opts.TrainEpochs < 0). A non-nil classVars
+// selects the block-structured solve (per-class-pair ridge blocks); the
+// optional gradient refinement stays class-agnostic — the masked refit of
+// phase 2 re-imposes the block structure on everything the hardware runs.
+func trainDensePhase(ds *Dataset, samples [][]float64, rowWeight []float64, opts Options, classVars []int) (*train.Params, error) {
+	var init *train.Params
+	var err error
+	if classVars != nil {
+		init, err = train.BlockRidge(samples, ds.ObservedMask(), classVars, opts.RidgeLambda)
+	} else {
+		init, err = train.RidgeInit(samples, ds.ObservedMask(), opts.RidgeLambda)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("dsgl: ridge initialization: %w", err)
 	}
@@ -735,7 +828,11 @@ func TrainDense(ds *Dataset, opts Options) (*train.Params, error) {
 	for _, idx := range ds.UnknownIndices() {
 		rowWeight[idx] = 1
 	}
-	return trainDensePhase(ds, samples, rowWeight, opts)
+	_, classVars, err := assignClasses(ds, opts)
+	if err != nil {
+		return nil, err
+	}
+	return trainDensePhase(ds, samples, rowWeight, opts, classVars)
 }
 
 // DenseInfer runs one window inference on a dense (single-PE) Real-Valued

@@ -246,3 +246,35 @@ func SupportMask(j *mat.Dense, eps float64) *mat.Bool {
 	}
 	return m
 }
+
+// RefineByClass splits every community along interaction-class boundaries:
+// two nodes stay in the same refined community only if they share both the
+// original community AND the class label. The heterogeneous-decomposition
+// pipeline runs this between Louvain and Redistribute so shards never mix
+// interaction classes (ROADMAP item 5). With a single class the input
+// partition is returned label-for-label: Louvain output is already
+// compacted by first occurrence, and so is the refinement — the K=1
+// decomposed pipeline stays bit-identical to the monolithic one.
+//
+// Like the rest of this package, malformed input panics: classOf must
+// cover every node and hold non-negative labels.
+func RefineByClass(p *Partition, classOf []int) *Partition {
+	if len(classOf) != len(p.Labels) {
+		panic(fmt.Sprintf("community: class vector has %d entries, want %d", len(classOf), len(p.Labels)))
+	}
+	k := 0
+	for i, c := range classOf {
+		if c < 0 {
+			panic(fmt.Sprintf("community: negative class %d at node %d", c, i))
+		}
+		if c+1 > k {
+			k = c + 1
+		}
+	}
+	out := &Partition{Labels: make([]int, len(p.Labels))}
+	for i, l := range p.Labels {
+		out.Labels[i] = l*k + classOf[i]
+	}
+	out.compact()
+	return out
+}

@@ -232,3 +232,58 @@ func TestSupportMask(t *testing.T) {
 		t.Fatal("support mask wrong")
 	}
 }
+
+func TestRefineByClassSplitsMixedCommunities(t *testing.T) {
+	p := &Partition{Labels: []int{0, 0, 0, 1, 1, 1}, Num: 2}
+	classOf := []int{0, 1, 0, 1, 1, 0}
+	out := RefineByClass(p, classOf)
+	// Same refined community <=> same (community, class) pair.
+	for i := range out.Labels {
+		for j := range out.Labels {
+			same := p.Labels[i] == p.Labels[j] && classOf[i] == classOf[j]
+			if (out.Labels[i] == out.Labels[j]) != same {
+				t.Fatalf("nodes %d,%d: refined labels %d,%d, same-group want %v", i, j, out.Labels[i], out.Labels[j], same)
+			}
+		}
+	}
+	if out.Num != 4 {
+		t.Fatalf("Num = %d, want 4", out.Num)
+	}
+	// First-occurrence canonical numbering.
+	if out.Labels[0] != 0 || out.Labels[1] != 1 {
+		t.Fatalf("labels not first-occurrence compacted: %v", out.Labels)
+	}
+}
+
+// TestRefineByClassK1Identity is the sharding-layer half of the K=1
+// bit-identity contract: a single class must leave the partition
+// untouched label-for-label.
+func TestRefineByClassK1Identity(t *testing.T) {
+	p := &Partition{Labels: []int{0, 1, 1, 0, 2, 2, 1}, Num: 3}
+	out := RefineByClass(p, make([]int, 7))
+	if out.Num != p.Num {
+		t.Fatalf("Num changed: %d -> %d", p.Num, out.Num)
+	}
+	for i := range p.Labels {
+		if out.Labels[i] != p.Labels[i] {
+			t.Fatalf("label %d changed: %d -> %d", i, p.Labels[i], out.Labels[i])
+		}
+	}
+}
+
+func TestRefineByClassPanics(t *testing.T) {
+	p := &Partition{Labels: []int{0, 0, 1}, Num: 2}
+	for name, classOf := range map[string][]int{
+		"short":    {0, 1},
+		"negative": {0, -1, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s class vector must panic", name)
+				}
+			}()
+			RefineByClass(p, classOf)
+		}()
+	}
+}

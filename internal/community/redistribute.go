@@ -227,41 +227,45 @@ func meshDist(a *Assignment, p, q int) float64 {
 // capacity nodes, greedily growing each chunk around the highest-strength
 // remaining node so strongly coupled nodes stay together.
 func splitCommunity(comm []int, w *mat.Dense, capacity int) [][]int {
-	remaining := make(map[int]bool, len(comm))
-	for _, v := range comm {
-		remaining[v] = true
-	}
+	// Candidates are scanned in ascending node order with strict-greater
+	// comparisons, so exact affinity ties resolve to the lowest index. This
+	// used to be a map, whose randomized iteration order made the split —
+	// and therefore the placement, mask, and every fitted coupling
+	// downstream — nondeterministic across runs whenever two candidates
+	// tied exactly (common on graphs with repeated weights).
+	remaining := append([]int(nil), comm...)
+	sort.Ints(remaining)
 	var chunks [][]int
 	for len(remaining) > 0 {
 		// Seed: the remaining node with the largest internal degree.
-		seed, bestDeg := -1, -1.0
-		for v := range remaining {
+		seedIdx, bestDeg := -1, -1.0
+		for i, v := range remaining {
 			d := 0.0
-			for u := range remaining {
+			for _, u := range remaining {
 				d += w.At(v, u)
 			}
 			if d > bestDeg {
 				bestDeg = d
-				seed = v
+				seedIdx = i
 			}
 		}
-		chunk := []int{seed}
-		delete(remaining, seed)
+		chunk := []int{remaining[seedIdx]}
+		remaining = append(remaining[:seedIdx], remaining[seedIdx+1:]...)
 		for len(chunk) < capacity && len(remaining) > 0 {
 			// Attach the remaining node most coupled to the chunk.
-			next, bestAff := -1, -1.0
-			for v := range remaining {
+			nextIdx, bestAff := -1, -1.0
+			for i, v := range remaining {
 				aff := 0.0
 				for _, u := range chunk {
 					aff += w.At(v, u)
 				}
 				if aff > bestAff {
 					bestAff = aff
-					next = v
+					nextIdx = i
 				}
 			}
-			chunk = append(chunk, next)
-			delete(remaining, next)
+			chunk = append(chunk, remaining[nextIdx])
+			remaining = append(remaining[:nextIdx], remaining[nextIdx+1:]...)
 		}
 		sort.Ints(chunk)
 		chunks = append(chunks, chunk)

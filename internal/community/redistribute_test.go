@@ -205,3 +205,39 @@ func TestPEXYRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestRedistributeDeterministicUnderTies is the regression for the
+// map-iteration bug in splitCommunity: on a graph whose coupling weights
+// tie exactly (here: uniform), the chunk seeding and growth used to follow
+// randomized map order, so two Redistribute calls on identical inputs
+// could place nodes on different PEs — making the whole training pipeline
+// nondeterministic. Ties must now resolve to the lowest node index, so
+// repeated runs are identical.
+func TestRedistributeDeterministicUnderTies(t *testing.T) {
+	const n, capacity = 40, 8
+	w := mat.NewDense(n, n)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a != b {
+				w.Set(a, b, 1) // every affinity comparison is an exact tie
+			}
+		}
+	}
+	part := &Partition{Labels: make([]int, n), Num: 1} // one oversized community
+	ref, err := Redistribute(part, w, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 5; run++ {
+		got, err := Redistribute(part, w, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref.PEOf {
+			if got.PEOf[i] != ref.PEOf[i] {
+				t.Fatalf("run %d: node %d placed on PE %d, want %d (nondeterministic split)",
+					run, i, got.PEOf[i], ref.PEOf[i])
+			}
+		}
+	}
+}

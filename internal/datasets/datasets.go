@@ -183,8 +183,12 @@ func (d *Dataset) Validate() error {
 	if d.NumWindows() < 4 {
 		return fmt.Errorf("datasets: %s yields only %d windows", d.Name, d.NumWindows())
 	}
-	if d.PredictFeature >= d.F {
-		return fmt.Errorf("datasets: %s PredictFeature %d out of range", d.Name, d.PredictFeature)
+	// Valid values are -1 (predict all features) and 0..F-1 (predict one).
+	// Values below -1 must be rejected here: ObservedMask treats any
+	// negative value as -1, so without this check a typoed -5 silently
+	// became the predict-everything task.
+	if d.PredictFeature >= d.F || d.PredictFeature < -1 {
+		return fmt.Errorf("datasets: %s PredictFeature %d out of range [-1, %d)", d.Name, d.PredictFeature, d.F)
 	}
 	if d.TrainFrac <= 0 || d.TrainFrac >= 1 {
 		return fmt.Errorf("datasets: %s TrainFrac %g out of (0,1)", d.Name, d.TrainFrac)

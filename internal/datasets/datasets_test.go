@@ -399,3 +399,153 @@ func TestHiddenTransferDiffersFromRowNormalized(t *testing.T) {
 		}
 	}
 }
+
+// TestAirKindsPairwiseDistinct is the regression test for the pm25/pm10
+// seed collision: the old seed mix (len(kind)*0x9e37 + kind[0]) collided
+// for "pm25" and "pm10" (same length, same first byte), so both pollutants
+// were generated from the identical RNG stream — same graph, same data up
+// to the airParams differences. Every pair of air kinds must now have
+// distinct adjacency AND distinct data.
+func TestAirKindsPairwiseDistinct(t *testing.T) {
+	kinds := []string{"pm25", "pm10", "no2", "o3"}
+	gen := make(map[string]*Dataset, len(kinds))
+	for _, k := range kinds {
+		d, err := NewAir(k, Config{N: 16, T: 240, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen[k] = d
+	}
+	equal := func(a, b []float64) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for i, ka := range kinds {
+		for _, kb := range kinds[i+1:] {
+			a, b := gen[ka], gen[kb]
+			if equal(a.Adj.Data, b.Adj.Data) {
+				t.Errorf("%s vs %s: identical adjacency (seed-collision regression)", ka, kb)
+			}
+			if equal(a.X, b.X) {
+				t.Errorf("%s vs %s: identical data (seed-collision regression)", ka, kb)
+			}
+		}
+	}
+}
+
+func TestValidatePredictFeature(t *testing.T) {
+	cases := []struct {
+		pf int
+		ok bool
+	}{
+		{-1, true}, // predict all features
+		{0, true},
+		{5, true},  // F-1 for the F=6 housing set
+		{6, false}, // == F
+		{9, false},
+		{-2, false}, // below -1: used to be silently treated as -1
+		{-5, false},
+	}
+	for _, tc := range cases {
+		d := Generate("housing", Config{N: 8, T: 60})
+		if d.F != 6 {
+			t.Fatalf("housing F=%d, test assumes 6", d.F)
+		}
+		d.PredictFeature = tc.pf
+		err := d.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("PredictFeature=%d: unexpected error %v", tc.pf, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("PredictFeature=%d: want validation error, got nil", tc.pf)
+		}
+	}
+}
+
+func TestNewUnknownName(t *testing.T) {
+	if _, err := New("nope", Config{}); err == nil {
+		t.Fatal("New with unknown name must return an error")
+	}
+	if _, err := NewAir("nope", Config{}); err == nil {
+		t.Fatal("NewAir with unknown kind must return an error")
+	}
+	d, err := New("traffic", Config{N: 8, T: 60})
+	if err != nil || d == nil || d.Name != "traffic" {
+		t.Fatalf("New(traffic) = %v, %v", d, err)
+	}
+}
+
+// TestCrossGeneratorDeterminism locks in the seed-collision fix class-wide:
+// every registered generator is bit-identical under a repeated Config, a
+// different seed changes the data, and no two generators produce the same
+// data from the same Config.
+func TestCrossGeneratorDeterminism(t *testing.T) {
+	cfg := Config{N: 16, T: 240, Seed: 3}
+	names := append(Names(), MultiNames()...)
+	xs := make(map[string][]float64, len(names))
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			a := Generate(name, cfg)
+			b := Generate(name, cfg)
+			if len(a.X) != len(b.X) {
+				t.Fatal("repeated generation changed shape")
+			}
+			for i := range a.X {
+				if a.X[i] != b.X[i] {
+					t.Fatalf("X[%d] differs across identical runs", i)
+				}
+			}
+			for i := range a.Adj.Data {
+				if a.Adj.Data[i] != b.Adj.Data[i] {
+					t.Fatalf("Adj[%d] differs across identical runs", i)
+				}
+			}
+			for i := range a.Community {
+				if a.Community[i] != b.Community[i] {
+					t.Fatalf("Community[%d] differs across identical runs", i)
+				}
+			}
+			c := Generate(name, Config{N: 16, T: 240, Seed: 4})
+			same := len(a.X) == len(c.X)
+			if same {
+				same = false
+				for i := range a.X {
+					if a.X[i] != c.X[i] {
+						same = true
+						break
+					}
+				}
+				if !same {
+					t.Fatal("different seeds produced identical data")
+				}
+			}
+			xs[name] = a.X
+		})
+	}
+	for i, na := range names {
+		for _, nb := range names[i+1:] {
+			a, b := xs[na], xs[nb]
+			if len(a) == 0 || len(b) == 0 || len(a) != len(b) {
+				continue
+			}
+			same := true
+			for k := range a {
+				if a[k] != b[k] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Errorf("%s and %s generated identical data from the same Config", na, nb)
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package datasets
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"dsgl/internal/rng"
 )
@@ -40,34 +41,51 @@ func Names() []string {
 	return []string{"no2", "covid", "o3", "traffic", "pm25", "pm10", "stock"}
 }
 
-// MultiNames lists the multi-feature datasets of Table IV.
-func MultiNames() []string { return []string{"housing", "climate"} }
+// MultiNames lists the multi-feature datasets: the two Table IV workloads
+// plus the synthetic heterogeneous generators (mixed per-class dynamics on
+// one graph) that exercise the decomposition pipeline.
+func MultiNames() []string {
+	return []string{"housing", "climate", "heteromix", "heterokinetics", "heteroflow"}
+}
 
-// Generate builds the named dataset. It panics on an unknown name; use
-// Names() / MultiNames() for the valid set.
-func Generate(name string, cfg Config) *Dataset {
+// New builds the named dataset, returning an error for an unknown name —
+// the entry point for callers fed by external input (CLI arguments, serve
+// boot specs), where a typo must surface as an error rather than a panic.
+// Use Names() / MultiNames() for the valid set.
+func New(name string, cfg Config) (*Dataset, error) {
 	switch name {
 	case "traffic":
-		return GenTraffic(cfg)
-	case "pm25":
-		return GenAir("pm25", cfg)
-	case "pm10":
-		return GenAir("pm10", cfg)
-	case "no2":
-		return GenAir("no2", cfg)
-	case "o3":
-		return GenAir("o3", cfg)
+		return GenTraffic(cfg), nil
+	case "pm25", "pm10", "no2", "o3":
+		return NewAir(name, cfg)
 	case "covid":
-		return GenCovid(cfg)
+		return GenCovid(cfg), nil
 	case "stock":
-		return GenStock(cfg)
+		return GenStock(cfg), nil
 	case "housing":
-		return GenHousing(cfg)
+		return GenHousing(cfg), nil
 	case "climate":
-		return GenClimate(cfg)
+		return GenClimate(cfg), nil
+	case "heteromix":
+		return GenHeteroMix(cfg), nil
+	case "heterokinetics":
+		return GenHeteroKinetics(cfg), nil
+	case "heteroflow":
+		return GenHeteroFlow(cfg), nil
 	default:
-		panic(fmt.Sprintf("datasets: unknown dataset %q", name))
+		return nil, fmt.Errorf("datasets: unknown dataset %q (valid: %s)",
+			name, strings.Join(append(Names(), MultiNames()...), " "))
 	}
+}
+
+// Generate builds the named dataset. It panics on an unknown name; callers
+// holding externally supplied names should use New instead.
+func Generate(name string, cfg Config) *Dataset {
+	d, err := New(name, cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return d
 }
 
 // newBase allocates the Dataset shell shared by all generators.
@@ -144,16 +162,42 @@ var airKinds = map[string]airParams{
 	"o3":   {persist: 0.60, diffuse: 0.10, seasonAmp: 0.4, dailyAmp: 0.6, noise: 0.04},
 }
 
+// kindSeed hashes a dataset-kind string to a seed mix with FNV-1a, so
+// every kind gets a distinct RNG stream. The previous mix —
+// len(kind)*0x9e37 + kind[0] — collided for "pm25" and "pm10" (same
+// length, same first byte), silently generating the two datasets from the
+// identical stream: same graph, same communities, same emission field,
+// same noise draws.
+func kindSeed(kind string) uint64 {
+	h := uint64(0xcbf29ce484222325) // FNV-1a 64-bit offset basis
+	for i := 0; i < len(kind); i++ {
+		h ^= uint64(kind[i])
+		h *= 0x100000001b3 // FNV-1a 64-bit prime
+	}
+	return h
+}
+
+// NewAir builds one pollutant dataset, returning an error for an unknown
+// kind (valid: pm25, pm10, no2, o3).
+func NewAir(kind string, cfg Config) (*Dataset, error) {
+	if _, ok := airKinds[kind]; !ok {
+		return nil, fmt.Errorf("datasets: unknown air-quality kind %q", kind)
+	}
+	return GenAir(kind, cfg), nil
+}
+
 // GenAir models one pollutant from the Chinese air-quality reanalysis:
 // station readings following an AR(1) field with graph diffusion, seasonal
-// and daily forcing, and emission hot-spots per community.
+// and daily forcing, and emission hot-spots per community. It panics on an
+// unknown kind; callers holding externally supplied names should use
+// NewAir.
 func GenAir(kind string, cfg Config) *Dataset {
 	p, ok := airKinds[kind]
 	if !ok {
 		panic(fmt.Sprintf("datasets: unknown air-quality kind %q", kind))
 	}
 	cfg = cfg.withDefaults(48, 1920, 6, 2)
-	cfg.Seed ^= uint64(len(kind))*0x9e37 + uint64(kind[0])
+	cfg.Seed ^= kindSeed(kind)
 	r := rng.New(cfg.Seed)
 	d := newBase(kind, cfg, 1, -1, GraphSpec{N: cfg.N, Communities: 5}, r)
 	diff := HiddenTransfer(d.Adj, r)
@@ -385,6 +429,180 @@ func GenClimate(cfg Config) *Dataset {
 			d.set(t, i, 3, press[i])
 			d.set(t, i, 4, cloud[i])
 			d.set(t, i, 5, precip)
+		}
+	}
+	d.normalize()
+	mustValidate(d)
+	return d
+}
+
+// The heterogeneous generators below put MIXED dynamics on one graph:
+// every node carries one of three interaction types (tied to its
+// community, so types align with graph structure), and each type follows
+// its own law. They exist to exercise the decomposition pipeline
+// (internal/hetero + per-class ridge blocks), whose class assignment must
+// recover the planted types from per-node feature statistics alone.
+
+// heteroType derives the planted interaction type of a node from its
+// community label. Communities are type-pure, so the class-refined
+// partition the decomposition builds aligns with the graph's natural
+// community structure.
+func heteroType(community int) int { return community % 3 }
+
+// GenHeteroMix mixes three canonical dynamical families on one graph
+// (after the graph-dynamical-systems exemplars): oscillator nodes (damped
+// driven second-order dynamics with per-node frequency), diffusive nodes
+// (relaxation toward the neighbor field), and mean-reverting nodes
+// (Ornstein-Uhlenbeck pull toward a per-node baseline). F=3 features per
+// node: the state (the prediction target), the lagged neighbor field
+// (diffusion of the previous step's states — spatial context, never the
+// node's own next value), and the exogenous per-node drive. The per-type
+// state statistics (oscillation, smoothness, noise level) are what the
+// class-assignment clustering must recover.
+func GenHeteroMix(cfg Config) *Dataset {
+	cfg = cfg.withDefaults(36, 960, 3, 1)
+	r := rng.New(cfg.Seed ^ kindSeed("heteromix"))
+	d := newBase("heteromix", cfg, 3, 0, GraphSpec{N: cfg.N, Communities: 6}, r)
+	diff := RowNormalized(d.Adj)
+
+	x := make([]float64, d.N)    // state
+	v := make([]float64, d.N)    // oscillator velocity
+	base := make([]float64, d.N) // per-node baseline / rest level
+	freq := make([]float64, d.N) // oscillator angular frequency
+	nbr := make([]float64, d.N)
+	for i := 0; i < d.N; i++ {
+		base[i] = r.Uniform(-0.4, 0.4)
+		freq[i] = r.Uniform(0.35, 0.7)
+		x[i] = base[i] + r.Uniform(-0.2, 0.2)
+	}
+	const dt = 1.0
+	for t := 0; t < d.T; t++ {
+		// nbr is the diffusion of the PREVIOUS step's states; recording it
+		// as a feature is spatial context, not a leak of the target.
+		diff.MulVec(x, nbr)
+		season := 0.15 * math.Sin(2*math.Pi*float64(t)/120)
+		for i := 0; i < d.N; i++ {
+			drive := base[i] + season
+			switch heteroType(d.Community[i]) {
+			case 0: // oscillator: damped, neighbor-driven
+				a := -freq[i]*freq[i]*(x[i]-base[i]) - 0.08*v[i] + 0.12*(nbr[i]-x[i])
+				v[i] += dt * a
+				x[i] += dt*v[i] + r.NormScaled(0, 0.01)
+			case 1: // diffusive: relax toward the neighbor field
+				x[i] = 0.55*x[i] + 0.35*nbr[i] + 0.1*drive + r.NormScaled(0, 0.015)
+			default: // mean-reverting: OU pull with heavier noise
+				x[i] += 0.25*(drive-x[i]) + 0.06*(nbr[i]-x[i]) + r.NormScaled(0, 0.05)
+			}
+			d.set(t, i, 0, x[i])
+			d.set(t, i, 1, nbr[i])
+			d.set(t, i, 2, drive)
+		}
+	}
+	d.normalize()
+	mustValidate(d)
+	return d
+}
+
+// GenHeteroKinetics models a reaction network with three chemical roles:
+// activator nodes (logistic self-amplification fed by neighboring
+// substrate), inhibitor nodes (tracking neighboring activator activity),
+// and substrate nodes (replenishing, consumed by neighboring activators).
+// F=3 features: concentration (the target), the node's exogenous forcing
+// (rate-scaled seasonal drive), and the incoming neighbor field computed
+// from the previous step's concentrations — neither horizon feature
+// determines the node's own next concentration.
+func GenHeteroKinetics(cfg Config) *Dataset {
+	cfg = cfg.withDefaults(36, 960, 3, 1)
+	r := rng.New(cfg.Seed ^ kindSeed("heterokinetics"))
+	d := newBase("heterokinetics", cfg, 3, 0, GraphSpec{N: cfg.N, Communities: 6}, r)
+	diff := RowNormalized(d.Adj)
+
+	c := make([]float64, d.N)    // concentration
+	rate := make([]float64, d.N) // growth/decay parameter per node
+	nbr := make([]float64, d.N)
+	for i := 0; i < d.N; i++ {
+		c[i] = r.Uniform(0.2, 0.8)
+		rate[i] = r.Uniform(0.8, 1.2)
+	}
+	for t := 0; t < d.T; t++ {
+		diff.MulVec(c, nbr)
+		drive := 0.1 * (1 + math.Sin(2*math.Pi*float64(t)/180))
+		for i := 0; i < d.N; i++ {
+			var dc float64
+			switch heteroType(d.Community[i]) {
+			case 0: // activator: logistic growth fed by the neighbor field
+				dc = 0.22*rate[i]*c[i]*(1-c[i]) + 0.12*nbr[i] - 0.14*c[i]
+			case 1: // inhibitor: tracks neighboring activity, decays
+				dc = 0.3*nbr[i] - 0.2*rate[i]*c[i]
+			default: // substrate: replenished, consumed by neighbors
+				dc = 0.18*rate[i]*(1-c[i]) - 0.25*nbr[i]*c[i] + drive
+			}
+			c[i] += dc + r.NormScaled(0, 0.02)
+			if c[i] < 0 {
+				c[i] = 0
+			}
+			if c[i] > 2 {
+				c[i] = 2
+			}
+			d.set(t, i, 0, c[i])
+			d.set(t, i, 1, rate[i]*drive)
+			d.set(t, i, 2, nbr[i])
+		}
+	}
+	d.normalize()
+	mustValidate(d)
+	return d
+}
+
+// GenHeteroFlow models a transport network with three node roles: source
+// nodes injecting periodically forced flow, relay nodes passing their
+// level downstream with moderate leakage, and sink nodes draining it.
+// F=3 features: level (the target), inflow, and outflow.
+func GenHeteroFlow(cfg Config) *Dataset {
+	cfg = cfg.withDefaults(36, 960, 3, 1)
+	r := rng.New(cfg.Seed ^ kindSeed("heteroflow"))
+	d := newBase("heteroflow", cfg, 3, 0, GraphSpec{N: cfg.N, Communities: 6}, r)
+	diff := RowNormalized(d.Adj)
+
+	level := make([]float64, d.N)
+	outRate := make([]float64, d.N) // fraction of the level shipped per step
+	phase := make([]float64, d.N)
+	out := make([]float64, d.N)
+	in := make([]float64, d.N)
+	for i := 0; i < d.N; i++ {
+		level[i] = r.Uniform(0.3, 0.7)
+		phase[i] = r.Uniform(0, 2*math.Pi)
+		switch heteroType(d.Community[i]) {
+		case 0: // source: slow shipper, fed externally below
+			outRate[i] = r.Uniform(0.15, 0.25)
+		case 1: // relay: pass-through
+			outRate[i] = r.Uniform(0.35, 0.5)
+		default: // sink: drains out of the system
+			outRate[i] = r.Uniform(0.55, 0.75)
+		}
+	}
+	for t := 0; t < d.T; t++ {
+		for i := 0; i < d.N; i++ {
+			out[i] = outRate[i] * level[i]
+		}
+		// Inflow is the neighbor-weighted share of what neighbors ship.
+		diff.MulVec(out, in)
+		for i := 0; i < d.N; i++ {
+			inject := 0.0
+			if heteroType(d.Community[i]) == 0 {
+				inject = 0.12 * (1 + math.Sin(2*math.Pi*float64(t)/96+phase[i]))
+			}
+			keep := 1.0 // relays and sources keep what they receive
+			if heteroType(d.Community[i]) == 2 {
+				keep = 0.5 // sinks absorb half of their outflow out of the system
+			}
+			level[i] += in[i] + inject - keep*out[i] + r.NormScaled(0, 0.015)
+			if level[i] < 0 {
+				level[i] = 0
+			}
+			d.set(t, i, 0, level[i])
+			d.set(t, i, 1, in[i]+inject)
+			d.set(t, i, 2, out[i])
 		}
 	}
 	d.normalize()

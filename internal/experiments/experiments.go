@@ -137,12 +137,14 @@ func Registry() map[string]Runner {
 		"table2": func(c Config, w io.Writer) error { return Table2(c, w) },
 		"table3": func(c Config, w io.Writer) error { return Table3(c, w) },
 		"table4": func(c Config, w io.Writer) error { return Table4(c, w) },
+		"hetero": func(c Config, w io.Writer) error { return Hetero(c, w) },
 	}
 }
 
-// IDs lists the experiment identifiers in paper order.
+// IDs lists the experiment identifiers in paper order (the hetero
+// comparison extends Table IV, so it follows it).
 func IDs() []string {
-	return []string{"fig4", "fig10", "fig11", "fig12", "fig13", "table1", "table2", "table3", "table4"}
+	return []string{"fig4", "fig10", "fig11", "fig12", "fig13", "table1", "table2", "table3", "table4", "hetero"}
 }
 
 // header prints a section banner.

@@ -1,0 +1,288 @@
+package train
+
+import (
+	"fmt"
+
+	"dsgl/internal/mat"
+)
+
+// Block-structured ridge training for heterogeneous decomposition
+// (ROADMAP item 5, after Allier et al.'s decomp-gnn). Nodes carry an
+// interaction-class label; each source class's column group gets its own
+// ridge block, solved in canonical class order against the residual the
+// previously solved classes left behind — one block Gauss–Seidel sweep
+// over the full normal equations. Within a block only that class's Gram
+// sub-matrix is inverted (cross-class correlations enter through the
+// residual right-hand side, not the solve), which regularizes small
+// blocks and decomposes the fit into per-class interaction models.
+// Solving on residuals is what makes the blocks composable: K independent
+// full-target fits would each explain the whole signal and their sum
+// would over-count it roughly K-fold.
+//
+// Bit-identity contract: with a single class (classOf all zero) the
+// block-diagonal Gram IS the full Gram, and BlockRidge/BlockMaskedRidge
+// are written to execute the exact same float operations in the exact same
+// order as RidgeInit/MaskedRidge — the K=1 decomposed fit reproduces the
+// monolithic fit bit-for-bit (verify invariant 10, enforced by
+// TestBlockRidgeK1Identity and `dsgl verify`).
+
+// checkClasses validates a per-variable class vector and returns the
+// number of classes K = max label + 1.
+func checkClasses(classOf []int, n int) (int, error) {
+	if len(classOf) != n {
+		return 0, fmt.Errorf("train: class vector has %d entries, want %d", len(classOf), n)
+	}
+	k := 0
+	for i, c := range classOf {
+		if c < 0 {
+			return 0, fmt.Errorf("train: negative class %d at variable %d", c, i)
+		}
+		if c+1 > k {
+			k = c + 1
+		}
+	}
+	return k, nil
+}
+
+// BlockRidge is the decomposed counterpart of RidgeInit: the
+// observed-to-unknown couplings are fitted per source class in canonical
+// class order, each class's column group solved against the residual
+// cross moments left by the classes before it. classOf assigns a class to
+// every flattened window variable (callers expand per-node labels across
+// steps and features).
+func BlockRidge(samples [][]float64, observed []bool, classOf []int, lambda float64) (*Params, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("train: no samples")
+	}
+	n := len(samples[0])
+	if len(observed) != n {
+		return nil, fmt.Errorf("train: observed mask has %d entries, want %d", len(observed), n)
+	}
+	if lambda <= 0 {
+		return nil, fmt.Errorf("train: ridge lambda must be positive, got %g", lambda)
+	}
+	k, err := checkClasses(classOf, n)
+	if err != nil {
+		return nil, err
+	}
+	var obsIdx, unkIdx []int
+	for i, o := range observed {
+		if o {
+			obsIdx = append(obsIdx, i)
+		} else {
+			unkIdx = append(unkIdx, i)
+		}
+	}
+	if len(obsIdx) == 0 || len(unkIdx) == 0 {
+		return nil, fmt.Errorf("train: need both observed and unknown variables (%d/%d)", len(obsIdx), len(unkIdx))
+	}
+
+	no, nu := len(obsIdx), len(unkIdx)
+	// Full Gram and cross moments, accumulated exactly as RidgeInit does —
+	// the per-class solves below extract sub-blocks, so at K=1 the extracted
+	// block is a verbatim copy of the monolithic system.
+	g := mat.NewDense(no, no)
+	b := mat.NewDense(no, nu)
+	for _, smp := range samples {
+		if len(smp) != n {
+			return nil, fmt.Errorf("train: ragged samples")
+		}
+		for i := 0; i < no; i++ {
+			vi := smp[obsIdx[i]]
+			if vi == 0 {
+				continue
+			}
+			grow := g.Row(i)
+			for j := i; j < no; j++ {
+				grow[j] += vi * smp[obsIdx[j]]
+			}
+			brow := b.Row(i)
+			for u := 0; u < nu; u++ {
+				brow[u] += vi * smp[unkIdx[u]]
+			}
+		}
+	}
+	for i := 0; i < no; i++ {
+		for j := 0; j < i; j++ {
+			g.Set(i, j, g.At(j, i))
+		}
+	}
+
+	j := mat.NewDense(n, n)
+	h := make([]float64, n)
+	for i := range h {
+		h[i] = -1
+	}
+	for class := 0; class < k; class++ {
+		// Observed columns belonging to this source class, ascending (obsIdx
+		// is ascending, so the filtered positions are too).
+		var cols []int
+		for i, gi := range obsIdx {
+			if classOf[gi] == class {
+				cols = append(cols, i)
+			}
+		}
+		if len(cols) == 0 {
+			continue // no observed variables of this class
+		}
+		s := len(cols)
+		sub := mat.NewDense(s, s)
+		rhs := mat.NewDense(s, nu)
+		for a := 0; a < s; a++ {
+			for c := 0; c < s; c++ {
+				sub.Set(a, c, g.At(cols[a], cols[c]))
+			}
+			sub.Add(a, a, lambda)
+			srow, brow := rhs.Row(a), b.Row(cols[a])
+			copy(srow, brow)
+		}
+		w, err := solveMulti(sub, rhs)
+		if err != nil {
+			return nil, fmt.Errorf("train: block ridge class %d: %w", class, err)
+		}
+		for u := 0; u < nu; u++ {
+			for a := 0; a < s; a++ {
+				j.Set(unkIdx[u], obsIdx[cols[a]], w.At(a, u))
+			}
+		}
+		// Residualize the remaining cross moments: later classes fit what
+		// this block left unexplained (b -= G[:,cols]·w). Skipped after the
+		// last class — and never entered at K=1, preserving bit-identity
+		// with RidgeInit.
+		if class+1 < k {
+			for i := 0; i < no; i++ {
+				grow, brow := g.Row(i), b.Row(i)
+				for a := 0; a < s; a++ {
+					gia := grow[cols[a]]
+					if gia == 0 {
+						continue
+					}
+					wrow := w.Row(a)
+					for u := 0; u < nu; u++ {
+						brow[u] -= gia * wrow[u]
+					}
+				}
+			}
+		}
+	}
+	j.ZeroDiagonal()
+	return &Params{J: j, H: h}, nil
+}
+
+// BlockMaskedRidge is the decomposed counterpart of MaskedRidge: every
+// unknown row's mask-allowed observed columns are split by source class
+// and the class groups are solved in canonical order, each against the
+// residual right-hand side left by the groups before it.
+func BlockMaskedRidge(samples [][]float64, observed []bool, classOf []int, mask *mat.Bool, lambda float64) (*Params, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("train: no samples")
+	}
+	n := len(samples[0])
+	if len(observed) != n {
+		return nil, fmt.Errorf("train: observed mask has %d entries, want %d", len(observed), n)
+	}
+	if mask == nil || mask.Rows != n || mask.Cols != n {
+		return nil, fmt.Errorf("train: coupling mask missing or mis-shaped")
+	}
+	if lambda <= 0 {
+		return nil, fmt.Errorf("train: ridge lambda must be positive, got %g", lambda)
+	}
+	k, err := checkClasses(classOf, n)
+	if err != nil {
+		return nil, err
+	}
+	var obsIdx, unkIdx []int
+	obsPos := make([]int, n)
+	for i, o := range observed {
+		if o {
+			obsPos[i] = len(obsIdx)
+			obsIdx = append(obsIdx, i)
+		} else {
+			obsPos[i] = -1
+			unkIdx = append(unkIdx, i)
+		}
+	}
+	if len(obsIdx) == 0 || len(unkIdx) == 0 {
+		return nil, fmt.Errorf("train: need both observed and unknown variables (%d/%d)", len(obsIdx), len(unkIdx))
+	}
+	no := len(obsIdx)
+
+	g := mat.NewDense(no, no)
+	b := mat.NewDense(no, len(unkIdx))
+	for _, smp := range samples {
+		if len(smp) != n {
+			return nil, fmt.Errorf("train: ragged samples")
+		}
+		for i := 0; i < no; i++ {
+			vi := smp[obsIdx[i]]
+			if vi == 0 {
+				continue
+			}
+			grow := g.Row(i)
+			for j := i; j < no; j++ {
+				grow[j] += vi * smp[obsIdx[j]]
+			}
+			brow := b.Row(i)
+			for u := range unkIdx {
+				brow[u] += vi * smp[unkIdx[u]]
+			}
+		}
+	}
+	for i := 0; i < no; i++ {
+		for j := 0; j < i; j++ {
+			g.Set(i, j, g.At(j, i))
+		}
+	}
+
+	j := mat.NewDense(n, n)
+	h := make([]float64, n)
+	for i := range h {
+		h[i] = -1
+	}
+	for u, uIdx := range unkIdx {
+		// Previously solved (column position, weight) pairs of this row —
+		// later class blocks fit the residual these leave behind. Empty
+		// for the first non-empty class, so K=1 is bit-identical to
+		// MaskedRidge.
+		var solvedCols []int
+		var solvedW []float64
+		for class := 0; class < k; class++ {
+			// Columns this row may couple with in this block: masked AND
+			// observed AND of the source class, ascending.
+			var cols []int
+			for c := 0; c < n; c++ {
+				if c != uIdx && mask.At(uIdx, c) && observed[c] && classOf[c] == class {
+					cols = append(cols, obsPos[c])
+				}
+			}
+			if len(cols) == 0 {
+				continue // no allowed couplings into this class
+			}
+			s := len(cols)
+			sub := mat.NewDense(s, s)
+			rhs := mat.NewDense(s, 1)
+			for a := 0; a < s; a++ {
+				for c := 0; c < s; c++ {
+					sub.Set(a, c, g.At(cols[a], cols[c]))
+				}
+				sub.Add(a, a, lambda)
+				r := b.At(cols[a], u)
+				for p, pc := range solvedCols {
+					r -= g.At(cols[a], pc) * solvedW[p]
+				}
+				rhs.Set(a, 0, r)
+			}
+			wts, err := solveMulti(sub, rhs)
+			if err != nil {
+				return nil, fmt.Errorf("train: block masked ridge row %d class %d: %w", uIdx, class, err)
+			}
+			for a := 0; a < s; a++ {
+				j.Set(uIdx, obsIdx[cols[a]], wts.At(a, 0))
+				solvedCols = append(solvedCols, cols[a])
+				solvedW = append(solvedW, wts.At(a, 0))
+			}
+		}
+	}
+	j.ZeroDiagonal()
+	return &Params{J: j, H: h}, nil
+}

@@ -1,0 +1,199 @@
+package train
+
+import (
+	"testing"
+
+	"dsgl/internal/mat"
+	"dsgl/internal/rng"
+)
+
+// blockTestSamples builds a deterministic synthetic regression problem:
+// n variables, the last nu unknown, targets linear in the observed block
+// plus noise.
+func blockTestSamples(n, nu, count int, seed uint64) ([][]float64, []bool) {
+	r := rng.New(seed)
+	observed := make([]bool, n)
+	for i := 0; i < n-nu; i++ {
+		observed[i] = true
+	}
+	w := make([]float64, n-nu)
+	for i := range w {
+		w[i] = r.Uniform(-1, 1)
+	}
+	samples := make([][]float64, count)
+	for s := range samples {
+		smp := make([]float64, n)
+		var acc float64
+		for i := 0; i < n-nu; i++ {
+			smp[i] = r.Uniform(-0.8, 0.8)
+			acc += w[i] * smp[i]
+		}
+		for u := n - nu; u < n; u++ {
+			smp[u] = acc/float64(n-nu) + r.NormScaled(0, 0.05)
+		}
+		samples[s] = smp
+	}
+	return samples, observed
+}
+
+// TestBlockRidgeK1Identity is the training-layer half of verify invariant
+// 10: with every variable in class 0 the block-diagonal Gram IS the full
+// Gram, and BlockRidge must reproduce RidgeInit bit-for-bit.
+func TestBlockRidgeK1Identity(t *testing.T) {
+	const n, nu = 12, 3
+	samples, observed := blockTestSamples(n, nu, 40, 11)
+	classOf := make([]int, n)
+
+	mono, err := RidgeInit(samples, observed, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block, err := BlockRidge(samples, observed, classOf, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mono.J.Data {
+		if mono.J.Data[i] != block.J.Data[i] {
+			t.Fatalf("J[%d]: mono %v != block %v (bit-identity broken)", i, mono.J.Data[i], block.J.Data[i])
+		}
+	}
+	for i := range mono.H {
+		if mono.H[i] != block.H[i] {
+			t.Fatalf("H[%d] differs", i)
+		}
+	}
+}
+
+func TestBlockMaskedRidgeK1Identity(t *testing.T) {
+	const n, nu = 12, 3
+	samples, observed := blockTestSamples(n, nu, 40, 12)
+	classOf := make([]int, n)
+	mask := mat.NewBool(n, n)
+	r := rng.New(99)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			mask.Set(i, j, r.Float64() < 0.6)
+		}
+	}
+
+	mono, err := MaskedRidge(samples, observed, mask, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block, err := BlockMaskedRidge(samples, observed, classOf, mask, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mono.J.Data {
+		if mono.J.Data[i] != block.J.Data[i] {
+			t.Fatalf("J[%d]: mono %v != block %v (bit-identity broken)", i, mono.J.Data[i], block.J.Data[i])
+		}
+	}
+}
+
+// TestBlockRidgeRespectsClasses checks the decomposition semantics at K=2.
+// The classes are solved in order against residuals (one block
+// Gauss–Seidel sweep), so two properties pin the contract: class 0 — the
+// first block — must match an independent ridge run with only that class
+// observed bit-for-bit, and class 1 must satisfy the residual stationarity
+// condition (G_11 + λI)·w_1 = b_1 − G_10·w_0, i.e. its own normal
+// equations with the full cross-moment contribution of class 0's solution
+// moved to the right-hand side.
+func TestBlockRidgeRespectsClasses(t *testing.T) {
+	const n, nu = 12, 3
+	const lambda = 0.5
+	samples, observed := blockTestSamples(n, nu, 40, 13)
+	classOf := make([]int, n)
+	for i := 0; i < n; i++ {
+		classOf[i] = i % 2
+	}
+
+	block, err := BlockRidge(samples, observed, classOf, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Class 0: identical to the isolated fit (other class's observed
+	// columns zeroed and made unknown — their zero columns contribute
+	// nothing to the Gram, and extra RHS columns don't perturb pivoting).
+	iso := make([]bool, n)
+	isoSamples := make([][]float64, len(samples))
+	for s, smp := range samples {
+		cp := make([]float64, n)
+		copy(cp, smp)
+		isoSamples[s] = cp
+	}
+	for i := 0; i < n; i++ {
+		iso[i] = observed[i] && classOf[i] == 0
+		if observed[i] && classOf[i] != 0 {
+			for s := range isoSamples {
+				isoSamples[s][i] = 0
+			}
+		}
+	}
+	mono, err := RidgeInit(isoSamples, iso, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < n; u++ {
+		if observed[u] {
+			continue
+		}
+		for c := 0; c < n; c++ {
+			if !observed[c] || classOf[c] != 0 {
+				continue
+			}
+			got, want := block.J.At(u, c), mono.J.At(u, c)
+			if got != want {
+				t.Fatalf("class 0 coupling J[%d][%d]: block %v != isolated %v", u, c, got, want)
+			}
+		}
+	}
+
+	// Class 1: stationarity of the residual solve. For every class-1
+	// observed column a and unknown target u, the full normal equation
+	// Σ_c G_ac·w_c + λ·w_a = b_au must hold — class 0's contribution sits
+	// on the left because the class-1 block was solved on its residual.
+	for u := 0; u < n; u++ {
+		if observed[u] {
+			continue
+		}
+		for a := 0; a < n; a++ {
+			if !observed[a] || classOf[a] != 1 {
+				continue
+			}
+			lhs := lambda * block.J.At(u, a)
+			var bau float64
+			for c := 0; c < n; c++ {
+				if !observed[c] {
+					continue
+				}
+				var gac float64
+				for _, smp := range samples {
+					gac += smp[a] * smp[c]
+				}
+				lhs += gac * block.J.At(u, c)
+			}
+			for _, smp := range samples {
+				bau += smp[a] * smp[u]
+			}
+			if diff := lhs - bau; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("class 1 stationarity broken at J[%d][%d]: lhs %v != rhs %v", u, a, lhs, bau)
+			}
+		}
+	}
+}
+
+func TestBlockRidgeBadClasses(t *testing.T) {
+	samples, observed := blockTestSamples(6, 2, 10, 14)
+	if _, err := BlockRidge(samples, observed, []int{0, 0, 0}, 0.5); err == nil {
+		t.Fatal("short class vector must error")
+	}
+	if _, err := BlockRidge(samples, observed, []int{0, 0, -1, 0, 0, 0}, 0.5); err == nil {
+		t.Fatal("negative class must error")
+	}
+	mask := mat.NewBool(6, 6)
+	if _, err := BlockMaskedRidge(samples, observed, []int{0, 0, 0}, mask, 0.5); err == nil {
+		t.Fatal("short class vector must error (masked)")
+	}
+}

@@ -1,9 +1,9 @@
 // Package verify is the invariant-verification layer of the DS-GL
-// reproduction: small, composable checkers for the nine contracts the
+// reproduction: small, composable checkers for the ten contracts the
 // system claims (paper Sec. III, Eqs. 6-8), plus the structured report
 // they feed.
 //
-// The nine invariants, as checked by dsgl.(*Model).Verify and the
+// The ten invariants, as checked by dsgl.(*Model).Verify and the
 // `dsgl verify` CLI subcommand:
 //
 //  1. energy-descent      — the Lyapunov-designed dynamics anneal with
@@ -44,7 +44,15 @@
 //     and recomputing the Hamiltonian at the reported best spins
 //     reproduces the reported energy bit-for-bit. Checked at two worker
 //     counts, whose runs must also be bit-identical (the optimization
-//     face of invariant 4's determinism contract).
+//     face of invariant 4's determinism contract);
+//  10. decomposed-k1-identity — heterogeneous decomposition with a single
+//     interaction class (Options.Decompose, Classes=1) reproduces the
+//     monolithic fit bit-for-bit: same tuned J and h, and bit-identical
+//     probe inference. The block-structured solves collapse to the full
+//     Gram at K=1 (train.BlockRidge vs RidgeInit), the class-refined
+//     partition is the Louvain partition label-for-label, and everything
+//     downstream is deterministic — so any divergence is a real defect in
+//     the decomposition plumbing, never numerical slack.
 //
 // The package deliberately contains no pipeline logic: it consumes
 // machines, results, and energy traces produced by the caller, so the same
@@ -73,6 +81,8 @@ const (
 	InvWarmStartFixedPoint = "warm-start-fixed-point"
 
 	InvOptBestEnergyMonotone = "opt-best-energy-monotone"
+
+	InvDecomposedK1Identity = "decomposed-k1-identity"
 )
 
 // maxViolationsPerCheck caps the per-check violation list; overflow is
@@ -211,6 +221,40 @@ func DenseEqual(invariant, what string, a, b *mat.Dense) []Violation {
 				Invariant: invariant,
 				Detail: fmt.Sprintf("%s[%d,%d] diverges: %v vs %v",
 					what, i/a.Cols, i%a.Cols, a.Data[i], b.Data[i]),
+			})
+		} else {
+			overflow++
+		}
+	}
+	if overflow > 0 {
+		v = append(v, Violation{
+			Invariant: invariant,
+			Detail:    fmt.Sprintf("... and %d more %s divergences", overflow, what),
+		})
+	}
+	return v
+}
+
+// VectorsEqual checks two float vectors for bit-identity (NaN equals NaN,
+// matching DenseEqual's convention). what names the vector in violation
+// details (e.g. "Tuned.H").
+func VectorsEqual(invariant, what string, a, b []float64) []Violation {
+	if len(a) != len(b) {
+		return []Violation{{
+			Invariant: invariant,
+			Detail:    fmt.Sprintf("%s length diverges: %d vs %d", what, len(a), len(b)),
+		}}
+	}
+	var v []Violation
+	overflow := 0
+	for i := range a {
+		if a[i] == b[i] || (math.IsNaN(a[i]) && math.IsNaN(b[i])) {
+			continue
+		}
+		if len(v) < maxViolationsPerCheck {
+			v = append(v, Violation{
+				Invariant: invariant,
+				Detail:    fmt.Sprintf("%s[%d] diverges: %v vs %v", what, i, a[i], b[i]),
 			})
 		} else {
 			overflow++

@@ -42,6 +42,12 @@ type modelSnapshot struct {
 
 	MaskRows, MaskCols int
 	MaskData           []bool
+
+	// Classes holds the per-node interaction-class labels of a decomposed
+	// model (v4+; empty for monolithic models and older snapshots). The gob
+	// wire layout is append-only, so pre-v4 snapshots decode with Classes
+	// nil.
+	Classes []int
 }
 
 // Snapshot formats.
@@ -52,12 +58,15 @@ type modelSnapshot struct {
 // trained under. v2 persists the model's actual coupling mask. v3 adds the
 // Backend tag so dense (single-PE) models round-trip too; a v3 dense
 // snapshot carries only the parameter set (no placement, no mask). The
-// wire layout is append-only, so Load accepts all three formats; v1/v2
-// snapshots predate the tag and always decode as scalable.
+// v4 adds the per-node interaction-class labels of heterogeneous
+// decomposition (Options.Decompose). The wire layout is append-only, so
+// Load accepts all four formats; v1/v2 snapshots predate the tag and
+// always decode as scalable, and pre-v4 snapshots carry no class labels.
 const (
 	snapshotFormatV1 = 1
 	snapshotFormatV2 = 2
-	snapshotFormat   = 3
+	snapshotFormatV3 = 3
+	snapshotFormat   = 4
 )
 
 // Save serializes the trained model so inference can resume in a later
@@ -98,6 +107,7 @@ func (m *Model) Save(w io.Writer) error {
 		MaskRows:    mask.Rows,
 		MaskCols:    mask.Cols,
 		MaskData:    mask.Data,
+		Classes:     m.Classes,
 	}
 	return gob.NewEncoder(w).Encode(&snap)
 }
@@ -121,6 +131,7 @@ func (m *Model) saveDense(w io.Writer) error {
 		JCols:       m.Tuned.J.Cols,
 		JData:       m.Tuned.J.Data,
 		H:           m.Tuned.H,
+		Classes:     m.Classes,
 	}
 	return gob.NewEncoder(w).Encode(&snap)
 }
@@ -199,20 +210,23 @@ func Load(r io.Reader, ds *Dataset) (*Model, error) {
 	case snapshotFormatV1, snapshotFormatV2:
 		// Pre-backend formats: always the compiled scalable machine.
 		snap.Backend = BackendScalable
-	case snapshotFormat:
+	case snapshotFormatV3, snapshotFormat:
 		if snap.Backend != BackendScalable && snap.Backend != BackendDense {
 			return nil, fmt.Errorf("dsgl: snapshot backend %q unsupported (valid: %q, %q)",
 				snap.Backend, BackendScalable, BackendDense)
 		}
 	default:
-		return nil, fmt.Errorf("dsgl: snapshot format %d unsupported (want %d, %d, or %d)",
-			snap.Format, snapshotFormatV1, snapshotFormatV2, snapshotFormat)
+		return nil, fmt.Errorf("dsgl: snapshot format %d unsupported (want %d, %d, %d, or %d)",
+			snap.Format, snapshotFormatV1, snapshotFormatV2, snapshotFormatV3, snapshotFormat)
 	}
 	if ds.Name != snap.DatasetName {
 		return nil, fmt.Errorf("dsgl: snapshot is for dataset %q, got %q", snap.DatasetName, ds.Name)
 	}
 	if ds.WindowLen() != snap.WindowLen {
 		return nil, fmt.Errorf("dsgl: snapshot window length %d, dataset has %d", snap.WindowLen, ds.WindowLen())
+	}
+	if err := snap.validateClasses(ds); err != nil {
+		return nil, err
 	}
 	if snap.Backend == BackendDense {
 		return loadDense(&snap, ds)
@@ -275,10 +289,28 @@ func Load(r io.Reader, ds *Dataset) (*Model, error) {
 		Tuned:      tuned,
 		Assignment: assign,
 		Machine:    machine,
+		Classes:    snap.Classes,
 		mask:       mask,
 		unknown:    ds.UnknownIndices(),
 		observed:   ds.ObservedMask(),
 	}, nil
+}
+
+// validateClasses checks the v4 class-label block: absent (monolithic or
+// pre-v4) or exactly one non-negative label per dataset node.
+func (snap *modelSnapshot) validateClasses(ds *Dataset) error {
+	if len(snap.Classes) == 0 {
+		return nil
+	}
+	if len(snap.Classes) != ds.N {
+		return fmt.Errorf("dsgl: snapshot has %d class labels, dataset has %d nodes", len(snap.Classes), ds.N)
+	}
+	for i, c := range snap.Classes {
+		if c < 0 {
+			return fmt.Errorf("dsgl: snapshot class label %d at node %d is negative", c, i)
+		}
+	}
+	return nil
 }
 
 // loadDense rebuilds a dense-backend model from a v3 dense snapshot: the
@@ -315,6 +347,7 @@ func loadDense(snap *modelSnapshot, ds *Dataset) (*Model, error) {
 		Dense:    tuned,
 		Tuned:    tuned,
 		Dspu:     d,
+		Classes:  snap.Classes,
 		unknown:  ds.UnknownIndices(),
 		observed: ds.ObservedMask(),
 	}, nil

@@ -65,7 +65,7 @@ const (
 	descentNetRel    = 0 // every trace must end no higher than it began
 )
 
-// Verify checks the nine runtime contracts of the DS-GL system (paper
+// Verify checks the ten runtime contracts of the DS-GL system (paper
 // Sec. III, Eqs. 6-8) against the trained model:
 //
 //  1. monotone energy descent while annealing probe windows;
@@ -91,7 +91,13 @@ const (
 //     the exact running minimum of its restart energies, the reported best
 //     reproduces bit-for-bit under Hamiltonian recomputation, and the
 //     whole run is bit-identical at 1 and 4 workers — the optimization
-//     face of invariant 4's determinism contract).
+//     face of invariant 4's determinism contract);
+//  10. decomposed K=1 / monolithic bit-identity (heterogeneous
+//     decomposition with a single interaction class reproduces the
+//     monolithic pipeline exactly: same tuned J and h, bit-identical
+//     probe inference — so Options.Decompose changes what is fitted only
+//     through genuine class structure, never through numerical drift in
+//     the block-solve plumbing).
 //
 // The returned report is structured: rep.Ok() is the overall verdict,
 // rep.Fprint renders it for terminals, and rep.Violations() flattens every
@@ -99,7 +105,7 @@ const (
 // checks at all (no test windows, snapshot I/O failure); contract
 // violations are reported, not returned as errors.
 //
-// Verify runs against either backend. Checks 1-6 and 8 run on a
+// Verify runs against either backend. Checks 1-6, 8, and 10 run on a
 // BackendDense model too: the snapshot round-trip (3) exercises the dense
 // (v3) snapshot format, and lossless compilation (5) compares the dense
 // network's realized coupling matrix against the tuned J; the remaining
@@ -174,7 +180,93 @@ func Verify(m *Model, opts VerifyOptions) (*VerifyReport, error) {
 		return nil, err
 	}
 	rep.Add(optCheck)
+	decompCheck, err := m.checkDecomposedK1Identity(obsList, seq, seed)
+	if err != nil {
+		return nil, err
+	}
+	rep.Add(decompCheck)
 	return rep, nil
+}
+
+// checkDecomposedK1Identity verifies invariant 10: heterogeneous
+// decomposition with a single interaction class IS the monolithic pipeline,
+// bit-for-bit. At K=1 the block-diagonal Gram is the full Gram
+// (train.BlockRidge vs RidgeInit), the class-refined Louvain partition is
+// the Louvain partition label-for-label, and everything downstream is
+// deterministic — so the tuned parameters and the probe inference must
+// match exactly, never merely to tolerance.
+//
+// The check retrains from m.Opts with only the decomposition fields
+// toggled (RidgeLambda is already resolved in a trained model's Opts, so
+// the twins skip lambda selection and share every other training input):
+// a monolithic model gets a fresh K=1 decomposed twin compared against
+// itself; a K=1 decomposed model gets a fresh monolithic twin; a K>1
+// model cannot be its own reference, so a fresh twin pair (monolithic and
+// K=1) is trained and compared to each other. Only Tuned is compared —
+// Load aliases Dense to Tuned, so a Dense comparison would be vacuous on
+// loaded models.
+func (m *Model) checkDecomposedK1Identity(obsList [][]engine.Observation, seq []*engine.Result, seed uint64) (VerifyCheck, error) {
+	c := VerifyCheck{Invariant: verify.InvDecomposedK1Identity, Name: "decomposed K=1 / monolithic bit-identity"}
+
+	monoOpts := m.Opts
+	monoOpts.Decompose = false
+	monoOpts.Classes = 0
+	monoOpts.ClassMode = ""
+	k1Opts := m.Opts
+	k1Opts.Decompose = true
+	k1Opts.Classes = 1
+
+	var ref, twin *Model
+	var refResults []*engine.Result
+	switch {
+	case !m.Opts.Decompose:
+		t, err := Train(m.Dataset, k1Opts)
+		if err != nil {
+			return c, fmt.Errorf("dsgl: verify K=1 decomposed twin training: %w", err)
+		}
+		ref, twin, refResults = m, t, seq
+		c.Detail = fmt.Sprintf("monolithic model vs fresh K=1 decomposed twin, %d probe windows", len(obsList))
+	case m.Opts.Classes == 1:
+		t, err := Train(m.Dataset, monoOpts)
+		if err != nil {
+			return c, fmt.Errorf("dsgl: verify monolithic twin training: %w", err)
+		}
+		ref, twin, refResults = m, t, seq
+		c.Detail = fmt.Sprintf("K=1 decomposed model vs fresh monolithic twin, %d probe windows", len(obsList))
+	default:
+		r, err := Train(m.Dataset, monoOpts)
+		if err != nil {
+			return c, fmt.Errorf("dsgl: verify monolithic twin training: %w", err)
+		}
+		t, err := Train(m.Dataset, k1Opts)
+		if err != nil {
+			return c, fmt.Errorf("dsgl: verify K=1 decomposed twin training: %w", err)
+		}
+		ref, twin = r, t
+		refResults = make([]*engine.Result, len(obsList))
+		for i, obs := range obsList {
+			res, err := ref.Engine().InferSeeded(obs, seed+uint64(i))
+			if err != nil {
+				return c, fmt.Errorf("dsgl: verify monolithic twin probe %d: %w", i, err)
+			}
+			refResults[i] = res
+		}
+		c.Detail = fmt.Sprintf("K=%d model; fresh monolithic vs K=1 decomposed twin pair, %d probe windows", m.Opts.Classes, len(obsList))
+	}
+
+	c.Violations = append(c.Violations,
+		verify.DenseEqual(verify.InvDecomposedK1Identity, "Tuned.J", ref.Tuned.J, twin.Tuned.J)...)
+	c.Violations = append(c.Violations,
+		verify.VectorsEqual(verify.InvDecomposedK1Identity, "Tuned.H", ref.Tuned.H, twin.Tuned.H)...)
+	for i, obs := range obsList {
+		res, err := twin.Engine().InferSeeded(obs, seed+uint64(i))
+		if err != nil {
+			return c, fmt.Errorf("dsgl: verify decomposed twin probe %d: %w", i, err)
+		}
+		c.Violations = append(c.Violations,
+			verify.ResultsEqual(verify.InvDecomposedK1Identity, fmt.Sprintf("probe %d", i), refResults[i], res)...)
+	}
+	return c, nil
 }
 
 // Fixed probe parameters for the optimization invariant (9): an instance

@@ -55,13 +55,19 @@ func TestVerifyAllInvariantsGreen(t *testing.T) {
 				rep.Fprint(&sb)
 				t.Fatalf("verification failed on a healthy model:\n%s", sb.String())
 			}
-			if len(rep.Checks) != 9 {
-				t.Fatalf("report has %d checks, want all 9 invariants", len(rep.Checks))
+			if len(rep.Checks) != 10 {
+				t.Fatalf("report has %d checks, want all 10 invariants", len(rep.Checks))
 			}
 			// The optimization invariant is model-independent and must never
 			// skip — it actively compares two worker counts in every regime.
 			if c := findCheck(t, rep, verify.InvOptBestEnergyMonotone); c.Skipped || !c.Passed() {
 				t.Fatalf("opt-best-energy-monotone not green: %+v", c)
+			}
+			// The K=1 decomposition identity is a bit-identity claim that
+			// holds in every regime (the twin shares the noise options), so
+			// it must actively compare and come back clean.
+			if c := findCheck(t, rep, verify.InvDecomposedK1Identity); c.Skipped || !c.Passed() {
+				t.Fatalf("decomposed-k1-identity not green: %+v", c)
 			}
 			// The plan/naive identity must hold in every regime, noise
 			// included (the plan path replicates the noise stream).
